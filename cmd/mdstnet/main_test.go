@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCoreOverTCP(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "wheel", "-n", "8"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"graph: n=8", "legitimate: true", "tree degree:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunLiteralCorrupted(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "ring+chords", "-n", "10", "-variant", "literal", "-corrupt"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "legitimate: true") {
+		t.Fatalf("literal variant failed over TCP:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownVariant(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-variant", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunWheelVerbose(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "ring+chords", "-n", "12", "-v"}, nil, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"legitimate: true", "tree degree:", "messages: total=", "degree profile:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	graphText := "n 4\ne 0 1\ne 1 2\ne 2 3\ne 3 0\n"
+	var out, errOut bytes.Buffer
+	code := run([]string{"-stdin"}, strings.NewReader(graphText), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "graph: n=4 m=4") {
+		t.Fatalf("wrong graph:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "tree degree: 2") {
+		t.Fatalf("ring must give a degree-2 path:\n%s", out.String())
+	}
+}
+
+func TestRunBadStdin(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-stdin"}, strings.NewReader("garbage"), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestRunBadStart(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-start", "weird"}, nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunLegitWithFaults(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "gnp", "-n", "14", "-start", "legit", "-faults", "3"}, nil, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "legitimate: true") {
+		t.Fatalf("did not recover:\n%s", out.String())
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "grid", "-n", "9", "-dot"}, nil, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "[style=bold]") {
+		t.Fatal("DOT tree edges missing")
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRendersTree(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "ring+chords", "-n", "12", "-layout", "circle"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	svg := out.String()
+	if !strings.HasPrefix(svg, "<svg ") {
+		t.Fatal("not SVG")
+	}
+	if !strings.Contains(svg, "deg(T)=") {
+		t.Fatal("title missing protocol result")
+	}
+	if !strings.Contains(svg, `stroke-width="3"`) {
+		t.Fatal("no tree edges drawn")
+	}
+}
+
+func TestRunGraphOnly(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "grid", "-n", "9", "-graph-only"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out.String(), `stroke-width="3"`) {
+		t.Fatal("tree edges drawn in graph-only mode")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,15 @@
+// Package mdst is a from-scratch Go reproduction of "Self-stabilizing
+// minimum-degree spanning tree within one from the optimal degree"
+// (Blin, Gradinariu Potop-Butucaru, Rovedakis; IPDPS 2009).
+//
+// The public surface lives in the commands (cmd/mdstsim, cmd/mdstbench,
+// cmd/mdstnet, cmd/mdstviz, cmd/graphgen) and the examples; the library
+// packages are under internal/ (graph, spanning, mdstseq, sim, pif,
+// core, paperproto, netrun, harness, benchtab, trace, analysis, viz,
+// mc). The protocol is implemented twice — internal/core with the
+// tree-preserving chain exchange and internal/paperproto with the
+// paper's literal Remove/Back choreography — and runs under three
+// runtimes: the deterministic simulator, a goroutine/channel runtime
+// and real TCP sockets. See README.md for a tour, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduced evaluation.
+package mdst

@@ -1,0 +1,54 @@
+// Live runtime demo: the same protocol nodes running as real goroutines
+// exchanging messages over Go channels (one inbox per node, FIFO per
+// sender) — the CSP rendering of the paper's asynchronous message
+// passing model. The run is wall-clock bounded and nondeterministic; at
+// the end the tree is extracted and validated.
+//
+//	go run ./examples/livenet [-n 24] [-ms 1500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/mdstseq"
+	"mdst/internal/sim"
+)
+
+func main() {
+	n := flag.Int("n", 24, "number of nodes")
+	ms := flag.Int("ms", 1500, "wall-clock run budget in milliseconds")
+	seed := flag.Int64("seed", 5, "topology seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g := graph.HamiltonianAugmented(*n, *n, rng)
+	cfg := core.DefaultConfig(g.N())
+
+	ln := sim.NewLiveNetwork(g, func(id sim.NodeID, nbrs []sim.NodeID) sim.Process {
+		nd := core.NewNode(id, nbrs, cfg)
+		nd.Corrupt(rng, g.N()) // arbitrary initial states
+		return nd
+	}, sim.LiveConfig{TickInterval: 200 * time.Microsecond})
+
+	fmt.Printf("running %d goroutine nodes for %dms...\n", g.N(), *ms)
+	ln.RunFor(time.Duration(*ms) * time.Millisecond)
+
+	nodes := make([]*core.Node, g.N())
+	for i := range nodes {
+		nodes[i] = ln.Process(i).(*core.Node)
+	}
+	tree, err := core.ExtractTree(g, nodes)
+	if err != nil {
+		log.Fatalf("no spanning tree after live run: %v", err)
+	}
+	leg := core.CheckLegitimacy(g, nodes)
+	fmt.Printf("tree degree: %d (Δ* = 2 by construction, bound 3)\n", tree.MaxDegree())
+	fmt.Printf("fully legitimate: %v (views may still be syncing)\n", leg.OK())
+	fmt.Printf("degree profile: %v\n", mdstseq.DegreeProfile(tree)[:5])
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Resampling and rank statistics for the experiment reports: percentile
+// bootstrap confidence intervals for the table cells (rounds, messages)
+// and Kendall rank correlation for monotonicity checks ("rounds grow
+// with n") that do not assume a functional form.
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	Lo, Point, Hi float64
+	Confidence    float64
+}
+
+// String renders "point [lo, hi]@conf".
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.2f [%.2f, %.2f]@%.0f%%", iv.Point, iv.Lo, iv.Hi, iv.Confidence*100)
+}
+
+// BootstrapMean returns the percentile-bootstrap confidence interval of
+// the sample mean: resamples samples with replacement `resamples` times
+// and takes the (1±conf)/2 quantiles of the resampled means. conf must
+// be in (0,1); typical use is 0.95 with 1000 resamples.
+func BootstrapMean(samples []float64, conf float64, resamples int, rng *rand.Rand) Interval {
+	return bootstrapStat(samples, conf, resamples, rng, Mean)
+}
+
+// BootstrapQuantile returns the percentile-bootstrap interval of the
+// q-quantile of the sample.
+func BootstrapQuantile(samples []float64, q, conf float64, resamples int, rng *rand.Rand) Interval {
+	return bootstrapStat(samples, conf, resamples, rng, func(xs []float64) float64 {
+		return Quantile(xs, q)
+	})
+}
+
+func bootstrapStat(samples []float64, conf float64, resamples int, rng *rand.Rand, stat func([]float64) float64) Interval {
+	if conf <= 0 || conf >= 1 {
+		panic("analysis: confidence must be in (0,1)")
+	}
+	if len(samples) == 0 {
+		return Interval{Confidence: conf}
+	}
+	if resamples < 1 {
+		resamples = 1000
+	}
+	point := stat(samples)
+	if len(samples) == 1 {
+		return Interval{Lo: point, Point: point, Hi: point, Confidence: conf}
+	}
+	stats := make([]float64, resamples)
+	buf := make([]float64, len(samples))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = samples[rng.Intn(len(samples))]
+		}
+		stats[r] = stat(buf)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - conf) / 2
+	return Interval{
+		Lo:         Quantile(stats, alpha),
+		Point:      point,
+		Hi:         Quantile(stats, 1-alpha),
+		Confidence: conf,
+	}
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MAD returns the median absolute deviation from the median — the
+// robust spread estimate used for outlier flags in the sweep reports.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// KendallTau returns the Kendall rank correlation τ-a between the paired
+// samples: (concordant - discordant) / (n choose 2). +1 means strictly
+// co-monotone, -1 strictly anti-monotone; ties contribute zero. Panics
+// if the slices differ in length; returns 0 for fewer than two pairs.
+func KendallTau(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("analysis: KendallTau needs equal-length samples")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	conc, disc := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch prod := dx * dy; {
+			case prod > 0:
+				conc++
+			case prod < 0:
+				disc++
+			}
+		}
+	}
+	return float64(conc-disc) / float64(n*(n-1)/2)
+}
+
+// MonotoneIncreasing reports whether ys is non-decreasing when ordered
+// by xs (strict ties in x are ignored) — the weakest useful form of
+// "grows with n" used by complexity sanity checks.
+func MonotoneIncreasing(xs, ys []float64) bool {
+	if len(xs) != len(ys) {
+		panic("analysis: MonotoneIncreasing needs equal-length samples")
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	for k := 1; k < len(idx); k++ {
+		i, j := idx[k-1], idx[k]
+		if xs[i] == xs[j] {
+			continue
+		}
+		if ys[j] < ys[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBootstrapMeanCoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Samples from N(10, 1): the 95% interval should contain 10 in the
+	// vast majority of repetitions; with a fixed seed we assert directly.
+	covered := 0
+	for rep := 0; rep < 50; rep++ {
+		samples := make([]float64, 40)
+		for i := range samples {
+			samples[i] = 10 + rng.NormFloat64()
+		}
+		iv := BootstrapMean(samples, 0.95, 500, rng)
+		if iv.Lo <= 10 && 10 <= iv.Hi {
+			covered++
+		}
+		if iv.Lo > iv.Point || iv.Point > iv.Hi {
+			t.Fatalf("interval out of order: %v", iv)
+		}
+	}
+	if covered < 42 { // expect ~47-48 of 50
+		t.Fatalf("coverage %d/50 far below nominal 95%%", covered)
+	}
+}
+
+func TestBootstrapDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	iv := BootstrapMean(nil, 0.9, 100, rng)
+	if iv.Point != 0 || iv.Lo != 0 || iv.Hi != 0 {
+		t.Fatalf("empty sample interval %v", iv)
+	}
+	iv = BootstrapMean([]float64{3}, 0.9, 100, rng)
+	if iv.Lo != 3 || iv.Point != 3 || iv.Hi != 3 {
+		t.Fatalf("single sample interval %v", iv)
+	}
+}
+
+func TestBootstrapPanicsOnBadConfidence(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for conf=1")
+		}
+	}()
+	BootstrapMean([]float64{1, 2}, 1.0, 10, rand.New(rand.NewSource(1)))
+}
+
+func TestBootstrapQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	iv := BootstrapQuantile(samples, 0.5, 0.9, 300, rng)
+	if iv.Point < 90 || iv.Point > 110 {
+		t.Fatalf("median estimate %f far from 99.5", iv.Point)
+	}
+	if iv.Lo > iv.Point || iv.Hi < iv.Point {
+		t.Fatalf("interval out of order: %v", iv)
+	}
+}
+
+// Property: the bootstrap interval always brackets its point estimate
+// and widens with confidence.
+func TestQuickBootstrapNesting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]float64, 12+rng.Intn(20))
+		for i := range samples {
+			samples[i] = rng.Float64() * 100
+		}
+		lo := BootstrapMean(samples, 0.5, 400, rand.New(rand.NewSource(seed)))
+		hi := BootstrapMean(samples, 0.99, 400, rand.New(rand.NewSource(seed)))
+		if lo.Lo > lo.Point || lo.Point > lo.Hi {
+			return false
+		}
+		// Same resample stream: the wider confidence must contain the
+		// narrower interval.
+		return hi.Lo <= lo.Lo && hi.Hi >= lo.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if m := Median(xs); m != 3 {
+		t.Fatalf("median %f, want 3", m)
+	}
+	// Deviations from 3: 2,1,0,1,97 -> median 1.
+	if d := MAD(xs); d != 1 {
+		t.Fatalf("MAD %f, want 1", d)
+	}
+	if MAD(nil) != 0 {
+		t.Fatal("MAD(nil) != 0")
+	}
+}
+
+func TestKendallTauExtremes(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if tau := KendallTau(xs, []float64{10, 20, 30, 40}); tau != 1 {
+		t.Fatalf("tau %f, want 1", tau)
+	}
+	if tau := KendallTau(xs, []float64{40, 30, 20, 10}); tau != -1 {
+		t.Fatalf("tau %f, want -1", tau)
+	}
+	if tau := KendallTau(xs[:1], []float64{1}); tau != 0 {
+		t.Fatalf("tau %f, want 0 for single pair", tau)
+	}
+}
+
+func TestKendallTauMixed(t *testing.T) {
+	// One discordant pair among six: tau = (5-1)/6.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 2, 4, 3}
+	want := float64(5-1) / 6
+	if tau := KendallTau(xs, ys); math.Abs(tau-want) > 1e-12 {
+		t.Fatalf("tau %f, want %f", tau, want)
+	}
+}
+
+// Property: tau is antisymmetric under reversing one coordinate.
+func TestQuickKendallAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+			ys[i] = rng.Float64()
+		}
+		neg := make([]float64, n)
+		for i := range ys {
+			neg[i] = -ys[i]
+		}
+		return math.Abs(KendallTau(xs, ys)+KendallTau(xs, neg)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneIncreasing(t *testing.T) {
+	if !MonotoneIncreasing([]float64{1, 2, 3}, []float64{5, 5, 9}) {
+		t.Fatal("non-decreasing rejected")
+	}
+	if MonotoneIncreasing([]float64{1, 2, 3}, []float64{5, 4, 9}) {
+		t.Fatal("decreasing accepted")
+	}
+	// Ties in x are ignored even when y differs there.
+	if !MonotoneIncreasing([]float64{1, 1, 2}, []float64{9, 1, 10}) {
+		t.Fatal("x-ties not ignored")
+	}
+}

@@ -1,0 +1,419 @@
+// Package benchtab generates the experiment tables E1–E10 of
+// EXPERIMENTS.md: each function sweeps a workload, runs the harness and
+// returns a Table that can be rendered as aligned text or CSV. The
+// bench targets in the repository root and cmd/mdstbench are thin
+// wrappers over these functions.
+package benchtab
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/harness"
+	"mdst/internal/mdstseq"
+	"mdst/internal/spanning"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render returns an aligned plain-text rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns a comma-separated rendering (no quoting needed: cells are
+// numbers and simple identifiers).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func itoa(v int) string      { return fmt.Sprintf("%d", v) }
+func i64toa(v int64) string  { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func btos(v bool) string     { return fmt.Sprintf("%v", v) }
+func log2ceil(n int) float64 { return math.Ceil(math.Log2(float64(n))) }
+
+// SweepSpec controls the shared sweep dimensions.
+type SweepSpec struct {
+	Sizes []int // requested node counts
+	Seeds int   // runs per cell (averaged / maxed as appropriate)
+	Sched harness.SchedulerKind
+}
+
+// DefaultSweep returns the sweep used by the committed experiment
+// outputs: modest sizes so the full suite runs in minutes.
+func DefaultSweep() SweepSpec {
+	return SweepSpec{Sizes: []int{16, 24, 32, 48}, Seeds: 3, Sched: harness.SchedSync}
+}
+
+// E1DegreeQuality checks Theorem 2 across families: the stabilized degree
+// versus the exact or bracketed Δ*, with the Δ*+1 bound verdict.
+func E1DegreeQuality(sweep SweepSpec, families []graph.Family) *Table {
+	t := &Table{
+		Title:   "E1: degree quality — deg(T) vs Δ*+1 (Theorem 2)",
+		Columns: []string{"family", "n", "m", "deg(T)", "deltaStar", "bound", "withinBound"},
+		Notes: []string{
+			"deltaStar is exact (branch-and-bound) when n <= 20, otherwise bracketed by [FR-1, FR]",
+			"withinBound asserts deg(T) <= deltaStar+1 (paper Theorem 2)",
+		},
+	}
+	for _, fam := range families {
+		for _, n := range sweep.Sizes {
+			for s := 0; s < sweep.Seeds; s++ {
+				seed := int64(n*1000 + s)
+				rng := rand.New(rand.NewSource(seed))
+				g := fam.Build(n, rng)
+				res := harness.Run(harness.RunSpec{
+					Graph: g, Scheduler: sweep.Sched,
+					Start: harness.StartCorrupt, Seed: seed,
+				})
+				if res.Tree == nil {
+					t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(g.M()),
+						"FAIL", "-", "-", "false"})
+					continue
+				}
+				deg := res.Tree.MaxDegree()
+				star, exact := deltaStar(g)
+				bound := star + 1
+				within := deg <= bound
+				label := itoa(star)
+				if !exact {
+					label = fmt.Sprintf("[%d..%d]", star, starUpper(g))
+					bound = starUpper(g) + 1
+					within = deg <= bound
+				}
+				t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(g.M()),
+					itoa(deg), label, itoa(bound), btos(within)})
+			}
+		}
+	}
+	return t
+}
+
+// deltaStar returns the exact Δ* for small graphs, else the FR-derived
+// lower end of the bracket (Δ* >= deg(T_FR)-1).
+func deltaStar(g *graph.Graph) (int, bool) {
+	if g.N() <= 20 {
+		if star, ok := mdstseq.ExactDelta(g, 2_000_000); ok {
+			return star, true
+		}
+	}
+	return starUpper(g) - 1, false
+}
+
+// starUpper returns deg of the FR tree, an upper bound on Δ*+1's base.
+func starUpper(g *graph.Graph) int {
+	return mdstseq.Approximate(g).MaxDegree()
+}
+
+// E2Convergence measures rounds-to-stabilization against the paper's
+// O(m n^2 log n) bound.
+func E2Convergence(sweep SweepSpec, families []graph.Family) *Table {
+	t := &Table{
+		Title:   "E2: convergence rounds vs O(m n^2 log n) (Lemma 5)",
+		Columns: []string{"family", "n", "m", "rounds", "m*n^2*log2(n)", "ratio(x1e6)"},
+		Notes: []string{
+			"rounds = last state change under the synchronous scheduler, worst of seeds",
+			"ratio should stay bounded (and in practice tiny) as n grows",
+		},
+	}
+	for _, fam := range families {
+		for _, n := range sweep.Sizes {
+			worst := 0
+			var g *graph.Graph
+			for s := 0; s < sweep.Seeds; s++ {
+				seed := int64(n*2000 + s)
+				rng := rand.New(rand.NewSource(seed))
+				g = fam.Build(n, rng)
+				res := harness.Run(harness.RunSpec{
+					Graph: g, Scheduler: sweep.Sched,
+					Start: harness.StartCorrupt, Seed: seed,
+				})
+				if res.LastChange > worst {
+					worst = res.LastChange
+				}
+			}
+			bound := float64(g.M()) * float64(g.N()) * float64(g.N()) * log2ceil(g.N())
+			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(g.M()),
+				itoa(worst), fmt.Sprintf("%.0f", bound), ftoa(float64(worst) / bound * 1e6)})
+		}
+	}
+	return t
+}
+
+// E3Memory compares measured per-node state with the paper's O(δ log n).
+func E3Memory(sweep SweepSpec, families []graph.Family) *Table {
+	t := &Table{
+		Title:   "E3: memory — max state bits per node vs δ·ceil(log2 n) (Lemma 5)",
+		Columns: []string{"family", "n", "delta", "stateBits", "delta*log2n", "ratio"},
+		Notes:   []string{"ratio = stateBits / (delta*ceil(log2 n)); O(δ log n) means bounded ratio"},
+	}
+	for _, fam := range families {
+		for _, n := range sweep.Sizes {
+			seed := int64(n*3000 + 1)
+			rng := rand.New(rand.NewSource(seed))
+			g := fam.Build(n, rng)
+			res := harness.Run(harness.RunSpec{
+				Graph: g, Scheduler: sweep.Sched,
+				Start: harness.StartCorrupt, Seed: seed,
+			})
+			delta := g.MaxDegree()
+			ref := float64(delta) * log2ceil(g.N())
+			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(delta),
+				itoa(res.MaxStateBits), fmt.Sprintf("%.0f", ref),
+				ftoa(float64(res.MaxStateBits) / ref)})
+		}
+	}
+	return t
+}
+
+// E4MessageLength compares the largest message with the paper's
+// O(n log n) buffer claim.
+func E4MessageLength(sweep SweepSpec, families []graph.Family) *Table {
+	t := &Table{
+		Title:   "E4: message length — max words vs n (buffer bound O(n log n))",
+		Columns: []string{"family", "n", "maxWords", "kind", "words/n"},
+		Notes:   []string{"one word = O(log n) bits; the paper's bound is O(n) words per message"},
+	}
+	for _, fam := range families {
+		for _, n := range sweep.Sizes {
+			seed := int64(n*4000 + 1)
+			rng := rand.New(rand.NewSource(seed))
+			g := fam.Build(n, rng)
+			res := harness.Run(harness.RunSpec{
+				Graph: g, Scheduler: sweep.Sched,
+				Start: harness.StartCorrupt, Seed: seed,
+			})
+			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()),
+				itoa(res.Metrics.MaxMsgSize), res.Metrics.MaxMsgSizeKind,
+				ftoa(float64(res.Metrics.MaxMsgSize) / float64(g.N()))})
+		}
+	}
+	return t
+}
+
+// E5FaultRecovery measures re-stabilization time after corrupting k nodes
+// of a legitimate configuration (Definition 1's convergence).
+func E5FaultRecovery(n int, seeds int, sched harness.SchedulerKind) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("E5: fault recovery on geometric n=%d — rounds to re-stabilize vs faults", n),
+		Columns: []string{"faults", "rounds(avg)", "rounds(max)", "legitimate"},
+		Notes:   []string{"faults = nodes with fully randomized state injected into a legitimate configuration"},
+	}
+	fam := graph.MustFamily("geometric")
+	fracs := []float64{0, 0.05, 0.1, 0.25, 0.5, 1.0}
+	for _, f := range fracs {
+		k := int(math.Round(f * float64(n)))
+		sum, worst := 0, 0
+		allLegit := true
+		for s := 0; s < seeds; s++ {
+			seed := int64(n*5000 + s)
+			rng := rand.New(rand.NewSource(seed))
+			g := fam.Build(n, rng)
+			res := harness.Run(harness.RunSpec{
+				Graph: g, Scheduler: sched,
+				Start: harness.StartLegitimate, CorruptNodes: k, Seed: seed,
+			})
+			sum += res.LastChange
+			if res.LastChange > worst {
+				worst = res.LastChange
+			}
+			if !res.Legit.OK() {
+				allLegit = false
+			}
+		}
+		t.Rows = append(t.Rows, []string{itoa(k), ftoa(float64(sum) / float64(seeds)),
+			itoa(worst), btos(allLegit)})
+	}
+	return t
+}
+
+// E6Baselines compares the stabilized distributed tree against an
+// arbitrary BFS tree, a random spanning tree, the centralized FR tree and
+// (small n) the exact optimum.
+func E6Baselines(sweep SweepSpec, families []graph.Family) *Table {
+	t := &Table{
+		Title:   "E6: baselines — tree degree by construction method",
+		Columns: []string{"family", "n", "bfs", "random", "worstBFS", "FR", "selfstab", "deltaStar"},
+		Notes: []string{
+			"bfs/random/worstBFS are non-optimized spanning trees; FR is the centralized Δ*+1 algorithm",
+			"selfstab is this paper's protocol, stabilized from a corrupted state",
+		},
+	}
+	for _, fam := range families {
+		for _, n := range sweep.Sizes {
+			seed := int64(n*6000 + 1)
+			rng := rand.New(rand.NewSource(seed))
+			g := fam.Build(n, rng)
+			bfs := spanning.BFSTree(g, 0).MaxDegree()
+			random := spanning.RandomTree(g, 0, rng).MaxDegree()
+			worst := spanning.WorstDegreeTree(g, 0).MaxDegree()
+			fr := mdstseq.Approximate(g).MaxDegree()
+			res := harness.Run(harness.RunSpec{
+				Graph: g, Scheduler: sweep.Sched,
+				Start: harness.StartCorrupt, Seed: seed,
+			})
+			ss := -1
+			if res.Tree != nil {
+				ss = res.Tree.MaxDegree()
+			}
+			star, exact := deltaStar(g)
+			label := itoa(star)
+			if !exact {
+				label = fmt.Sprintf(">=%d", star)
+			}
+			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(bfs),
+				itoa(random), itoa(worst), itoa(fr), itoa(ss), label})
+		}
+	}
+	return t
+}
+
+// AblationSpec is one configuration variant for E7.
+type AblationSpec struct {
+	Name  string
+	Sched harness.SchedulerKind
+	Mut   func(*core.Config)
+}
+
+// Ablations returns the standard ablation set of DESIGN.md.
+func Ablations() []AblationSpec {
+	return []AblationSpec{
+		{"default(sync,patch)", harness.SchedSync, func(c *core.Config) {}},
+		{"repair=reset", harness.SchedSync, func(c *core.Config) { c.Repair = core.RepairReset }},
+		{"sched=async", harness.SchedAsync, func(c *core.Config) {}},
+		{"sched=adversarial", harness.SchedAdversarial, func(c *core.Config) {}},
+		{"deblockTTL=1", harness.SchedSync, func(c *core.Config) { c.DeblockTTL = 1 }},
+		{"noTieBreak", harness.SchedSync, func(c *core.Config) { c.DeblockTieBreak = false }},
+		{"searchPeriod=4", harness.SchedSync, func(c *core.Config) { c.SearchPeriod = 4 }},
+		{"searchPeriod=64", harness.SchedSync, func(c *core.Config) { c.SearchPeriod = 64 }},
+	}
+}
+
+// E7Ablations measures rounds, messages and final degree for each policy
+// variant on a fixed workload.
+func E7Ablations(n int, seeds int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("E7: ablations on gnp n=%d — policy vs cost and quality", n),
+		Columns: []string{"variant", "rounds(avg)", "messages(avg)", "deg(T)", "legitimate"},
+	}
+	fam := graph.MustFamily("gnp")
+	for _, ab := range Ablations() {
+		sumRounds, sumMsgs := 0.0, 0.0
+		worstDeg := 0
+		allLegit := true
+		for s := 0; s < seeds; s++ {
+			seed := int64(n*7000 + s)
+			rng := rand.New(rand.NewSource(seed))
+			g := fam.Build(n, rng)
+			cfg := core.DefaultConfig(g.N())
+			ab.Mut(&cfg)
+			res := harness.Run(harness.RunSpec{
+				Graph: g, Config: cfg, Scheduler: ab.Sched,
+				Start: harness.StartCorrupt, Seed: seed,
+			})
+			sumRounds += float64(res.LastChange)
+			sumMsgs += float64(res.TotalMessages)
+			if res.Tree != nil && res.Tree.MaxDegree() > worstDeg {
+				worstDeg = res.Tree.MaxDegree()
+			}
+			if !res.Legit.OK() {
+				allLegit = false
+			}
+		}
+		t.Rows = append(t.Rows, []string{ab.Name,
+			ftoa(sumRounds / float64(seeds)),
+			fmt.Sprintf("%.0f", sumMsgs/float64(seeds)),
+			itoa(worstDeg), btos(allLegit)})
+	}
+	return t
+}
+
+// SortRows orders rows lexicographically (stable output for goldens).
+func (t *Table) SortRows() {
+	sort.Slice(t.Rows, func(i, j int) bool {
+		for c := range t.Rows[i] {
+			if t.Rows[i][c] != t.Rows[j][c] {
+				return t.Rows[i][c] < t.Rows[j][c]
+			}
+		}
+		return false
+	})
+}
+
+// All runs the full experiment suite with the default sweep and returns
+// the tables in order. families defaults to graph.Families().
+func All(sweep SweepSpec, families []graph.Family) []*Table {
+	if families == nil {
+		families = graph.Families()
+	}
+	return []*Table{
+		E1DegreeQuality(sweep, families),
+		E2Convergence(sweep, families),
+		E3Memory(sweep, families),
+		E4MessageLength(sweep, families),
+		E5FaultRecovery(32, sweep.Seeds, sweep.Sched),
+		E6Baselines(sweep, families),
+		E7Ablations(24, sweep.Seeds),
+		E8TargetedFaults("gnp", 32, sweep.Seeds, sweep.Sched),
+		E9LossyLinks("gnp", 24, sweep.Seeds),
+		E10Churn("gnp", 24, sweep.Seeds, sweep.Sched),
+		E11Choreography([]int{16, 24}, sweep.Seeds, sweep.Sched),
+	}
+}
+
+var _ = i64toa // reserved for future columns

@@ -1,0 +1,67 @@
+package benchtab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdst/internal/graph"
+	"mdst/internal/harness"
+)
+
+// E11Choreography compares the two protocol implementations — the
+// primary S3 ordered-chain exchange (internal/core) and the literal
+// Remove/Back/Reverse choreography of the paper's Figures 1-2
+// (internal/paperproto) — on identical workloads, seeds and schedulers.
+//
+// The expectation (DESIGN.md S3, paperproto package comment): both
+// converge to legitimate configurations within the Theorem 2 bound; the
+// literal variant transiently breaks the spanning tree mid-exchange
+// (brokenRounds > 0 is legal for it, never for core) and pays extra
+// repair churn, which this table quantifies.
+func E11Choreography(sizes []int, seeds int, sched harness.SchedulerKind) *Table {
+	t := &Table{
+		Title: "E11: exchange choreography ablation — S3 chain (core) vs literal Remove/Back (paper Figs. 1-2)",
+		Columns: []string{"variant", "n", "rounds(avg)", "messages(avg)",
+			"exchanges", "aborts", "brokenRounds", "deg(T)", "legitimate"},
+		Notes: []string{
+			"identical graphs/seeds per cell; brokenRounds counts rounds without a valid spanning tree after the first valid one",
+			"core's exchange keeps the tree valid at every atomic step; its brokenRounds are late formation churn only,",
+			"while the literal choreography also breaks the tree mid-exchange (see the closure tests for the isolated comparison)",
+		},
+	}
+	fam := graph.MustFamily("gnp")
+	for _, variant := range []harness.Variant{harness.VariantCore, harness.VariantLiteral} {
+		for _, n := range sizes {
+			sumRounds, sumMsgs := 0.0, 0.0
+			exch, aborts, brokenSum := 0, 0, 0
+			worstDeg := 0
+			allLegit := true
+			for s := 0; s < seeds; s++ {
+				seed := int64(n*11000 + s)
+				rng := rand.New(rand.NewSource(seed))
+				g := fam.Build(n, rng)
+				res := harness.Run(harness.RunSpec{
+					Graph: g, Variant: variant, Scheduler: sched,
+					Start: harness.StartCorrupt, Seed: seed, TrackSafety: true,
+				})
+				sumRounds += float64(res.LastChange)
+				sumMsgs += float64(res.TotalMessages)
+				exch += res.Exchanges
+				aborts += res.Aborts
+				brokenSum += res.BrokenRounds
+				if res.Tree != nil && res.Tree.MaxDegree() > worstDeg {
+					worstDeg = res.Tree.MaxDegree()
+				}
+				if !res.Legit.OK() {
+					allLegit = false
+				}
+			}
+			t.Rows = append(t.Rows, []string{string(variant), itoa(n),
+				ftoa(sumRounds / float64(seeds)),
+				fmt.Sprintf("%.0f", sumMsgs/float64(seeds)),
+				itoa(exch), itoa(aborts), itoa(brokenSum),
+				itoa(worstDeg), btos(allLegit)})
+		}
+	}
+	return t
+}

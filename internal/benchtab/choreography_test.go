@@ -1,0 +1,34 @@
+package benchtab
+
+import (
+	"strings"
+	"testing"
+
+	"mdst/internal/harness"
+)
+
+func TestE11ChoreographyTable(t *testing.T) {
+	tab := E11Choreography([]int{12}, 2, harness.SchedSync)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one per variant)", len(tab.Rows))
+	}
+	var coreRow, litRow []string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case string(harness.VariantCore):
+			coreRow = row
+		case string(harness.VariantLiteral):
+			litRow = row
+		}
+	}
+	if coreRow == nil || litRow == nil {
+		t.Fatalf("missing variant rows: %v", tab.Rows)
+	}
+	// Both implementations must reach legitimacy.
+	if coreRow[len(coreRow)-1] != "true" || litRow[len(litRow)-1] != "true" {
+		t.Fatalf("legitimacy failed: core=%v literal=%v", coreRow, litRow)
+	}
+	if !strings.Contains(tab.Render(), "E11") {
+		t.Fatal("render misses the title")
+	}
+}

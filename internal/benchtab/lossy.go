@@ -1,0 +1,78 @@
+package benchtab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/harness"
+	"mdst/internal/sim"
+)
+
+// E9 (extension beyond the paper): lossy links. The paper assumes
+// reliable FIFO channels; this experiment drops each delivery with a
+// fixed probability. The tree machinery is naturally loss-tolerant
+// (InfoMsg is periodic, a lost Reverse hop aborts a chain into a valid
+// tree), so the spanning tree always forms; the OPTIMIZATION however
+// relies on Search tokens surviving up to 2n consecutive hops, whose
+// probability decays as (1-p)^{2n} — at high loss the tree is valid but
+// can stall short of the Fürer–Raghavachari fixed point. The table
+// separates the two: treeOK (safety) versus fixedPoint (optimality).
+
+// E9LossyLinks sweeps drop rates on one family.
+func E9LossyLinks(famName string, n, seeds int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("E9: lossy links on %s n=%d — rounds vs drop rate (extension)", famName, n),
+		Columns: []string{"dropRate", "rounds(avg)", "rounds(max)", "dropped(avg)", "treeOK", "fixedPoint"},
+		Notes: []string{
+			"the paper's model assumes reliable links; with loss the tree still forms (safety)",
+			"but Search tokens die with prob 1-(1-p)^{2n}, so optimality can stall at high loss",
+		},
+	}
+	fam := graph.MustFamily(famName)
+	for _, rate := range []float64{0, 0.01, 0.05, 0.1, 0.25} {
+		sum, worst := 0, 0
+		var droppedSum int64
+		allTree, allFixed := true, true
+		for s := 0; s < seeds; s++ {
+			seed := int64(n*13000 + s)
+			rng := rand.New(rand.NewSource(seed))
+			g := fam.Build(n, rng)
+			cfg := core.DefaultConfig(g.N())
+			net := core.BuildNetwork(g, cfg, seed)
+			net.SetDropRate(rate)
+			nodes := core.NodesOf(net)
+			for _, nd := range nodes {
+				nd.Corrupt(rng, g.N())
+			}
+			res := net.Run(sim.RunConfig{
+				Scheduler:     harness.NewScheduler(harness.SchedSync),
+				MaxRounds:     400*g.N() + 40000,
+				QuiesceRounds: 2*g.N() + 40,
+				ActiveKinds:   core.ReductionKinds(),
+			})
+			sum += res.LastChangeRound
+			if res.LastChangeRound > worst {
+				worst = res.LastChangeRound
+			}
+			droppedSum += net.Dropped()
+			leg := core.CheckLegitimacy(g, nodes)
+			if !leg.TreeValid || !leg.RootIsMin {
+				allTree = false
+			}
+			if !leg.FixedPoint {
+				allFixed = false
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", rate),
+			ftoa(float64(sum) / float64(seeds)),
+			itoa(worst),
+			fmt.Sprintf("%.0f", float64(droppedSum)/float64(seeds)),
+			btos(allTree),
+			btos(allFixed),
+		})
+	}
+	return t
+}

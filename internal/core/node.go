@@ -1,0 +1,394 @@
+// Package core implements the paper's contribution: the self-stabilizing
+// minimum-degree spanning tree protocol of Blin, Gradinariu
+// Potop-Butucaru and Rovedakis (IPDPS 2009). Each Node is a sim.Process
+// composed of four modules executed in the paper's priority order
+// (§3.2): the spanning-tree module (rules R1/R2), the maximum-degree
+// module (continuous PIF piggybacked on InfoMsg), the fundamental-cycle
+// detection module (Search DFS tokens) and the degree-reduction module
+// (Action_on_Cycle / Improve / Deblock with the Remove/Back/Reverse edge
+// exchange and UpdateDist repair).
+//
+// Starting from an arbitrary configuration the network converges to a
+// single spanning tree rooted at the minimum ID whose degree is at most
+// Δ*+1 (Theorem 2); see snapshot.go for the legitimacy predicate used by
+// tests and experiments.
+package core
+
+import (
+	"math/rand"
+
+	"mdst/internal/sim"
+)
+
+// RepairPolicy selects how the tree module reacts to a distance
+// incoherence (ablation A-repair in DESIGN.md).
+type RepairPolicy int
+
+const (
+	// RepairReset is the paper's rule R2 verbatim: any local incoherence
+	// creates a fresh root.
+	RepairReset RepairPolicy = iota
+	// RepairPatch keeps the parent when only the distance disagrees and
+	// re-derives it from the parent's distance, falling back to a reset
+	// when the distance bound is exceeded. This reduces churn after edge
+	// reversals.
+	RepairPatch
+)
+
+// Config tunes a Node. The zero value is NOT usable; call DefaultConfig.
+type Config struct {
+	// Repair selects the R2 variant.
+	Repair RepairPolicy
+	// MaxDist bounds legal tree distances (any bound >= n works; the
+	// standard assumption that nodes know an upper bound N on the network
+	// size). It cuts the count-to-infinity livelock of fake root values.
+	MaxDist int
+	// SearchPeriod is the number of ticks between successive cycle
+	// searches for the same non-tree edge.
+	SearchPeriod int
+	// DeblockTTL bounds the recursion depth of blocking-node reduction.
+	DeblockTTL int
+	// DeblockTieBreak enables the ID tie-break for equal-potential
+	// deblock exchanges (DESIGN.md substitution S4).
+	DeblockTieBreak bool
+	// DisableReduction turns off modules 3-4, leaving only the
+	// self-stabilizing BFS tree (baseline mode for E6).
+	DisableReduction bool
+	// WordBits is the width of one variable in bits, used only by the
+	// StateBits metric (harness sets ceil(log2 n)+1).
+	WordBits int
+}
+
+// DefaultConfig returns the configuration used by the experiments for a
+// network of n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Repair:          RepairPatch,
+		MaxDist:         2*n + 4,
+		SearchPeriod:    16,
+		DeblockTTL:      8,
+		DeblockTieBreak: true,
+		WordBits:        bitsFor(2*n + 4),
+	}
+}
+
+// bitsFor returns ceil(log2(x+1)), the width needed to store values in
+// [0, x].
+func bitsFor(x int) int {
+	b := 0
+	for v := x; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// View is a node's local copy of one neighbor's variables (the
+// send/receive atomicity model): refreshed only by InfoMsg, possibly
+// stale, initially arbitrary.
+type View struct {
+	Root     int
+	Parent   int
+	Distance int
+	Dmax     int
+	Submax   int
+	Deg      int
+	Color    bool
+}
+
+// Node is one protocol participant.
+type Node struct {
+	id   int
+	cfg  Config
+	nbrs []int
+
+	// The paper's per-node variables (§3.1).
+	root     int
+	parent   int
+	distance int
+	dmax     int
+	submax   int
+	color    bool
+
+	// Local copies of neighbor variables.
+	view map[int]*View
+
+	// Implementation bookkeeping (transient; not protocol state).
+	tick        int
+	nextSearch  map[int]int // per non-tree neighbor: earliest tick to search
+	lastDeblock map[int]int // per blocker: last tick we broadcast it
+
+	stats Stats
+}
+
+// Stats counts protocol events at this node (observability only; not
+// part of the protocol state or the memory-complexity accounting).
+type Stats struct {
+	SearchesLaunched  int // DFS tokens this node initiated
+	CyclesClassified  int // actionOnCycle invocations at this node
+	ExchangesApplied  int // reversal hops applied (first/middle/final)
+	ExchangesComplete int // final hops: one per completed edge exchange
+	ChainsAborted     int // reversal hops dropped by a staleness check
+	DeblocksTriggered int // Deblock floods this node started or forwarded
+}
+
+// NewNode creates a node in a clean initial state (its own root). Use
+// Corrupt or SetState to start from an arbitrary configuration.
+func NewNode(id int, neighbors []int, cfg Config) *Node {
+	n := &Node{
+		id:          id,
+		cfg:         cfg,
+		nbrs:        append([]int(nil), neighbors...),
+		root:        id,
+		parent:      id,
+		distance:    0,
+		view:        make(map[int]*View, len(neighbors)),
+		nextSearch:  make(map[int]int),
+		lastDeblock: make(map[int]int),
+	}
+	for _, u := range neighbors {
+		n.view[u] = &View{Root: u, Parent: u}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the node (state, views and bookkeeping),
+// used by the exhaustive model checker to branch executions.
+func (n *Node) Clone() *Node {
+	c := *n
+	c.view = make(map[int]*View, len(n.view))
+	for u, v := range n.view {
+		vv := *v
+		c.view[u] = &vv
+	}
+	c.nextSearch = make(map[int]int, len(n.nextSearch))
+	for k, v := range n.nextSearch {
+		c.nextSearch[k] = v
+	}
+	c.lastDeblock = make(map[int]int, len(n.lastDeblock))
+	for k, v := range n.lastDeblock {
+		c.lastDeblock[k] = v
+	}
+	return &c
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Root returns the locally known root of the spanning tree.
+func (n *Node) Root() int { return n.root }
+
+// Parent returns the node's parent pointer (itself when it is a root).
+func (n *Node) Parent() int { return n.parent }
+
+// Distance returns the node's distance-to-root variable.
+func (n *Node) Distance() int { return n.distance }
+
+// Dmax returns the node's estimate of deg(T).
+func (n *Node) Dmax() int { return n.dmax }
+
+// Submax returns the subtree-maximum feedback value (the PIF fold).
+func (n *Node) Submax() int { return n.submax }
+
+// Color returns the freeze-wave color bit.
+func (n *Node) Color() bool { return n.color }
+
+// Deg returns the node's degree in the current tree, derived from its own
+// parent pointer and its neighbors' (locally copied) parent pointers —
+// the paper's edge_status.
+func (n *Node) Deg() int {
+	d := 0
+	for _, u := range n.nbrs {
+		if n.isTreeEdge(u) {
+			d++
+		}
+	}
+	return d
+}
+
+// isTreeEdge is the paper's is_tree_edge(v,u) evaluated on v's local
+// copies: parent_v = u or parent_u = v.
+func (n *Node) isTreeEdge(u int) bool {
+	if n.parent == u && n.id != n.root {
+		return true
+	}
+	if v, ok := n.view[u]; ok && v.Parent == n.id {
+		return true
+	}
+	return false
+}
+
+// SetState overwrites the protocol variables (test/fault injection).
+func (n *Node) SetState(root, parent, distance, dmax, submax int, color bool) {
+	n.root, n.parent, n.distance = root, parent, distance
+	n.dmax, n.submax, n.color = dmax, submax, color
+}
+
+// SetView overwrites the local copy of neighbor u (test/fault injection).
+func (n *Node) SetView(u int, v View) {
+	if _, ok := n.view[u]; !ok {
+		panic("core: SetView for non-neighbor")
+	}
+	*n.view[u] = v
+}
+
+// NodeStats returns the node's protocol event counters.
+func (n *Node) NodeStats() Stats { return n.stats }
+
+// ViewOf returns a copy of the local view of neighbor u; ok is false for
+// non-neighbors. Used by the harness to carry state across topology
+// changes (the super-stabilization experiments).
+func (n *Node) ViewOf(u int) (View, bool) {
+	v, ok := n.view[u]
+	if !ok {
+		return View{}, false
+	}
+	return *v, true
+}
+
+// Corrupt randomizes every protocol variable and neighbor copy — the
+// arbitrary initial configuration of Definition 1. idSpace is the
+// exclusive upper bound for forged IDs/roots (use n).
+func (n *Node) Corrupt(rng *rand.Rand, idSpace int) {
+	pick := func() int {
+		// Parent candidates: self or any neighbor (coherent domain), or a
+		// completely bogus value with small probability.
+		if rng.Float64() < 0.2 {
+			return rng.Intn(idSpace)
+		}
+		if len(n.nbrs) == 0 || rng.Float64() < 0.3 {
+			return n.id
+		}
+		return n.nbrs[rng.Intn(len(n.nbrs))]
+	}
+	n.root = rng.Intn(idSpace)
+	n.parent = pick()
+	n.distance = rng.Intn(n.cfg.MaxDist + 2)
+	n.dmax = rng.Intn(idSpace + 2)
+	n.submax = rng.Intn(idSpace + 2)
+	n.color = rng.Intn(2) == 0
+	for _, u := range n.nbrs {
+		n.view[u] = &View{
+			Root:     rng.Intn(idSpace),
+			Parent:   rng.Intn(idSpace),
+			Distance: rng.Intn(n.cfg.MaxDist + 2),
+			Dmax:     rng.Intn(idSpace + 2),
+			Submax:   rng.Intn(idSpace + 2),
+			Deg:      rng.Intn(idSpace + 1),
+			Color:    rng.Intn(2) == 0,
+		}
+	}
+}
+
+// Init implements sim.Process. Deliberately empty: self-stabilization
+// must work from whatever state the node carries.
+func (n *Node) Init(ctx *sim.Context) {}
+
+// Tick implements sim.Process: one iteration of the paper's "do forever"
+// loop — run the modules in priority order, then gossip.
+func (n *Node) Tick(ctx *sim.Context) {
+	n.tick++
+	n.runTreeModule()
+	n.runDegreeModule()
+	if !n.cfg.DisableReduction {
+		n.maybeStartSearches(ctx)
+	}
+	n.sendInfo(ctx)
+}
+
+// Receive implements sim.Process.
+func (n *Node) Receive(ctx *sim.Context, from sim.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case InfoMsg:
+		n.handleInfo(from, msg)
+	case SearchMsg:
+		if !n.cfg.DisableReduction {
+			n.handleSearch(ctx, from, msg)
+		}
+	case ReverseMsg:
+		if !n.cfg.DisableReduction {
+			n.handleReverse(ctx, from, msg)
+		}
+	case DeblockMsg:
+		if !n.cfg.DisableReduction {
+			n.handleDeblock(ctx, from, msg)
+		}
+	case UpdateDistMsg:
+		n.handleUpdateDist(ctx, from, msg)
+	}
+}
+
+// sendInfo gossips the current variables to every neighbor.
+func (n *Node) sendInfo(ctx *sim.Context) {
+	msg := InfoMsg{
+		Root:     n.root,
+		Parent:   n.parent,
+		Distance: n.distance,
+		Dmax:     n.dmax,
+		Submax:   n.submax,
+		Deg:      n.Deg(),
+		Color:    n.color,
+	}
+	for _, u := range n.nbrs {
+		ctx.Send(u, msg)
+	}
+}
+
+// handleInfo is the paper's Update_State: refresh the local copy, then
+// re-run the correction rules.
+func (n *Node) handleInfo(from int, m InfoMsg) {
+	v, ok := n.view[from]
+	if !ok {
+		return
+	}
+	v.Root, v.Parent, v.Distance = m.Root, m.Parent, m.Distance
+	v.Dmax, v.Submax, v.Deg, v.Color = m.Dmax, m.Submax, m.Deg, m.Color
+	n.runTreeModule()
+}
+
+// Fingerprint implements sim.Fingerprinter over the protocol variables
+// and neighbor copies (message traffic excluded), so quiescence means
+// both the tree and all views have stopped changing.
+func (n *Node) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	mix(uint64(n.root))
+	mix(uint64(n.parent))
+	mix(uint64(n.distance))
+	mix(uint64(n.dmax))
+	mix(uint64(n.submax))
+	if n.color {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	for _, u := range n.nbrs {
+		v := n.view[u]
+		mix(uint64(v.Root))
+		mix(uint64(v.Parent))
+		mix(uint64(v.Distance))
+		mix(uint64(v.Dmax))
+		mix(uint64(v.Submax))
+		mix(uint64(v.Deg))
+		if v.Color {
+			mix(3)
+		} else {
+			mix(4)
+		}
+	}
+	return h
+}
+
+// StateBits implements sim.StateSizer: the paper's O(δ log n) memory —
+// six own variables plus a seven-word copy per neighbor, WordBits each
+// (the color bit counted as one word for simplicity).
+func (n *Node) StateBits() int {
+	words := 6 + 7*len(n.nbrs)
+	return words * n.cfg.WordBits
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+)
+
+// Fundamental-cycle detection module (paper §3.2.2, Fig. 3). For every
+// non-tree edge {v,u} with ID v < ID u, v periodically launches a Search
+// token that performs a DFS over tree edges; the token's Path is the DFS
+// stack, so when it first reaches u the stack is exactly the tree path
+// from v to u — the fundamental cycle of {v,u}. No per-search state is
+// stored at nodes: each stack entry carries a cursor marking the last
+// tree neighbor tried, and backtracking resumes from it.
+
+// maybeStartSearches launches due searches from this node: plain searches
+// (Block = -1) for non-tree edges toward higher IDs, guarded by the
+// paper's locally_stabilized predicate and paced by SearchPeriod.
+func (n *Node) maybeStartSearches(ctx *sim.Context) {
+	if !n.locallyStabilized() {
+		return
+	}
+	// No reduction is ever possible below degree 3 (a degree-2 tree is a
+	// Hamiltonian path, the global optimum).
+	if n.dmax <= 2 {
+		return
+	}
+	for _, u := range n.nbrs {
+		if n.isTreeEdge(u) || n.id > u {
+			continue
+		}
+		if n.tick < n.nextSearch[u] {
+			continue
+		}
+		n.nextSearch[u] = n.tick + n.cfg.SearchPeriod + n.searchJitter(u)
+		n.startSearch(ctx, u, -1, 0)
+	}
+}
+
+// searchJitter desynchronizes retries of different initiators: two
+// concurrent exchanges whose first hops compose into a parent cycle are
+// individually legal (the conflict is not locally detectable), and with
+// a common retry period the same pair can re-collide after every repair
+// — a resonance that keeps the tree broken for over half of all rounds
+// on some instances. A deterministic hash of (id, edge, tick) shifts
+// each retry phase differently per node while keeping executions fully
+// reproducible.
+func (n *Node) searchJitter(u int) int {
+	span := n.cfg.SearchPeriod / 2
+	if span < 2 {
+		return 0
+	}
+	h := uint64(n.id)*0x9e3779b97f4a7c15 ^ uint64(u)*0xc2b2ae3d27d4eb4f ^ uint64(n.tick)*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return int(h % uint64(span))
+}
+
+// startSearch launches one DFS token seeking `target` (the other
+// endpoint of the non-tree edge {n.id, target}). block/ttl carry deblock
+// context (-1/0 for plain searches).
+func (n *Node) startSearch(ctx *sim.Context, target, block, ttl int) {
+	first := n.firstTreeNeighbor(-1, -1, nil)
+	if first < 0 {
+		return // isolated in the tree: nothing to traverse
+	}
+	n.stats.SearchesLaunched++
+	msg := SearchMsg{
+		Init:  graph.Edge{U: n.id, V: target},
+		Block: block,
+		TTL:   ttl,
+		Path:  []PathEntry{{Node: n.id, Deg: n.Deg(), Parent: n.parent, Cursor: first}},
+	}
+	ctx.Send(first, msg)
+}
+
+// firstTreeNeighbor returns the smallest tree neighbor with ID > after,
+// excluding `exclude` and any node already on the path; -1 if none.
+func (n *Node) firstTreeNeighbor(after, exclude int, path []PathEntry) int {
+	for _, u := range n.nbrs {
+		if u <= after || u == exclude || !n.isTreeEdge(u) {
+			continue
+		}
+		onPath := false
+		for i := range path {
+			if path[i].Node == u {
+				onPath = true
+				break
+			}
+		}
+		if !onPath {
+			return u
+		}
+	}
+	return -1
+}
+
+// handleSearch advances a DFS token through this node.
+func (n *Node) handleSearch(ctx *sim.Context, from int, msg SearchMsg) {
+	// The paper freezes the reduction modules until the neighborhood is
+	// locally stabilized; tokens are simply dropped (searches repeat).
+	if !n.locallyStabilized() {
+		return
+	}
+	if len(msg.Path) == 0 {
+		return
+	}
+	// Terminus: the token reached the sought endpoint of the init edge.
+	if n.id == msg.Init.V {
+		if from != msg.Path[len(msg.Path)-1].Node || !n.isTreeEdge(from) {
+			return // stale token: the final hop is no longer a tree edge
+		}
+		if n.isTreeEdge(msg.Init.U) {
+			return // init edge joined the tree meanwhile: no cycle
+		}
+		n.actionOnCycle(ctx, msg)
+		return
+	}
+	top := len(msg.Path) - 1
+	if msg.Path[top].Node == n.id {
+		// Backtrack arrival: resume scanning from the stored cursor.
+		if n.parent != msg.Path[top].Parent {
+			return // this node re-parented since the token passed: drop
+		}
+	} else {
+		// Descent arrival over a tree edge: push our entry.
+		if !n.isTreeEdge(from) || msg.Path[top].Node != from {
+			return
+		}
+		msg.Path = append(msg.Path, PathEntry{Node: n.id, Deg: n.Deg(), Parent: n.parent, Cursor: -1})
+		top++
+	}
+	prev := -1
+	if top > 0 {
+		prev = msg.Path[top-1].Node
+	}
+	next := n.firstTreeNeighbor(msg.Path[top].Cursor, prev, msg.Path[:top])
+	if next >= 0 {
+		msg.Path[top].Cursor = next
+		ctx.Send(next, msg)
+		return
+	}
+	// Subtree exhausted: backtrack.
+	msg.Path = msg.Path[:top]
+	if len(msg.Path) == 0 {
+		return // initiator exhausted every branch without finding the
+		// endpoint (the tree changed underneath): the search dies and a
+		// later periodic search retries
+	}
+	if prev >= 0 && n.isTreeEdge(prev) {
+		ctx.Send(prev, msg)
+	}
+}

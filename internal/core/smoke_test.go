@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+)
+
+func runOnce(t *testing.T, name string, g *graph.Graph, cfg Config, seed int64, sched sim.Scheduler, corrupt bool) {
+	t.Helper()
+	net := BuildNetwork(g, cfg, seed)
+	if corrupt {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for _, nd := range NodesOf(net) {
+			nd.Corrupt(rng, g.N())
+		}
+	}
+	res := net.Run(sim.RunConfig{
+		Scheduler:     sched,
+		MaxRounds:     20000,
+		QuiesceRounds: 2*g.N() + 40,
+		ActiveKinds:   ReductionKinds(),
+	})
+	leg := CheckLegitimacy(g, NodesOf(net))
+	fmt.Printf("%s: converged=%v rounds=%d lastChange=%d deg=%d legOK=%v detail=%s\n",
+		name, res.Converged, res.Rounds, res.LastChangeRound, leg.MaxDegree, leg.OK(), leg.Detail)
+	if !res.Converged || !leg.OK() {
+		t.Errorf("%s FAILED: %+v", name, leg)
+	}
+}
+
+func TestSmokeConvergence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"wheel8", graph.Wheel(8)},
+		{"ring12", graph.Ring(12)},
+		{"grid4", graph.Grid(4, 4)},
+		{"gnp20", graph.RandomGnp(20, 0.25, rand.New(rand.NewSource(1)))},
+		{"cliques", graph.StarOfCliques(3, 4)},
+		{"ham24", graph.HamiltonianAugmented(24, 40, rand.New(rand.NewSource(2)))},
+	} {
+		runOnce(t, tc.name+"/sync", tc.g, DefaultConfig(tc.g.N()), 42, sim.NewSyncScheduler(), false)
+		runOnce(t, tc.name+"/sync-corrupt", tc.g, DefaultConfig(tc.g.N()), 43, sim.NewSyncScheduler(), true)
+		runOnce(t, tc.name+"/async-corrupt", tc.g, DefaultConfig(tc.g.N()), 44, sim.NewAsyncScheduler(), true)
+	}
+}
+
+func TestSmokeRepairReset(t *testing.T) {
+	g := graph.RandomGnp(16, 0.3, rand.New(rand.NewSource(3)))
+	cfg := DefaultConfig(g.N())
+	cfg.Repair = RepairReset
+	runOnce(t, "reset-corrupt", g, cfg, 45, sim.NewSyncScheduler(), true)
+}

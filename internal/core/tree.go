@@ -1,0 +1,181 @@
+package core
+
+// Spanning-tree module (paper §3.2.1): a simplification of the BFS
+// construction of Afek-Kutten-Yung [1]. The tree is rooted at the
+// minimum known root value; rule R1 ("correction parent") adopts a
+// neighbor advertising a smaller root, rule R2 ("correction root")
+// re-creates a local root on incoherence. All predicates evaluate the
+// node's own variables against its local copies of the neighbors'
+// variables, exactly as in the paper.
+//
+// Distances are bounded by cfg.MaxDist (nodes know an upper bound on n),
+// which terminates the count-to-infinity epidemic of forged root values
+// that the pure rules admit; see DESIGN.md.
+
+// betterParent is the paper's better_parent(v): some neighbor advertises
+// a strictly smaller root (and would not push us past the distance
+// bound).
+func (n *Node) betterParent() bool {
+	for _, u := range n.nbrs {
+		v := n.view[u]
+		if v.Root < n.root && v.Distance+1 <= n.cfg.MaxDist {
+			return true
+		}
+	}
+	return false
+}
+
+// bestParentCandidate returns the neighbor with the minimal advertised
+// root, ties broken by minimal ID (the paper's argmin).
+func (n *Node) bestParentCandidate() int {
+	best := -1
+	for _, u := range n.nbrs { // nbrs sorted ascending: first hit wins ties
+		v := n.view[u]
+		if v.Root >= n.root || v.Distance+1 > n.cfg.MaxDist {
+			continue
+		}
+		if best == -1 || v.Root < n.view[best].Root {
+			best = u
+		}
+	}
+	return best
+}
+
+// coherentParent is the paper's coherent_parent(v), strengthened with the
+// implied self-root consistency (parent = v requires root = v, which
+// create_new_root always establishes).
+func (n *Node) coherentParent() bool {
+	if n.parent == n.id {
+		return n.root == n.id
+	}
+	v, ok := n.view[n.parent]
+	return ok && v.Root == n.root
+}
+
+// coherentDistance is the paper's coherent_distance(v) plus the distance
+// bound.
+func (n *Node) coherentDistance() bool {
+	if n.parent == n.id {
+		return n.distance == 0
+	}
+	v, ok := n.view[n.parent]
+	if !ok {
+		return false
+	}
+	return n.distance == v.Distance+1 && n.distance <= n.cfg.MaxDist
+}
+
+// newRootCandidate is the paper's new_root_candidate(v), strengthened
+// with the self-ID guard of the Afek-Kutten-Yung election the paper
+// builds on: a root variable exceeding the node's own ID is always
+// illegal (the node itself would be the better root). Without this
+// guard a corruption that leaves the minimum-ID node in a locally
+// coherent position inside a tree claiming a larger root is STABLE:
+// rule R1 only ever adopts smaller advertised roots, so nobody ever
+// injects the true minimum and the network converges to a legitimate-
+// looking configuration rooted at the wrong node.
+func (n *Node) newRootCandidate() bool {
+	return n.root > n.id || !n.coherentParent() || !n.coherentDistance()
+}
+
+// treeStabilized is the paper's tree_stabilized(v).
+func (n *Node) treeStabilized() bool {
+	return !n.betterParent() && !n.newRootCandidate()
+}
+
+// degreeStabilized is the paper's degree_stabilized(v): all neighbors
+// agree on dmax.
+func (n *Node) degreeStabilized() bool {
+	for _, u := range n.nbrs {
+		if n.view[u].Dmax != n.dmax {
+			return false
+		}
+	}
+	return true
+}
+
+// colorStabilized is the paper's color_stabilized(v).
+func (n *Node) colorStabilized() bool {
+	for _, u := range n.nbrs {
+		if n.view[u].Color != n.color {
+			return false
+		}
+	}
+	return true
+}
+
+// locallyStabilized is the paper's locally_stabilized(v): the guard that
+// freezes the reduction modules while the tree or the degree information
+// is in flux.
+func (n *Node) locallyStabilized() bool {
+	return n.treeStabilized() && n.degreeStabilized() && n.colorStabilized()
+}
+
+// createNewRoot is the paper's create_new_root(v).
+func (n *Node) createNewRoot() {
+	n.root = n.id
+	n.parent = n.id
+	n.distance = 0
+}
+
+// changeParentTo is the paper's change_parent_to(v,u).
+func (n *Node) changeParentTo(u int) {
+	v := n.view[u]
+	n.root = v.Root
+	n.parent = u
+	n.distance = v.Distance + 1
+}
+
+// runTreeModule applies R2 then R1 — the highest-priority module.
+func (n *Node) runTreeModule() {
+	if n.newRootCandidate() {
+		switch n.cfg.Repair {
+		case RepairReset:
+			n.createNewRoot()
+		case RepairPatch:
+			if n.root > n.id || n.parent == n.id || !n.coherentParent() ||
+				n.view[n.parent].Distance+1 > n.cfg.MaxDist {
+				n.createNewRoot()
+			} else {
+				// Parent relation is sound; only the distance drifted
+				// (typically after an edge reversal): re-derive it.
+				n.distance = n.view[n.parent].Distance + 1
+			}
+		}
+	}
+	if !n.newRootCandidate() && n.betterParent() {
+		if u := n.bestParentCandidate(); u >= 0 {
+			n.changeParentTo(u)
+		}
+	}
+}
+
+// Maximum-degree module (paper §3.2.3): the continuous piggybacked PIF.
+// The feedback half folds subtree maxima upward through submax; the
+// propagation half copies (dmax, color) downward from the parent; the
+// root flips color whenever its computed maximum changes, freezing
+// reductions network-wide until every neighborhood agrees again.
+func (n *Node) runDegreeModule() {
+	deg := n.Deg()
+	sub := deg
+	for _, u := range n.nbrs {
+		v := n.view[u]
+		if v.Parent == n.id && u != n.parent { // u is a child
+			if v.Submax > sub {
+				sub = v.Submax
+			}
+		}
+	}
+	n.submax = sub
+	if n.parent == n.id {
+		if n.dmax != sub {
+			n.dmax = sub
+			n.color = !n.color
+		}
+		return
+	}
+	if v, ok := n.view[n.parent]; ok {
+		n.dmax = v.Dmax
+		n.color = v.Color
+	}
+}

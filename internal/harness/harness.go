@@ -1,0 +1,258 @@
+// Package harness glues the substrates together for experiments: it
+// builds a protocol network over a workload graph, optionally corrupts
+// the initial configuration, runs a scheduler to stabilization, verifies
+// the legitimacy predicate and collects the metrics every experiment
+// table is built from.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/mdstseq"
+	"mdst/internal/sim"
+	"mdst/internal/spanning"
+)
+
+// SchedulerKind names a scheduler for table-driven experiments.
+type SchedulerKind string
+
+// Scheduler kinds.
+const (
+	SchedSync        SchedulerKind = "sync"
+	SchedAsync       SchedulerKind = "async"
+	SchedAdversarial SchedulerKind = "adversarial"
+)
+
+// NewScheduler instantiates the named scheduler.
+func NewScheduler(kind SchedulerKind) sim.Scheduler {
+	switch kind {
+	case SchedAsync:
+		return sim.NewAsyncScheduler()
+	case SchedAdversarial:
+		return sim.NewAdversarialScheduler()
+	default:
+		return sim.NewSyncScheduler()
+	}
+}
+
+// StartMode selects the initial configuration of a run.
+type StartMode int
+
+const (
+	// StartClean boots every node as its own fresh root (a correct but
+	// arbitrary configuration: the tree must still be built).
+	StartClean StartMode = iota
+	// StartCorrupt randomizes every variable and neighbor copy at every
+	// node (Definition 1's arbitrary configuration).
+	StartCorrupt
+	// StartLegitimate pre-loads a converged configuration (used by
+	// closure tests and fault-recovery experiments).
+	StartLegitimate
+)
+
+// Variant selects which protocol implementation a run executes.
+type Variant string
+
+// Protocol variants.
+const (
+	// VariantCore is the primary implementation: the edge exchange is an
+	// ordered chain of single-parent moves (DESIGN.md S3).
+	VariantCore Variant = "core"
+	// VariantLiteral is the literal Remove/Back/Reverse choreography of
+	// the paper's Figures 1-2 (internal/paperproto).
+	VariantLiteral Variant = "literal"
+)
+
+// RunSpec describes one experiment run.
+type RunSpec struct {
+	Graph     *graph.Graph
+	Config    core.Config // zero Config means core.DefaultConfig(n)
+	Variant   Variant     // empty means VariantCore
+	Scheduler SchedulerKind
+	Start     StartMode
+	// CorruptNodes: with Start == StartLegitimate, the number of nodes to
+	// corrupt after pre-loading (fault-recovery experiment E5).
+	CorruptNodes int
+	Seed         int64
+	MaxRounds    int
+	// TrackSafety counts rounds in which the parent pointers do not form
+	// a single spanning tree (transient breakage under concurrent
+	// exchanges; see DESIGN.md S3). Counting starts at the first round
+	// with a valid tree, so the initial formation phase of a corrupted
+	// start is excluded. Costs one validation per round.
+	TrackSafety bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Converged  bool
+	Rounds     int // rounds until quiescence was declared
+	LastChange int // rounds until the last state change (the figure of merit)
+	Legit      core.Legitimacy
+	Tree       *spanning.Tree // nil unless a valid tree was extracted
+	Metrics    *sim.Metrics
+	// TotalMessages is the sum over all kinds.
+	TotalMessages int64
+	MaxStateBits  int
+	// BrokenRounds counts rounds without a valid spanning tree (only
+	// populated when RunSpec.TrackSafety is set).
+	BrokenRounds int
+	// Exchanges and Aborts are the protocol's completed edge exchanges
+	// and staleness-aborted choreography hops (ablation E11 compares
+	// them across variants).
+	Exchanges int
+	Aborts    int
+}
+
+// Run executes one experiment run.
+func Run(spec RunSpec) Result {
+	if spec.Variant == VariantLiteral {
+		return runLiteral(spec)
+	}
+	g := spec.Graph
+	n := g.N()
+	cfg := spec.Config
+	if cfg.MaxDist == 0 {
+		cfg = core.DefaultConfig(n)
+	}
+	net := core.BuildNetwork(g, cfg, spec.Seed)
+	nodes := core.NodesOf(net)
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+
+	switch spec.Start {
+	case StartCorrupt:
+		for _, nd := range nodes {
+			nd.Corrupt(rng, n)
+		}
+	case StartLegitimate:
+		if err := Preload(g, nodes, cfg); err != nil {
+			return Result{Legit: core.Legitimacy{Detail: err.Error()}}
+		}
+		perm := rng.Perm(n)
+		for i := 0; i < spec.CorruptNodes && i < n; i++ {
+			nodes[perm[i]].Corrupt(rng, n)
+		}
+	}
+
+	maxRounds := spec.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200*n + 20000
+	}
+	broken := 0
+	var onRound func(int) bool
+	if spec.TrackSafety {
+		formed := false
+		onRound = func(int) bool {
+			if _, err := core.ExtractTree(g, nodes); err != nil {
+				if formed {
+					broken++
+				}
+			} else {
+				formed = true
+			}
+			return true
+		}
+	}
+	res := net.Run(sim.RunConfig{
+		Scheduler: NewScheduler(spec.Scheduler),
+		MaxRounds: maxRounds,
+		// The stability window must cover a full (jittered) search retry
+		// period, or a slow-searching configuration can be declared
+		// quiescent before its reduction ever fires.
+		QuiesceRounds: 2*n + 40 + 2*cfg.SearchPeriod,
+		ActiveKinds:   core.ReductionKinds(),
+		OnRound:       onRound,
+	})
+
+	st := core.AggregateStats(nodes)
+	out := Result{
+		Converged:    res.Converged,
+		Rounds:       res.Rounds,
+		LastChange:   res.LastChangeRound,
+		Legit:        core.CheckLegitimacy(g, nodes),
+		Metrics:      net.Metrics(),
+		MaxStateBits: net.MaxStateBits(),
+		BrokenRounds: broken,
+		Exchanges:    st.ExchangesComplete,
+		Aborts:       st.ChainsAborted,
+	}
+	for _, c := range out.Metrics.SentByKind {
+		out.TotalMessages += c
+	}
+	if t, err := core.ExtractTree(g, nodes); err == nil {
+		out.Tree = t
+	}
+	return out
+}
+
+// Preload writes a legitimate configuration into the nodes: the
+// stabilized BFS-rooted tree reduced to a Fürer–Raghavachari fixed point,
+// with coherent distances, dmax, submax, colors and views. It is the
+// configuration the protocol itself converges to (up to tie-breaking),
+// used as the starting point of closure and fault-recovery runs.
+func Preload(g *graph.Graph, nodes []*core.Node, cfg core.Config) error {
+	tree := spanning.BFSTree(g, 0)
+	// Reduce to a fixed point with the same sequential semantics.
+	if err := reduceToFixedPoint(tree); err != nil {
+		return err
+	}
+	k := tree.MaxDegree()
+	deg := tree.Degrees()
+	// submax per node: max degree within its subtree.
+	submax := make([]int, g.N())
+	order := depthOrder(tree)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		submax[v] = deg[v]
+		for _, c := range tree.Children(v) {
+			if submax[c] > submax[v] {
+				submax[v] = submax[c]
+			}
+		}
+	}
+	for i, nd := range nodes {
+		parent := tree.Parent(i)
+		nd.SetState(0, parent, tree.Depth(i), k, submax[i], false)
+	}
+	for i, nd := range nodes {
+		for _, u := range g.Neighbors(i) {
+			nd.SetView(u, core.View{
+				Root:     0,
+				Parent:   tree.Parent(u),
+				Distance: tree.Depth(u),
+				Dmax:     k,
+				Submax:   submax[u],
+				Deg:      deg[u],
+				Color:    false,
+			})
+		}
+	}
+	return nil
+}
+
+// depthOrder returns the nodes sorted by increasing depth (parents before
+// children).
+func depthOrder(t *spanning.Tree) []int {
+	n := t.Graph().N()
+	order := make([]int, 0, n)
+	queue := []int{t.Root()}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		queue = append(queue, t.Children(v)...)
+	}
+	return order
+}
+
+// reduceToFixedPoint applies the sequential local search.
+func reduceToFixedPoint(t *spanning.Tree) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("harness: preload tree invalid: %w", err)
+	}
+	mdstseq.FurerRaghavachari(t)
+	return nil
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/mdstseq"
+	"mdst/internal/sim"
+)
+
+func TestRunCleanStart(t *testing.T) {
+	g := graph.Wheel(8)
+	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartClean, Seed: 1})
+	if !res.Converged || !res.Legit.OK() {
+		t.Fatalf("clean run failed: %+v", res.Legit)
+	}
+	if res.Tree == nil || res.Tree.MaxDegree() > 3 {
+		t.Fatalf("wheel degree: %v", res.Tree)
+	}
+	if res.TotalMessages == 0 || res.MaxStateBits == 0 {
+		t.Fatal("metrics missing")
+	}
+}
+
+func TestRunCorruptStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomGnp(16, 0.3, rng)
+	res := Run(RunSpec{Graph: g, Scheduler: SchedAsync, Start: StartCorrupt, Seed: 2})
+	if !res.Converged || !res.Legit.OK() {
+		t.Fatalf("corrupt run failed: %+v", res.Legit)
+	}
+}
+
+func TestRunLegitimateStartIsStableTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomGnp(14, 0.3, rng)
+	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate, Seed: 3})
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	if !res.Legit.TreeValid || !res.Legit.RootIsMin {
+		t.Fatalf("legitimate start lost the tree: %+v", res.Legit)
+	}
+}
+
+func TestRunFaultRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomGeometric(20, 0.35, rng)
+	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate,
+		CorruptNodes: 5, Seed: 4})
+	if !res.Converged || !res.Legit.OK() {
+		t.Fatalf("fault recovery failed: %+v", res.Legit)
+	}
+}
+
+func TestPreloadIsLegitimate(t *testing.T) {
+	g := graph.Grid(4, 4)
+	cfg := core.DefaultConfig(16)
+	net := core.BuildNetwork(g, cfg, 5)
+	nodes := core.NodesOf(net)
+	if err := Preload(g, nodes, cfg); err != nil {
+		t.Fatal(err)
+	}
+	leg := core.CheckLegitimacy(g, nodes)
+	if !leg.OK() {
+		t.Fatalf("preload not legitimate: %+v", leg)
+	}
+	// Preloaded tree must be an FR fixed point.
+	tree, err := core.ExtractTree(g, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mdstseq.IsFixedPoint(tree) {
+		t.Fatal("preload is not a fixed point")
+	}
+}
+
+func TestNewScheduler(t *testing.T) {
+	if _, ok := NewScheduler(SchedSync).(*sim.SyncScheduler); !ok {
+		t.Fatal("sync")
+	}
+	if _, ok := NewScheduler(SchedAsync).(*sim.AsyncScheduler); !ok {
+		t.Fatal("async")
+	}
+	if _, ok := NewScheduler(SchedAdversarial).(*sim.AdversarialScheduler); !ok {
+		t.Fatal("adversarial")
+	}
+	if _, ok := NewScheduler("bogus").(*sim.SyncScheduler); !ok {
+		t.Fatal("default")
+	}
+}
+
+func TestTrackSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.RandomGnp(14, 0.35, rng)
+	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartCorrupt,
+		Seed: 6, TrackSafety: true})
+	if !res.Legit.OK() {
+		t.Fatalf("run failed: %+v", res.Legit)
+	}
+	// BrokenRounds excludes rounds before the first valid tree. A valid
+	// snapshot can still appear mid root-competition, so a corrupted
+	// start may count some late formation churn — but breakage must be a
+	// strict minority of rounds.
+	if res.BrokenRounds >= res.Rounds/2 {
+		t.Fatalf("broken %d of %d rounds", res.BrokenRounds, res.Rounds)
+	}
+
+	// From a legitimate start the S3 exchange never breaks the tree:
+	// every intermediate configuration of a chain move is a spanning
+	// tree, and no formation churn can be misattributed.
+	res = Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate,
+		Seed: 6, TrackSafety: true})
+	if res.BrokenRounds != 0 {
+		t.Fatalf("S3 exchange broke the tree in %d rounds from a legitimate start", res.BrokenRounds)
+	}
+}
+
+func TestRunRespectsMaxRounds(t *testing.T) {
+	g := graph.Ring(8)
+	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartCorrupt,
+		Seed: 7, MaxRounds: 3})
+	if res.Converged {
+		t.Fatal("cannot converge in 3 rounds from corruption")
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds=%d", res.Rounds)
+	}
+}
+
+func TestRunCustomConfig(t *testing.T) {
+	g := graph.Wheel(8)
+	cfg := core.DefaultConfig(8)
+	cfg.DisableReduction = true
+	res := Run(RunSpec{Graph: g, Config: cfg, Scheduler: SchedSync,
+		Start: StartClean, Seed: 8})
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	// Reduction disabled: the tree is the BFS tree (degree 7), and the
+	// fixed-point component of legitimacy fails by design.
+	if res.Tree == nil || res.Tree.MaxDegree() != 7 {
+		t.Fatalf("expected unreduced star tree, got %v", res.Tree)
+	}
+	if res.Legit.FixedPoint {
+		t.Fatal("unreduced wheel tree cannot be a fixed point")
+	}
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/paperproto"
+	"mdst/internal/sim"
+	"mdst/internal/spanning"
+)
+
+// runLiteral executes one run of the literal-choreography variant
+// (internal/paperproto) with the same spec semantics as the primary
+// implementation; results are reported in the same Result shape so
+// experiment tables can compare the two side by side (ablation E11).
+func runLiteral(spec RunSpec) Result {
+	g := spec.Graph
+	n := g.N()
+	cfg := spec.Config
+	if cfg.MaxDist == 0 {
+		cfg = paperproto.DefaultConfig(n)
+	}
+	net := paperproto.BuildNetwork(g, cfg, spec.Seed)
+	nodes := paperproto.NodesOf(net)
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+
+	switch spec.Start {
+	case StartCorrupt:
+		for _, nd := range nodes {
+			nd.Corrupt(rng, n)
+		}
+	case StartLegitimate:
+		if err := PreloadLiteral(g, nodes, cfg); err != nil {
+			return Result{Legit: core.Legitimacy{Detail: err.Error()}}
+		}
+		perm := rng.Perm(n)
+		for i := 0; i < spec.CorruptNodes && i < n; i++ {
+			nodes[perm[i]].Corrupt(rng, n)
+		}
+	}
+
+	maxRounds := spec.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200*n + 20000
+	}
+	broken := 0
+	var onRound func(int) bool
+	if spec.TrackSafety {
+		formed := false
+		onRound = func(int) bool {
+			if _, err := paperproto.ExtractTree(g, nodes); err != nil {
+				if formed {
+					broken++
+				}
+			} else {
+				formed = true
+			}
+			return true
+		}
+	}
+	res := net.Run(sim.RunConfig{
+		Scheduler:     NewScheduler(spec.Scheduler),
+		MaxRounds:     maxRounds,
+		QuiesceRounds: 2*n + 40 + 2*cfg.SearchPeriod,
+		ActiveKinds:   paperproto.ReductionKinds(),
+		OnRound:       onRound,
+	})
+
+	leg := paperproto.CheckLegitimacy(g, nodes)
+	out := Result{
+		Converged:  res.Converged,
+		Rounds:     res.Rounds,
+		LastChange: res.LastChangeRound,
+		Legit: core.Legitimacy{
+			TreeValid:   leg.TreeValid,
+			RootIsMin:   leg.RootIsMin,
+			DistancesOK: leg.DistancesOK,
+			ViewsOK:     leg.ViewsOK,
+			DmaxOK:      leg.DmaxOK,
+			FixedPoint:  leg.FixedPoint,
+			MaxDegree:   leg.MaxDegree,
+			Detail:      leg.Detail,
+		},
+		Metrics:      net.Metrics(),
+		MaxStateBits: net.MaxStateBits(),
+		BrokenRounds: broken,
+	}
+	st := paperproto.AggregateStats(nodes)
+	out.Exchanges = st.ExchangesComplete
+	out.Aborts = st.ChoreoAborted
+	for _, c := range out.Metrics.SentByKind {
+		out.TotalMessages += c
+	}
+	if t, err := paperproto.ExtractTree(g, nodes); err == nil {
+		out.Tree = t
+	}
+	return out
+}
+
+// PreloadLiteral writes a legitimate configuration into literal-variant
+// nodes (the counterpart of Preload).
+func PreloadLiteral(g *graph.Graph, nodes []*paperproto.Node, cfg core.Config) error {
+	tree := spanning.BFSTree(g, 0)
+	if err := reduceToFixedPoint(tree); err != nil {
+		return err
+	}
+	k := tree.MaxDegree()
+	deg := tree.Degrees()
+	submax := make([]int, g.N())
+	order := depthOrder(tree)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		submax[v] = deg[v]
+		for _, c := range tree.Children(v) {
+			if submax[c] > submax[v] {
+				submax[v] = submax[c]
+			}
+		}
+	}
+	for i, nd := range nodes {
+		nd.SetState(0, tree.Parent(i), tree.Depth(i), k, submax[i], false)
+	}
+	for i, nd := range nodes {
+		for _, u := range g.Neighbors(i) {
+			nd.SetView(u, paperproto.View{
+				Root:     0,
+				Parent:   tree.Parent(u),
+				Distance: tree.Depth(u),
+				Dmax:     k,
+				Submax:   submax[u],
+				Deg:      deg[u],
+				Color:    false,
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+)
+
+// Dynamic-topology support (the paper's §6 open problem): a topology
+// change is modeled as the same processes continuing on a modified
+// graph, carrying over all volatile state. The resulting configuration
+// is an arbitrary (generally incoherent) state of the NEW network — a
+// node whose parent edge vanished sees an incoherent parent and rule R2
+// heals it; views of new neighbors start stale and refresh via gossip.
+// Measuring re-stabilization from such states is the super-stabilization
+// probe of experiment E10.
+
+// Migrate builds a network over newG whose node states are copied from
+// the processes of oldNet (built over a graph with the same node set).
+// Views toward surviving neighbors carry over; views toward new
+// neighbors start at the zero value. Messages in flight are dropped
+// (links were torn down).
+func Migrate(oldNet *sim.Network, newG *graph.Graph, cfg core.Config, seed int64) (*sim.Network, error) {
+	oldG := oldNet.Graph()
+	if oldG.N() != newG.N() {
+		return nil, fmt.Errorf("harness: migrate changed node count %d -> %d", oldG.N(), newG.N())
+	}
+	oldNodes := core.NodesOf(oldNet)
+	newNet := core.BuildNetwork(newG, cfg, seed)
+	newNodes := core.NodesOf(newNet)
+	for i, old := range oldNodes {
+		nd := newNodes[i]
+		nd.SetState(old.Root(), old.Parent(), old.Distance(),
+			old.Dmax(), old.Submax(), old.Color())
+		for _, u := range newG.Neighbors(i) {
+			if v, ok := old.ViewOf(u); ok {
+				nd.SetView(u, v)
+			}
+		}
+	}
+	return newNet, nil
+}
+
+// ChurnOp names a topology change for the churn experiment.
+type ChurnOp string
+
+// Churn operations.
+const (
+	OpRemoveTreeEdge    ChurnOp = "remove-tree-edge"
+	OpRemoveNonTreeEdge ChurnOp = "remove-nontree-edge"
+	OpAddEdge           ChurnOp = "add-edge"
+)
+
+// ChurnOps returns the operations in display order.
+func ChurnOps() []ChurnOp {
+	return []ChurnOp{OpRemoveNonTreeEdge, OpRemoveTreeEdge, OpAddEdge}
+}
+
+// ApplyChurn returns a modified copy of g according to op, using the
+// current tree to classify edges. Removals preserve connectivity (the
+// paper's model requires a connected network); if no applicable edge
+// exists, ok is false.
+func ApplyChurn(g *graph.Graph, tree interface {
+	HasTreeEdge(u, v int) bool
+}, op ChurnOp, rng interface{ Intn(int) int }) (*graph.Graph, graph.Edge, bool) {
+	edges := g.Edges()
+	switch op {
+	case OpRemoveTreeEdge, OpRemoveNonTreeEdge:
+		wantTree := op == OpRemoveTreeEdge
+		// Collect candidates whose removal keeps the graph connected.
+		var cands []graph.Edge
+		for _, e := range edges {
+			if tree.HasTreeEdge(e.U, e.V) != wantTree {
+				continue
+			}
+			if !g.IsBridge(e.U, e.V) {
+				cands = append(cands, e)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, graph.Edge{}, false
+		}
+		e := cands[rng.Intn(len(cands))]
+		h := g.Clone()
+		h.RemoveEdge(e.U, e.V)
+		return h, e, true
+	case OpAddEdge:
+		n := g.N()
+		for attempt := 0; attempt < 10*n; attempt++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				h := g.Clone()
+				h.MustAddEdge(u, v)
+				return h, graph.Edge{U: u, V: v}.Normalize(), true
+			}
+		}
+		return nil, graph.Edge{}, false
+	}
+	return nil, graph.Edge{}, false
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+)
+
+// stabilize builds and preloads a legitimate network over g.
+func stabilize(t *testing.T, g *graph.Graph, cfg core.Config, seed int64) *sim.Network {
+	t.Helper()
+	net := core.BuildNetwork(g, cfg, seed)
+	if err := Preload(g, core.NodesOf(net), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func rerun(net *sim.Network, g *graph.Graph) sim.RunResult {
+	return net.Run(sim.RunConfig{
+		Scheduler:     sim.NewSyncScheduler(),
+		MaxRounds:     200*g.N() + 20000,
+		QuiesceRounds: 2*g.N() + 40,
+		ActiveKinds:   core.ReductionKinds(),
+	})
+}
+
+func TestMigrateCarriesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomGnp(12, 0.35, rng)
+	cfg := core.DefaultConfig(12)
+	net := stabilize(t, g, cfg, 1)
+	// Identity migration: same graph, state must be carried verbatim and
+	// remain legitimate.
+	newNet, err := Migrate(net, g.Clone(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, old := range core.NodesOf(net) {
+		nd := core.NodesOf(newNet)[i]
+		if nd.Root() != old.Root() || nd.Parent() != old.Parent() ||
+			nd.Distance() != old.Distance() || nd.Dmax() != old.Dmax() {
+			t.Fatalf("node %d state not carried", i)
+		}
+	}
+	if leg := core.CheckLegitimacy(g, core.NodesOf(newNet)); !leg.OK() {
+		t.Fatalf("identity migration lost legitimacy: %+v", leg)
+	}
+}
+
+func TestMigrateRejectsDifferentNodeCount(t *testing.T) {
+	g := graph.Ring(6)
+	cfg := core.DefaultConfig(6)
+	net := stabilize(t, g, cfg, 1)
+	if _, err := Migrate(net, graph.Ring(7), cfg, 2); err == nil {
+		t.Fatal("node-count change accepted")
+	}
+}
+
+func TestChurnRemoveTreeEdgeHeals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomGnp(14, 0.4, rng)
+	cfg := core.DefaultConfig(14)
+	net := stabilize(t, g, cfg, 3)
+	tree, err := core.ExtractTree(g, core.NodesOf(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newG, removed, ok := ApplyChurn(g, tree, OpRemoveTreeEdge, rng)
+	if !ok {
+		t.Skip("no removable non-bridge tree edge on this instance")
+	}
+	if newG.HasEdge(removed.U, removed.V) {
+		t.Fatal("edge not removed")
+	}
+	newNet, err := Migrate(net, newG, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rerun(newNet, newG)
+	if !res.Converged {
+		t.Fatal("no re-convergence after tree-edge removal")
+	}
+	if leg := core.CheckLegitimacy(newG, core.NodesOf(newNet)); !leg.OK() {
+		t.Fatalf("not legitimate on new topology: %+v", leg)
+	}
+}
+
+func TestChurnRemoveNonTreeEdgeCheap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomGnp(14, 0.4, rng)
+	cfg := core.DefaultConfig(14)
+	net := stabilize(t, g, cfg, 5)
+	tree, err := core.ExtractTree(g, core.NodesOf(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newG, _, ok := ApplyChurn(g, tree, OpRemoveNonTreeEdge, rng)
+	if !ok {
+		t.Skip("no removable non-tree edge")
+	}
+	newNet, err := Migrate(net, newG, cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rerun(newNet, newG)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	// Removing a non-tree edge leaves the tree intact: the tree edges
+	// must be unchanged (the fixed point may differ, but the carried tree
+	// remains a valid spanning tree of the new graph).
+	if leg := core.CheckLegitimacy(newG, core.NodesOf(newNet)); !leg.TreeValid {
+		t.Fatalf("tree broken by non-tree-edge removal: %+v", leg)
+	}
+}
+
+func TestChurnAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Ring(10) // sparse: plenty of room to add
+	cfg := core.DefaultConfig(10)
+	net := stabilize(t, g, cfg, 7)
+	tree, err := core.ExtractTree(g, core.NodesOf(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newG, added, ok := ApplyChurn(g, tree, OpAddEdge, rng)
+	if !ok {
+		t.Fatal("could not add an edge to a ring")
+	}
+	if !newG.HasEdge(added.U, added.V) {
+		t.Fatal("edge not added")
+	}
+	newNet, err := Migrate(net, newG, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rerun(newNet, newG)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	if leg := core.CheckLegitimacy(newG, core.NodesOf(newNet)); !leg.OK() {
+		t.Fatalf("not legitimate after edge addition: %+v", leg)
+	}
+}
+
+func TestApplyChurnNoCandidates(t *testing.T) {
+	// A tree graph has no non-tree edges and every edge is a bridge.
+	g := graph.Path(5)
+	cfg := core.DefaultConfig(5)
+	net := stabilize(t, g, cfg, 9)
+	tree, err := core.ExtractTree(g, core.NodesOf(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	if _, _, ok := ApplyChurn(g, tree, OpRemoveTreeEdge, rng); ok {
+		t.Fatal("bridge removal offered")
+	}
+	if _, _, ok := ApplyChurn(g, tree, OpRemoveNonTreeEdge, rng); ok {
+		t.Fatal("nonexistent non-tree edge offered")
+	}
+	if _, _, ok := ApplyChurn(g, tree, ChurnOp("bogus"), rng); ok {
+		t.Fatal("unknown op accepted")
+	}
+}

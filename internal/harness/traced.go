@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/sim"
+	"mdst/internal/trace"
+)
+
+// RunTraced is Run plus a per-round time series: at every `every`-th
+// round it records the tree state, degree information and traffic — the
+// figure data behind experiments E2 and E5. every <= 0 samples every
+// round.
+//
+// Columns: round, treeDeg (-1 while no valid spanning tree exists),
+// roots (number of self-parented nodes), dmaxAgree (nodes whose dmax
+// equals the true tree degree), pending (undelivered messages),
+// reversals (cumulative Reverse messages sent).
+func RunTraced(spec RunSpec, every int) (Result, *trace.Series) {
+	if every <= 0 {
+		every = 1
+	}
+	g := spec.Graph
+	n := g.N()
+	cfg := spec.Config
+	if cfg.MaxDist == 0 {
+		cfg = core.DefaultConfig(n)
+	}
+	net := core.BuildNetwork(g, cfg, spec.Seed)
+	nodes := core.NodesOf(net)
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+
+	switch spec.Start {
+	case StartCorrupt:
+		for _, nd := range nodes {
+			nd.Corrupt(rng, n)
+		}
+	case StartLegitimate:
+		if err := Preload(g, nodes, cfg); err != nil {
+			return Result{Legit: core.Legitimacy{Detail: err.Error()}}, nil
+		}
+		perm := rng.Perm(n)
+		for i := 0; i < spec.CorruptNodes && i < n; i++ {
+			nodes[perm[i]].Corrupt(rng, n)
+		}
+	}
+
+	series := trace.NewSeries("run",
+		"round", "treeDeg", "roots", "dmaxAgree", "pending", "reversals")
+	sample := func(round int) {
+		treeDeg := -1.0
+		agree := 0.0
+		if tree, err := core.ExtractTree(g, nodes); err == nil {
+			treeDeg = float64(tree.MaxDegree())
+			for _, nd := range nodes {
+				if nd.Dmax() == tree.MaxDegree() {
+					agree++
+				}
+			}
+		}
+		roots := 0.0
+		for _, nd := range nodes {
+			if nd.Parent() == nd.ID() {
+				roots++
+			}
+		}
+		series.Append(float64(round), treeDeg, roots, agree,
+			float64(net.Pending()),
+			float64(net.Metrics().SentByKind[core.KindReverse]))
+	}
+	sample(0)
+
+	maxRounds := spec.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200*n + 20000
+	}
+	res := net.Run(sim.RunConfig{
+		Scheduler:     NewScheduler(spec.Scheduler),
+		MaxRounds:     maxRounds,
+		QuiesceRounds: 2*n + 40,
+		ActiveKinds:   core.ReductionKinds(),
+		OnRound: func(r int) bool {
+			if (r+1)%every == 0 {
+				sample(r + 1)
+			}
+			return true
+		},
+	})
+
+	out := Result{
+		Converged:    res.Converged,
+		Rounds:       res.Rounds,
+		LastChange:   res.LastChangeRound,
+		Legit:        core.CheckLegitimacy(g, nodes),
+		Metrics:      net.Metrics(),
+		MaxStateBits: net.MaxStateBits(),
+	}
+	for _, c := range out.Metrics.SentByKind {
+		out.TotalMessages += c
+	}
+	if t, err := core.ExtractTree(g, nodes); err == nil {
+		out.Tree = t
+	}
+	return out, series
+}

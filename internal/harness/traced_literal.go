@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/paperproto"
+	"mdst/internal/sim"
+	"mdst/internal/trace"
+)
+
+// RunTracedLiteral is RunTraced for the literal-choreography variant.
+// The series has the same columns as RunTraced's, with the "reversals"
+// column counting Remove+Back reorientation traffic instead of core's
+// Reverse chain messages, so the two variants' figure series can be
+// plotted side by side (figure F-conv, E11's time-resolved view).
+func RunTracedLiteral(spec RunSpec, every int) (Result, *trace.Series) {
+	if every <= 0 {
+		every = 1
+	}
+	g := spec.Graph
+	n := g.N()
+	cfg := spec.Config
+	if cfg.MaxDist == 0 {
+		cfg = paperproto.DefaultConfig(n)
+	}
+	net := paperproto.BuildNetwork(g, cfg, spec.Seed)
+	nodes := paperproto.NodesOf(net)
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+
+	switch spec.Start {
+	case StartCorrupt:
+		for _, nd := range nodes {
+			nd.Corrupt(rng, n)
+		}
+	case StartLegitimate:
+		if err := PreloadLiteral(g, nodes, cfg); err != nil {
+			return Result{Legit: core.Legitimacy{Detail: err.Error()}}, nil
+		}
+		perm := rng.Perm(n)
+		for i := 0; i < spec.CorruptNodes && i < n; i++ {
+			nodes[perm[i]].Corrupt(rng, n)
+		}
+	}
+
+	series := trace.NewSeries("run",
+		"round", "treeDeg", "roots", "dmaxAgree", "pending", "reversals")
+	sample := func(round int) {
+		treeDeg := -1.0
+		agree := 0.0
+		if tree, err := paperproto.ExtractTree(g, nodes); err == nil {
+			treeDeg = float64(tree.MaxDegree())
+			for _, nd := range nodes {
+				if nd.Dmax() == tree.MaxDegree() {
+					agree++
+				}
+			}
+		}
+		roots := 0.0
+		for _, nd := range nodes {
+			if nd.Parent() == nd.ID() {
+				roots++
+			}
+		}
+		reorient := net.Metrics().SentByKind[paperproto.KindRemove] +
+			net.Metrics().SentByKind[paperproto.KindBack]
+		series.Append(float64(round), treeDeg, roots, agree,
+			float64(net.Pending()), float64(reorient))
+	}
+	sample(0)
+
+	maxRounds := spec.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200*n + 20000
+	}
+	res := net.Run(sim.RunConfig{
+		Scheduler:     NewScheduler(spec.Scheduler),
+		MaxRounds:     maxRounds,
+		QuiesceRounds: 2*n + 40 + 2*cfg.SearchPeriod,
+		ActiveKinds:   paperproto.ReductionKinds(),
+		OnRound: func(r int) bool {
+			if (r+1)%every == 0 {
+				sample(r + 1)
+			}
+			return true
+		},
+	})
+
+	leg := paperproto.CheckLegitimacy(g, nodes)
+	out := Result{
+		Converged:  res.Converged,
+		Rounds:     res.Rounds,
+		LastChange: res.LastChangeRound,
+		Legit: core.Legitimacy{
+			TreeValid:   leg.TreeValid,
+			RootIsMin:   leg.RootIsMin,
+			DistancesOK: leg.DistancesOK,
+			ViewsOK:     leg.ViewsOK,
+			DmaxOK:      leg.DmaxOK,
+			FixedPoint:  leg.FixedPoint,
+			MaxDegree:   leg.MaxDegree,
+			Detail:      leg.Detail,
+		},
+		Metrics:      net.Metrics(),
+		MaxStateBits: net.MaxStateBits(),
+	}
+	for _, c := range out.Metrics.SentByKind {
+		out.TotalMessages += c
+	}
+	if t, err := paperproto.ExtractTree(g, nodes); err == nil {
+		out.Tree = t
+	}
+	return out, series
+}

@@ -1,0 +1,261 @@
+package mc
+
+import (
+	"fmt"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/paperproto"
+	"mdst/internal/sim"
+)
+
+// Bounded exhaustive exploration of the literal-choreography variant
+// (internal/paperproto). The literal exchange transiently breaks the
+// spanning tree by design, so tree validity cannot be an every-state
+// invariant; instead, callers assert it at QUIESCENT states — states
+// with no message in flight — which is exactly the paper's claim that a
+// completed (or fully aborted and repaired) exchange leaves a spanning
+// tree. Every-state invariants still catch domain violations (forged
+// roots, degree explosions) in every interleaving.
+
+// LitInvariant is checked on literal-variant node slices.
+type LitInvariant func(nodes []*paperproto.Node) error
+
+// ExploreLiteral explores every interleaving from the configuration
+// held by `nodes`, applying `every` in each visited state and
+// `quiescent` only in states whose links are all empty.
+func ExploreLiteral(g *graph.Graph, nodes []*paperproto.Node, cfg Config,
+	every []LitInvariant, quiescent []LitInvariant) Result {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 50_000
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 24
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 2
+	}
+	init := &litState{nodes: cloneLitNodes(nodes), queues: map[[2]int][]sim.Message{}}
+	res := Result{}
+	seen := map[uint64]bool{}
+	stack := []*litState{init}
+	for len(stack) > 0 && res.States < cfg.MaxStates {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h := hashLitState(g, st)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		res.States++
+
+		for _, inv := range every {
+			if err := inv(st.nodes); err != nil {
+				res.Violation = fmt.Errorf("depth %d: %w", st.depth, err)
+				return res
+			}
+		}
+		if len(st.queues) == 0 {
+			for _, inv := range quiescent {
+				if err := inv(st.nodes); err != nil {
+					res.Violation = fmt.Errorf("quiescent depth %d: %w", st.depth, err)
+					return res
+				}
+			}
+		}
+		if !res.FoundLegit && paperproto.CheckLegitimacy(g, st.nodes).OK() {
+			res.FoundLegit = true
+		}
+		if st.depth >= cfg.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				key := [2]int{u, v}
+				q := st.queues[key]
+				if len(q) == 0 {
+					continue
+				}
+				succ := cloneLitState(st)
+				msg := succ.queues[key][0]
+				succ.queues[key] = succ.queues[key][1:]
+				if len(succ.queues[key]) == 0 {
+					delete(succ.queues, key)
+				}
+				ctx := litContextFor(g, succ, v, cfg.MaxQueue)
+				succ.nodes[v].Receive(ctx, u, copyLitMsg(msg))
+				succ.depth = st.depth + 1
+				stack = append(stack, succ)
+			}
+		}
+		if cfg.IncludeTicks {
+			for id := 0; id < g.N(); id++ {
+				succ := cloneLitState(st)
+				ctx := litContextFor(g, succ, id, cfg.MaxQueue)
+				succ.nodes[id].Tick(ctx)
+				succ.depth = st.depth + 1
+				stack = append(stack, succ)
+			}
+		}
+	}
+	if len(stack) > 0 {
+		res.Truncated = true
+	}
+	return res
+}
+
+type litState struct {
+	nodes  []*paperproto.Node
+	queues map[[2]int][]sim.Message
+	depth  int
+}
+
+func litContextFor(g *graph.Graph, st *litState, id, maxQueue int) *sim.Context {
+	return sim.NewContext(id, g.Neighbors(id), func(from, to int, m sim.Message) {
+		key := [2]int{from, to}
+		if len(st.queues[key]) >= maxQueue {
+			return
+		}
+		st.queues[key] = append(st.queues[key], copyLitMsg(m))
+	})
+}
+
+func cloneLitNodes(nodes []*paperproto.Node) []*paperproto.Node {
+	out := make([]*paperproto.Node, len(nodes))
+	for i, nd := range nodes {
+		out[i] = nd.Clone()
+	}
+	return out
+}
+
+func cloneLitState(st *litState) *litState {
+	q := make(map[[2]int][]sim.Message, len(st.queues))
+	for k, msgs := range st.queues {
+		cp := make([]sim.Message, len(msgs))
+		for i, m := range msgs {
+			cp[i] = copyLitMsg(m)
+		}
+		q[k] = cp
+	}
+	return &litState{nodes: cloneLitNodes(st.nodes), queues: q, depth: st.depth}
+}
+
+// copyLitMsg deep-copies messages whose slices handlers mutate.
+func copyLitMsg(m sim.Message) sim.Message {
+	switch msg := m.(type) {
+	case core.SearchMsg:
+		msg.Path = append([]core.PathEntry(nil), msg.Path...)
+		return msg
+	case paperproto.RemoveMsg:
+		msg.Path = append([]int(nil), msg.Path...)
+		return msg
+	case paperproto.BackMsg:
+		msg.Path = append([]int(nil), msg.Path...)
+		return msg
+	default:
+		return m
+	}
+}
+
+func hashLitState(g *graph.Graph, st *litState) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	for _, nd := range st.nodes {
+		mix(nd.Fingerprint())
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			q := st.queues[[2]int{u, v}]
+			mix(uint64(u)<<32 | uint64(v))
+			for _, m := range q {
+				mix(hashLitMsg(m))
+			}
+		}
+	}
+	mix(uint64(st.depth) << 48)
+	return h
+}
+
+func hashLitMsg(m sim.Message) uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	switch msg := m.(type) {
+	case paperproto.RemoveMsg:
+		mix(11)
+		mix(uint64(msg.Init.U))
+		mix(uint64(msg.Init.V))
+		mix(uint64(msg.DegMax))
+		mix(uint64(msg.Target.U))
+		mix(uint64(msg.Target.V))
+		mix(uint64(msg.WDeg))
+		mix(uint64(msg.Pos))
+		if msg.Reorient {
+			mix(13)
+		}
+		for _, v := range msg.Path {
+			mix(uint64(v))
+		}
+	case paperproto.BackMsg:
+		mix(12)
+		mix(uint64(msg.Init.U))
+		mix(uint64(msg.Init.V))
+		mix(uint64(msg.Pos))
+		for _, v := range msg.Path {
+			mix(uint64(v))
+		}
+	case paperproto.ReverseMsg:
+		mix(14)
+		mix(uint64(msg.Target))
+	default:
+		return hashMsg(m) // core wire formats (InfoMsg, Search, Deblock, UpdateDist)
+	}
+	return h
+}
+
+// LitRootBoundInvariant fails when any root variable escapes [0, n).
+func LitRootBoundInvariant(n int) LitInvariant {
+	return func(nodes []*paperproto.Node) error {
+		for _, nd := range nodes {
+			if nd.Root() < 0 || nd.Root() >= n {
+				return fmt.Errorf("node %d: root %d out of range", nd.ID(), nd.Root())
+			}
+		}
+		return nil
+	}
+}
+
+// LitTreeValidInvariant fails when the parent pointers stop forming a
+// single spanning tree — use it as a QUIESCENT invariant: the literal
+// choreography legally breaks the tree while messages are in flight.
+func LitTreeValidInvariant(g *graph.Graph) LitInvariant {
+	return func(nodes []*paperproto.Node) error {
+		if _, err := paperproto.ExtractTree(g, nodes); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// LitDegreeBoundInvariant fails when any node's tree degree exceeds
+// `bound` (used from legitimate starts: no exchange may push any degree
+// above the initial maximum).
+func LitDegreeBoundInvariant(bound int) LitInvariant {
+	return func(nodes []*paperproto.Node) error {
+		for _, nd := range nodes {
+			if d := nd.Deg(); d > bound {
+				return fmt.Errorf("node %d: degree %d exceeds bound %d", nd.ID(), d, bound)
+			}
+		}
+		return nil
+	}
+}

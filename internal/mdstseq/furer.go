@@ -1,0 +1,244 @@
+// Package mdstseq implements the sequential minimum-degree spanning tree
+// algorithms that the paper builds on and compares against:
+//
+//   - the Fürer–Raghavachari local search ([8,9] in the paper) producing a
+//     spanning tree of degree at most Δ*+1, implemented with the same
+//     eager blocking-node reduction chains as the paper's distributed
+//     Deblock procedure,
+//   - its fixed-point predicate (the hypothesis of the paper's Theorem 1),
+//     used by tests and the harness as the legitimacy oracle for the
+//     distributed protocol,
+//   - an exact branch-and-bound Δ* solver for small instances, and
+//   - combinatorial lower bounds on Δ*.
+package mdstseq
+
+import (
+	"sort"
+
+	"mdst/internal/graph"
+	"mdst/internal/spanning"
+)
+
+// Improvement describes one direct degree-reducing edge exchange: Add
+// enters the tree, Remove leaves it, and Target is the max-degree node
+// whose degree decreases (an endpoint of Remove). Direct means both
+// endpoints of Add already have degree <= deg(T)-2 (the paper's Eq. 1).
+type Improvement struct {
+	Add    graph.Edge
+	Remove graph.Edge
+	Target int
+}
+
+// FindDirectImprovement scans non-tree edges in canonical order and
+// returns the first direct improvement for a maximum-degree node: a
+// non-tree edge e = {u,v} with deg(u), deg(v) <= k-2 whose fundamental
+// cycle contains a degree-k node w (k = deg(T)); the exchanged tree edge
+// is the cycle edge at the min-ID such w. The boolean is false when no
+// direct improvement exists (blocking-node chains may still apply; see
+// ImproveOnce).
+func FindDirectImprovement(t *spanning.Tree) (Improvement, bool) {
+	k := t.MaxDegree()
+	if k <= 2 || t.Graph().N() < 3 {
+		return Improvement{}, false
+	}
+	deg := t.Degrees()
+	for _, e := range t.NonTreeEdges() {
+		if deg[e.U] > k-2 || deg[e.V] > k-2 {
+			continue
+		}
+		cyc := t.FundamentalCycle(e)
+		target := -1
+		for _, w := range cyc[1 : len(cyc)-1] {
+			if deg[w] == k && (target == -1 || w < target) {
+				target = w
+			}
+		}
+		if target != -1 {
+			return Improvement{Add: e, Remove: cycleEdgeAt(cyc, target), Target: target}, true
+		}
+	}
+	return Improvement{}, false
+}
+
+// cycleEdgeAt returns the cycle edge from w to its successor on the cycle
+// path. cyc is a node path; w must appear before the last position.
+func cycleEdgeAt(cyc []int, w int) graph.Edge {
+	for i, v := range cyc {
+		if v == w {
+			return graph.Edge{U: w, V: cyc[i+1]}
+		}
+	}
+	panic("mdstseq: target not on cycle")
+}
+
+// maxDeblockDepth bounds the blocking-node recursion; n levels suffice
+// since every level marks a distinct node as visited.
+func maxDeblockDepth(n int) int { return n }
+
+// ImproveOnce attempts to reduce the degree of one maximum-degree node,
+// applying blocking-node reduction chains when the improving edge's
+// endpoints have degree k-1 (the paper's Deblock recursion). Chains are
+// explored eagerly on a clone and committed only when a degree-k node's
+// degree actually decreases, so every committed step strictly decreases
+// the potential (k, number of degree-k nodes). It reports whether an
+// improvement was committed.
+func ImproveOnce(t *spanning.Tree) bool {
+	k := t.MaxDegree()
+	if k <= 2 || t.Graph().N() < 3 {
+		return false
+	}
+	deg := t.Degrees()
+	for x := 0; x < t.Graph().N(); x++ {
+		if deg[x] != k {
+			continue
+		}
+		clone := t.Clone()
+		visited := map[int]bool{x: true}
+		if tryReduce(clone, x, k, visited, maxDeblockDepth(t.Graph().N())) {
+			t.Assign(clone)
+			return true
+		}
+	}
+	return false
+}
+
+// tryReduce attempts to reduce deg(target) by one on t (modified in
+// place): it looks for a non-tree edge whose fundamental cycle passes
+// through target with both endpoint degrees <= k-2, recursively reducing
+// blocking endpoints of degree k-1 first. visited prevents revisiting a
+// blocking node within one chain.
+func tryReduce(t *spanning.Tree, target, k int, visited map[int]bool, depth int) bool {
+	if depth <= 0 {
+		return false
+	}
+	for _, e := range t.NonTreeEdges() {
+		// Up to two endpoint-repair attempts per edge (one per endpoint).
+		for attempt := 0; attempt < 3; attempt++ {
+			// Recursive reductions may have pulled e into the tree.
+			if t.HasTreeEdge(e.U, e.V) {
+				break
+			}
+			cyc := t.FundamentalCycle(e)
+			if !interiorOf(cyc, target) {
+				break
+			}
+			deg := t.Degrees()
+			if deg[e.U] <= k-2 && deg[e.V] <= k-2 {
+				if err := t.Swap(e, cycleEdgeAt(cyc, target)); err != nil {
+					panic("mdstseq: invalid chain swap: " + err.Error())
+				}
+				return true
+			}
+			b := -1
+			for _, cand := range []int{e.U, e.V} {
+				if deg[cand] == k-1 && !visited[cand] {
+					b = cand
+					break
+				}
+			}
+			if b == -1 {
+				break
+			}
+			visited[b] = true
+			if !tryReduce(t, b, k, visited, depth-1) {
+				break
+			}
+			// b's degree dropped; re-validate the cycle and retry e.
+		}
+	}
+	return false
+}
+
+// interiorOf reports whether w is an interior node of the cycle path.
+func interiorOf(cyc []int, w int) bool {
+	for _, v := range cyc[1 : len(cyc)-1] {
+		if v == w {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFixedPoint reports whether t admits no improvement, direct or via
+// blocking-node chains; by the paper's Theorem 1 such a tree satisfies
+// deg(T) <= Δ*+1. The tree is not modified.
+func IsFixedPoint(t *spanning.Tree) bool {
+	return !ImproveOnce(t.Clone())
+}
+
+// FurerRaghavachari runs the local search from the given starting tree
+// until no improvement exists and returns the number of committed
+// max-degree reductions. The input tree is modified in place.
+func FurerRaghavachari(t *spanning.Tree) int {
+	steps := 0
+	for ImproveOnce(t) {
+		steps++
+	}
+	return steps
+}
+
+// Approximate builds a BFS tree rooted at the minimum-ID node (the same
+// initial structure the distributed protocol stabilizes to) and reduces it
+// with FurerRaghavachari. It returns the resulting tree.
+func Approximate(g *graph.Graph) *spanning.Tree {
+	t := spanning.BFSTree(g, 0)
+	FurerRaghavachari(t)
+	return t
+}
+
+// LowerBoundDelta returns a combinatorial lower bound on Δ*: for every
+// vertex v, any spanning tree must use at least one edge from v into each
+// connected component of G - v, so Δ* >= max_v components(G - v); and any
+// spanning tree of a graph with n >= 3 has a node of degree >= 2.
+func LowerBoundDelta(g *graph.Graph) int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	if n == 2 {
+		return 1
+	}
+	bound := 2
+	for v := 0; v < n; v++ {
+		if c := componentsWithout(g, v); c > bound {
+			bound = c
+		}
+	}
+	return bound
+}
+
+// componentsWithout counts the connected components of g with node v
+// removed (the other n-1 nodes kept).
+func componentsWithout(g *graph.Graph, v int) int {
+	n := g.N()
+	seen := make([]bool, n)
+	seen[v] = true
+	count := 0
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		count++
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(u) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return count
+}
+
+// DegreeProfile returns the sorted (descending) degree sequence of t —
+// convenience re-export used by experiment tables.
+func DegreeProfile(t *spanning.Tree) []int {
+	seq := t.DegreeSequence()
+	sort.Sort(sort.Reverse(sort.IntSlice(seq)))
+	return seq
+}

@@ -1,0 +1,44 @@
+package mdstseq
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdst/internal/graph"
+)
+
+// 600 fixed seeds of the quick property's instance space: the direct
+// improving-edge local search stays within one of the exact Steiner
+// optimum on every one (the Fürer–Raghavachari guarantee, which their
+// full algorithm proves via blocking-node chains, holds empirically for
+// plain swaps at these sizes).
+func TestStressSteinerBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("600-seed stress")
+	}
+	over := 0
+	total := 0
+	for seed := int64(0); seed < 600; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(5)
+		g := graph.RandomGnp(n, 0.45, rng)
+		k := 2 + rng.Intn(3)
+		perm := rng.Perm(n)
+		terms := perm[:k]
+		st, err := NewSteinerTree(g, terms)
+		if err != nil {
+			continue
+		}
+		SteinerLocalSearch(st)
+		exact, ok := ExactSteinerDelta(g, terms, 0)
+		if !ok {
+			continue
+		}
+		total++
+		if st.MaxDegree() > exact+1 {
+			over++
+			t.Errorf("seed %d: deg %d > exact+1 = %d", seed, st.MaxDegree(), exact+1)
+		}
+	}
+	t.Logf("total=%d over=%d", total, over)
+}

@@ -1,0 +1,174 @@
+package mdstseq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdst/internal/graph"
+)
+
+func TestNewSteinerTreePath(t *testing.T) {
+	// Path 0-1-2-3-4, terminals {0,4}: the tree is the whole path.
+	g := graph.Path(5)
+	st, err := NewSteinerTree(g, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes()) != 5 || st.MaxDegree() != 2 {
+		t.Fatalf("nodes=%v deg=%d", st.Nodes(), st.MaxDegree())
+	}
+}
+
+func TestNewSteinerTreePrunesSteinerLeaves(t *testing.T) {
+	// Star hub 0 with leaves 1..4, terminals {1,2}: the tree must be
+	// 1-0-2 only; leaves 3,4 never enter, and 0 stays as a Steiner node.
+	g := graph.Star(5)
+	st, err := NewSteinerTree(g, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := st.Nodes()
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[1] != 1 || nodes[2] != 2 {
+		t.Fatalf("nodes = %v, want [0 1 2]", nodes)
+	}
+}
+
+func TestNewSteinerTreeErrors(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if _, err := NewSteinerTree(g, []int{0, 3}); err == nil {
+		t.Fatal("disconnected terminals accepted")
+	}
+	if _, err := NewSteinerTree(g, nil); err == nil {
+		t.Fatal("empty terminal set accepted")
+	}
+	if _, err := NewSteinerTree(g, []int{9}); err == nil {
+		t.Fatal("out-of-range terminal accepted")
+	}
+}
+
+func TestSteinerSingleTerminal(t *testing.T) {
+	g := graph.Complete(4)
+	st, err := NewSteinerTree(g, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes()) != 1 || st.MaxDegree() != 0 {
+		t.Fatalf("single-terminal tree: nodes=%v", st.Nodes())
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteinerLocalSearchReducesWheelHub(t *testing.T) {
+	// Wheel hub 0, rim 1..8; terminals = all rim nodes. The heuristic
+	// initial tree routes everything through the hub (degree 8); local
+	// search must pull traffic onto the rim.
+	g := graph.Wheel(9)
+	terms := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	st, err := NewSteinerTree(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.MaxDegree()
+	swaps := SteinerLocalSearch(st)
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxDegree() > before {
+		t.Fatalf("degree grew: %d -> %d", before, st.MaxDegree())
+	}
+	if before > 3 && swaps == 0 {
+		t.Fatalf("no swaps from degree-%d start", before)
+	}
+	if st.MaxDegree() > 3 {
+		t.Fatalf("wheel rim terminals should reach degree <= 3, got %d", st.MaxDegree())
+	}
+}
+
+func TestExactSteinerDeltaKnown(t *testing.T) {
+	// Path: terminals at the ends — only Steiner tree is the path, Δ*=2.
+	g := graph.Path(5)
+	d, ok := ExactSteinerDelta(g, []int{0, 4}, 0)
+	if !ok || d != 2 {
+		t.Fatalf("path exact = %d ok=%v, want 2", d, ok)
+	}
+	// Star with 3 terminals: the hub must be used, degree 3.
+	g = graph.Star(6)
+	d, ok = ExactSteinerDelta(g, []int{1, 2, 3}, 0)
+	if !ok || d != 3 {
+		t.Fatalf("star exact = %d ok=%v, want 3", d, ok)
+	}
+	// Complete graph, 4 terminals: a Hamiltonian path over any superset
+	// gives degree 2.
+	g = graph.Complete(6)
+	d, ok = ExactSteinerDelta(g, []int{0, 2, 3, 5}, 0)
+	if !ok || d != 2 {
+		t.Fatalf("complete exact = %d ok=%v, want 2", d, ok)
+	}
+}
+
+// Property: local search always yields a valid Steiner tree whose degree
+// never exceeds the heuristic start, and on small instances stays within
+// one of the exact optimum computed over the SAME node-set family
+// (every superset of the terminals) — the Fürer–Raghavachari
+// local-optimality bound, checked end to end.
+func TestQuickSteinerWithinOneOfExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(5) // <= 10 nodes: the exact solver enumerates 2^(n-|D|) subsets
+		g := graph.RandomGnp(n, 0.45, rng)
+		k := 2 + rng.Intn(3)
+		perm := rng.Perm(n)
+		terms := perm[:k]
+		st, err := NewSteinerTree(g, terms)
+		if err != nil {
+			return true // terminals disconnected: nothing to test
+		}
+		before := st.MaxDegree()
+		SteinerLocalSearch(st)
+		if st.Validate() != nil {
+			t.Logf("seed %d: invalid tree after search", seed)
+			return false
+		}
+		if st.MaxDegree() > before {
+			t.Logf("seed %d: degree grew %d -> %d", seed, before, st.MaxDegree())
+			return false
+		}
+		exact, ok := ExactSteinerDelta(g, terms, 0)
+		if !ok {
+			return true
+		}
+		if st.MaxDegree() > exact+1 {
+			t.Logf("seed %d: degree %d > exact+1 = %d", seed, st.MaxDegree(), exact+1)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := graph.Ring(5)
+	sub, ids := inducedSubgraph(g, []int{0, 1, 3})
+	if sub.N() != 3 || sub.M() != 1 {
+		t.Fatalf("induced n=%d m=%d, want 3,1", sub.N(), sub.M())
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if s, _ := inducedSubgraph(g, nil); s != nil {
+		t.Fatal("empty node set gave a graph")
+	}
+}

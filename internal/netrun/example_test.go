@@ -1,0 +1,41 @@
+package netrun_test
+
+import (
+	"fmt"
+	"time"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/netrun"
+	"mdst/internal/sim"
+)
+
+// Example runs the protocol over real loopback TCP connections until the
+// configuration is legitimate.
+func Example() {
+	g := graph.Wheel(8)
+	cfg := core.DefaultConfig(g.N())
+	cluster := netrun.NewCluster(g, func(id int, nbrs []int) sim.Process {
+		return core.NewNode(id, nbrs, cfg)
+	}, netrun.Config{})
+	nodes := func() []*core.Node {
+		out := make([]*core.Node, g.N())
+		for i := range out {
+			out[i] = cluster.Process(i).(*core.Node)
+		}
+		return out
+	}
+	ok, err := cluster.RunUntil(250*time.Millisecond, 40, func() bool {
+		return core.CheckLegitimacy(g, nodes()).OK()
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tree, _ := core.ExtractTree(g, nodes())
+	fmt.Println("legitimate over TCP:", ok)
+	fmt.Println("degree within Δ*+1:", tree.MaxDegree() <= 3)
+	// Output:
+	// legitimate over TCP: true
+	// degree within Δ*+1: true
+}

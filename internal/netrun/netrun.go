@@ -1,0 +1,340 @@
+// Package netrun executes the protocol over real TCP connections: each
+// node is a goroutine with a listener on the loopback interface, each
+// graph edge is one TCP connection carrying gob-encoded envelopes in
+// both directions, and each direction is written by a single goroutine —
+// so every link is a reliable FIFO channel, exactly the paper's §2
+// communication model realized by an actual network stack.
+//
+// The runtime is restartable: Stop tears down every connection and
+// listener but keeps the node states, and a subsequent Start re-dials.
+// For a self-stabilizing protocol a restart is just more asynchrony
+// (messages in flight at Stop are lost, which the protocol must — and
+// does — tolerate), so tests can alternate run phases with safe
+// state inspections until the configuration is legitimate.
+package netrun
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+)
+
+// envelope is the wire format: one message with its sender.
+type envelope struct {
+	From int
+	Msg  sim.Message
+}
+
+// hello identifies the dialing endpoint of an edge connection.
+type hello struct {
+	From int
+}
+
+// Config controls a Cluster.
+type Config struct {
+	// TickInterval is the gossip period of each node's "do forever" loop
+	// (default 2ms: TCP round trips are slower than channel sends).
+	TickInterval time.Duration
+	// OutboxSize is the per-direction send buffer in messages (default
+	// 1024). A full outbox drops the newest message — over TCP the
+	// protocol's periodic gossip refreshes any lost state, and dropping
+	// beats deadlocking the node loop.
+	OutboxSize int
+}
+
+// Cluster runs one process per node of g over loopback TCP.
+type Cluster struct {
+	g     *graph.Graph
+	cfg   Config
+	procs []sim.Process
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	inbox   []chan envelope
+	outbox  []map[int]chan sim.Message // node -> neighbor -> send queue
+	lns     []net.Listener
+	conns   []net.Conn
+	dropped atomic.Int64
+}
+
+// Dropped returns the number of messages dropped by full outboxes.
+func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
+
+// NewCluster builds the cluster. The factory contract matches
+// sim.NewNetwork: called once per node in ID order.
+func NewCluster(g *graph.Graph, factory func(id int, neighbors []int) sim.Process, cfg Config) *Cluster {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 2 * time.Millisecond
+	}
+	if cfg.OutboxSize <= 0 {
+		cfg.OutboxSize = 1024
+	}
+	c := &Cluster{g: g, cfg: cfg, procs: make([]sim.Process, g.N())}
+	for id := 0; id < g.N(); id++ {
+		c.procs[id] = factory(id, g.Neighbors(id))
+	}
+	return c
+}
+
+// Process returns the process at node id. Only safe to call before Start
+// or after Stop.
+func (c *Cluster) Process(id int) sim.Process { return c.procs[id] }
+
+// Graph returns the topology.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Start listens, dials every edge and launches the node loops. It
+// returns once the whole mesh is connected.
+func (c *Cluster) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return fmt.Errorf("netrun: already running")
+	}
+	n := c.g.N()
+	c.stop = make(chan struct{})
+	c.inbox = make([]chan envelope, n)
+	c.outbox = make([]map[int]chan sim.Message, n)
+	c.lns = make([]net.Listener, n)
+	c.conns = nil
+	for id := 0; id < n; id++ {
+		c.inbox[id] = make(chan envelope, 4096)
+		c.outbox[id] = make(map[int]chan sim.Message, len(c.g.Neighbors(id)))
+		for _, u := range c.g.Neighbors(id) {
+			c.outbox[id][u] = make(chan sim.Message, c.cfg.OutboxSize)
+		}
+	}
+
+	addrs := make([]string, n)
+	for id := 0; id < n; id++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.teardownLocked()
+			return fmt.Errorf("netrun: listen node %d: %w", id, err)
+		}
+		c.lns[id] = ln
+		addrs[id] = ln.Addr().String()
+	}
+
+	// Accept side: each node expects one connection per lower-ID
+	// neighbor; the dialer sends a hello naming itself.
+	type accepted struct {
+		to   int
+		conn net.Conn
+		from int
+		err  error
+	}
+	expect := 0
+	acceptCh := make(chan accepted)
+	for id := 0; id < n; id++ {
+		for _, u := range c.g.Neighbors(id) {
+			if u < id {
+				expect++
+			}
+		}
+		go func(id int) {
+			want := 0
+			for _, u := range c.g.Neighbors(id) {
+				if u < id {
+					want++
+				}
+			}
+			for k := 0; k < want; k++ {
+				conn, err := c.lns[id].Accept()
+				if err != nil {
+					acceptCh <- accepted{to: id, err: err}
+					return
+				}
+				var h hello
+				if err := gob.NewDecoder(conn).Decode(&h); err != nil {
+					acceptCh <- accepted{to: id, err: err}
+					return
+				}
+				acceptCh <- accepted{to: id, conn: conn, from: h.From}
+			}
+		}(id)
+	}
+
+	// Dial side: the lower-ID endpoint of each edge dials the higher.
+	for id := 0; id < n; id++ {
+		for _, u := range c.g.Neighbors(id) {
+			if u < id { // u dials id; we dial only our higher neighbors
+				continue
+			}
+			conn, err := net.Dial("tcp", addrs[u])
+			if err != nil {
+				c.teardownLocked()
+				return fmt.Errorf("netrun: dial %d->%d: %w", id, u, err)
+			}
+			enc := gob.NewEncoder(conn)
+			if err := enc.Encode(hello{From: id}); err != nil {
+				conn.Close()
+				c.teardownLocked()
+				return fmt.Errorf("netrun: hello %d->%d: %w", id, u, err)
+			}
+			c.conns = append(c.conns, conn)
+			c.startEdge(id, u, conn, enc)
+		}
+	}
+	for k := 0; k < expect; k++ {
+		a := <-acceptCh
+		if a.err != nil {
+			c.teardownLocked()
+			return fmt.Errorf("netrun: accept at %d: %w", a.to, a.err)
+		}
+		c.conns = append(c.conns, a.conn)
+		c.startEdge(a.to, a.from, a.conn, gob.NewEncoder(a.conn))
+	}
+
+	// Node loops.
+	for id := 0; id < n; id++ {
+		id := id
+		ctx := sim.NewContext(id, c.g.Neighbors(id), c.send)
+		c.procs[id].Init(ctx)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			ticker := time.NewTicker(c.cfg.TickInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case env := <-c.inbox[id]:
+					c.procs[id].Receive(ctx, env.From, env.Msg)
+				case <-ticker.C:
+					c.procs[id].Tick(ctx)
+				}
+			}
+		}()
+	}
+	c.running = true
+	return nil
+}
+
+// startEdge launches the writer (draining me's outbox toward peer) and
+// the reader (decoding the peer's messages into me's inbox) for one
+// direction pair of an edge connection.
+func (c *Cluster) startEdge(me, peer int, conn net.Conn, enc *gob.Encoder) {
+	stop := c.stop
+	out := c.outbox[me][peer]
+	in := c.inbox[me]
+	c.wg.Add(2)
+	go func() { // writer: me -> peer
+		defer c.wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case m := <-out:
+				if err := enc.Encode(envelope{From: me, Msg: m}); err != nil {
+					return // connection torn down
+				}
+			}
+		}
+	}()
+	go func() { // reader: peer -> me
+		defer c.wg.Done()
+		dec := gob.NewDecoder(conn)
+		for {
+			var env envelope
+			if err := dec.Decode(&env); err != nil {
+				return // EOF or teardown
+			}
+			select {
+			case <-stop:
+				return
+			case in <- env:
+			}
+		}
+	}()
+}
+
+// send enqueues a message on the per-direction outbox; a full outbox
+// drops the message (gossip repair handles the loss).
+func (c *Cluster) send(from, to int, m sim.Message) {
+	q, ok := c.outbox[from][to]
+	if !ok {
+		panic(fmt.Sprintf("netrun: node %d sent to non-neighbor %d", from, to))
+	}
+	select {
+	case q <- m:
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// Stop tears down connections and listeners and waits for every
+// goroutine. Node states remain inspectable and a new Start resumes.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.running {
+		return
+	}
+	close(c.stop)
+	for _, ln := range c.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	c.running = false
+}
+
+// teardownLocked releases partially created resources after a Start
+// failure. Caller holds mu.
+func (c *Cluster) teardownLocked() {
+	if c.stop != nil {
+		select {
+		case <-c.stop:
+		default:
+			close(c.stop)
+		}
+	}
+	for _, ln := range c.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+}
+
+// RunFor starts the cluster, lets it run for d, then stops it.
+func (c *Cluster) RunFor(d time.Duration) error {
+	if err := c.Start(); err != nil {
+		return err
+	}
+	time.Sleep(d)
+	c.Stop()
+	return nil
+}
+
+// RunUntil alternates run phases of `phase` each with safe inspections
+// of the stopped cluster until check returns true or maxPhases phases
+// have run. It reports whether check ever succeeded.
+func (c *Cluster) RunUntil(phase time.Duration, maxPhases int, check func() bool) (bool, error) {
+	for k := 0; k < maxPhases; k++ {
+		if err := c.RunFor(phase); err != nil {
+			return false, err
+		}
+		if check() {
+			return true, nil
+		}
+	}
+	return false, nil
+}

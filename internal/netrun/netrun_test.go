@@ -1,0 +1,137 @@
+package netrun
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/paperproto"
+	"mdst/internal/sim"
+)
+
+// buildCore wires a cluster of primary-variant nodes over g.
+func buildCore(g *graph.Graph) *Cluster {
+	cfg := core.DefaultConfig(g.N())
+	return NewCluster(g, func(id int, nbrs []int) sim.Process {
+		return core.NewNode(id, nbrs, cfg)
+	}, Config{})
+}
+
+func coreNodes(c *Cluster) []*core.Node {
+	out := make([]*core.Node, c.Graph().N())
+	for i := range out {
+		out[i] = c.Process(i).(*core.Node)
+	}
+	return out
+}
+
+// TestTCPWheelConverges runs the protocol over real TCP sockets on a
+// wheel graph until the configuration is legitimate — the end-to-end
+// proof that the implementation works outside the simulator.
+func TestTCPWheelConverges(t *testing.T) {
+	g := graph.Wheel(8)
+	c := buildCore(g)
+	ok, err := c.RunUntil(250*time.Millisecond, 40, func() bool {
+		return core.CheckLegitimacy(g, coreNodes(c)).OK()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		leg := core.CheckLegitimacy(g, coreNodes(c))
+		t.Fatalf("no legitimacy over TCP: %+v", leg)
+	}
+	tree, err := core.ExtractTree(g, coreNodes(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wheel(8): Δ* = 2 (Hamiltonian path exists), so deg(T) <= 3.
+	if tree.MaxDegree() > 3 {
+		t.Fatalf("degree %d > 3 over TCP", tree.MaxDegree())
+	}
+}
+
+// TestTCPCorruptedStart corrupts every node before the first Start.
+func TestTCPCorruptedStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomGnp(9, 0.45, rng)
+	c := buildCore(g)
+	for _, nd := range coreNodes(c) {
+		nd.Corrupt(rng, g.N())
+	}
+	// Generous budget: the race detector slows handlers ~10x and this
+	// runs on wall-clock phases, not simulated rounds.
+	ok, err := c.RunUntil(250*time.Millisecond, 120, func() bool {
+		return core.CheckLegitimacy(g, coreNodes(c)).OK()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("no recovery over TCP: %+v", core.CheckLegitimacy(g, coreNodes(c)))
+	}
+}
+
+// TestTCPLiteralVariant runs the literal-choreography variant over TCP.
+func TestTCPLiteralVariant(t *testing.T) {
+	g := graph.Wheel(7)
+	cfg := paperproto.DefaultConfig(g.N())
+	c := NewCluster(g, func(id int, nbrs []int) sim.Process {
+		return paperproto.NewNode(id, nbrs, cfg)
+	}, Config{})
+	nodes := func() []*paperproto.Node {
+		out := make([]*paperproto.Node, g.N())
+		for i := range out {
+			out[i] = c.Process(i).(*paperproto.Node)
+		}
+		return out
+	}
+	ok, err := c.RunUntil(250*time.Millisecond, 40, func() bool {
+		return paperproto.CheckLegitimacy(g, nodes()).OK()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("literal variant no legitimacy over TCP: %+v",
+			paperproto.CheckLegitimacy(g, nodes()))
+	}
+}
+
+// TestStartStopIdempotence: Stop without Start is a no-op; double Start
+// errors; restart works.
+func TestStartStopIdempotence(t *testing.T) {
+	g := graph.Ring(4)
+	c := buildCore(g)
+	c.Stop() // no-op
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		c.Stop()
+		t.Fatal("double Start did not error")
+	}
+	c.Stop()
+	if err := c.Start(); err != nil {
+		t.Fatalf("restart failed: %v", err)
+	}
+	c.Stop()
+}
+
+// TestSendToNonNeighborPanics: locality is enforced over TCP too.
+func TestSendToNonNeighborPanics(t *testing.T) {
+	g := graph.Path(3) // 0-1-2: 0 and 2 are not adjacent
+	c := buildCore(g)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("send to non-neighbor did not panic")
+		}
+	}()
+	c.send(0, 2, core.UpdateDistMsg{Dist: 1})
+}

@@ -1,0 +1,22 @@
+package netrun
+
+import (
+	"encoding/gob"
+
+	"mdst/internal/core"
+	"mdst/internal/paperproto"
+)
+
+// Gob needs the concrete message types behind the sim.Message interface
+// registered once per process. Both protocol variants' wire formats are
+// registered so a cluster can run either.
+func init() {
+	gob.Register(core.InfoMsg{})
+	gob.Register(core.SearchMsg{})
+	gob.Register(core.ReverseMsg{})
+	gob.Register(core.DeblockMsg{})
+	gob.Register(core.UpdateDistMsg{})
+	gob.Register(paperproto.RemoveMsg{})
+	gob.Register(paperproto.BackMsg{})
+	gob.Register(paperproto.ReverseMsg{})
+}

@@ -1,0 +1,403 @@
+package paperproto
+
+import (
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+)
+
+// Degree-reduction module, literal choreography (paper §3.2.4, Figures
+// 1-2, 4, 5). See the package comment for the phase structure and the
+// interpretation notes.
+
+// actionOnCycle runs at the terminus x of a Search for the non-tree edge
+// {y, x} once the token has collected the fundamental cycle. The
+// classification is the paper's Action_on_Cycle, identical to the
+// primary variant; only the reaction to an improvement differs (Improve
+// sends a literal Remove across the init edge instead of starting an
+// ordered re-parent chain).
+func (n *Node) actionOnCycle(ctx *sim.Context, msg core.SearchMsg) {
+	n.stats.CyclesClassified++
+	path := msg.Path
+	y := msg.Init.U
+	vy, ok := n.view[y]
+	if !ok {
+		return
+	}
+	myDeg := n.Deg()
+	endMax := myDeg
+	if vy.Deg > endMax {
+		endMax = vy.Deg
+	}
+	if msg.Block < 0 {
+		dpath := 0
+		for i := range path {
+			if path[i].Deg > dpath {
+				dpath = path[i].Deg
+			}
+		}
+		if dpath != n.dmax {
+			return // no maximum-degree node on this cycle
+		}
+		switch {
+		case endMax < n.dmax-1:
+			// Improving edge (Eq. 1): min-ID interior node of maximum
+			// degree; the target edge is its successor edge on the cycle.
+			wi := -1
+			for i := 1; i < len(path); i++ {
+				if path[i].Deg == dpath && (wi == -1 || path[i].Node < path[wi].Node) {
+					wi = i
+				}
+			}
+			if wi > 0 {
+				n.improve(ctx, msg, wi)
+			}
+		case endMax == n.dmax-1:
+			n.triggerDeblock(ctx, y, myDeg, vy.Deg)
+		}
+		return
+	}
+
+	// Deblock search: the cycle must pass through the blocked node.
+	b := msg.Block
+	if b == n.id || b == y {
+		return
+	}
+	bi := -1
+	for i := range path {
+		if path[i].Node == b {
+			bi = i
+			break
+		}
+	}
+	if bi <= 0 {
+		return
+	}
+	if path[bi].Deg != n.dmax-1 {
+		return // no longer a blocking node: stale
+	}
+	switch {
+	case endMax < n.dmax-1:
+		if n.cfg.DeblockTieBreak {
+			zIsSelf := bi+1 == len(path)
+			if !zIsSelf && myDeg == n.dmax-2 && n.id > b {
+				return
+			}
+			if vy.Deg == n.dmax-2 && y > b {
+				return
+			}
+		}
+		n.improve(ctx, msg, bi)
+	case endMax == n.dmax-1 && msg.TTL > 0:
+		n.triggerDeblockTTL(ctx, y, myDeg, vy.Deg, msg.TTL-1)
+	}
+}
+
+// improve is the paper's Improve(y, deg, e, path): it freezes the
+// decision context into a Remove message and sends it to the head of the
+// path — the initiator y, reached across the initiating non-tree edge.
+// The cycle order carried by the message is [y, n1, .., nk, x].
+func (n *Node) improve(ctx *sim.Context, msg core.SearchMsg, wi int) {
+	path := msg.Path
+	ids := make([]int, 0, len(path)+1)
+	for i := range path {
+		ids = append(ids, path[i].Node)
+	}
+	ids = append(ids, n.id)
+	w := path[wi].Node
+	z := ids[wi+1] // successor on the cycle (x itself when wi is last)
+	n.stats.RemovesStarted++
+	ctx.Send(msg.Init.U, RemoveMsg{
+		Init:   msg.Init,
+		DegMax: n.dmax,
+		Target: graph.Edge{U: w, V: z},
+		WDeg:   path[wi].Deg,
+		Path:   ids,
+		Pos:    0,
+	})
+}
+
+// handleRemove processes one hop of a Remove message (Figure 2, lines
+// 3-14, including the closing "send InfoMsg to all" of line 14).
+func (n *Node) handleRemove(ctx *sim.Context, from int, msg RemoveMsg) {
+	if msg.Pos < 0 || msg.Pos >= len(msg.Path) || msg.Path[msg.Pos] != n.id {
+		n.stats.ChoreoAborted++
+		return
+	}
+	defer n.sendInfo(ctx)
+	if msg.Reorient {
+		n.reorientHop(ctx, from, msg)
+		return
+	}
+	// Routing phase: the paper freezes reduction handling while the
+	// neighborhood is unstable; the message is simply dropped (the
+	// periodic search retries).
+	if !n.locallyStabilized() || n.dmax != msg.DegMax {
+		n.stats.ChoreoAborted++
+		return
+	}
+	if n.id == msg.Target.U {
+		n.reverseOrientation(ctx, from, msg)
+		return
+	}
+	if msg.Pos+1 >= len(msg.Path) {
+		n.stats.ChoreoAborted++
+		return // the target was not on the remaining path: malformed
+	}
+	// Transit: forward toward the target edge, mutating nothing — even
+	// across an edge deleted by a concurrent exchange ("carries on as if
+	// the deleted edge would be still alive").
+	msg.Pos++
+	ctx.Send(msg.Path[msg.Pos], msg)
+}
+
+// reverseOrientation is the paper's Reverse_Orientation (Figure 1, lines
+// 31-43) at the target node w: it performs the removal and decides,
+// from the orientation of the tree at the target edge, whether the
+// reorientation of the detached segment continues forward with the same
+// Remove (Figure 5a) or retraces the prefix with a Back (Figure 5b).
+func (n *Node) reverseOrientation(ctx *sim.Context, from int, msg RemoveMsg) {
+	wi := msg.Pos
+	z := msg.Target.V
+	if wi < 1 || wi+1 >= len(msg.Path) || msg.Path[wi+1] != z {
+		n.stats.ChoreoAborted++
+		return
+	}
+	// target_remove: the degree and status of the target must match the
+	// decision context, otherwise the Remove is discarded (Lemma 3,
+	// case 2: a concurrent improvement already happened).
+	if n.Deg() != msg.WDeg || n.dmax != msg.DegMax || !n.isTreeEdge(z) {
+		n.stats.ChoreoAborted++
+		return
+	}
+	pred := msg.Path[wi-1]
+	switch {
+	case n.parent == pred:
+		// Figure 5a: the segment ahead (z..x) is the detached side; w
+		// leaves its parent (removing edge {pred, w}) and joins the
+		// reversed chain. The Remove continues forward.
+		vz := n.view[z]
+		n.parent = z
+		n.distance = vz.Distance + 1
+		n.color = !n.color
+		n.stats.ReorientHops++
+		msg.Pos++
+		msg.Reorient = true
+		ctx.Send(z, msg)
+	case n.parent == z:
+		// Figure 5b: the traversed prefix (y..w) is the detached side; w
+		// leaves z (removing the target edge {w, z}) and re-parents onto
+		// its predecessor; a Back retraces the prefix in reverse.
+		vp := n.view[pred]
+		n.parent = pred
+		n.distance = vp.Distance + 1
+		n.color = !n.color
+		n.stats.BacksStarted++
+		rev := make([]int, 0, wi)
+		for i := wi - 1; i >= 0; i-- {
+			rev = append(rev, msg.Path[i])
+		}
+		ctx.Send(pred, BackMsg{Init: msg.Init, Path: rev, Pos: 0})
+	case !n.pathNeighborIsParent(pred, z):
+		// w is the apex of the cycle (its parent is off-path): the target
+		// edge {w, z} is removed by z's own reorientation hop; w itself
+		// keeps its parent (interpretation I1 in the package comment).
+		n.color = !n.color
+		msg.Pos++
+		msg.Reorient = true
+		ctx.Send(z, msg)
+	default:
+		n.stats.ChoreoAborted++
+	}
+}
+
+// pathNeighborIsParent reports whether either path neighbor of the
+// target node is its parent (false exactly in the apex case).
+func (n *Node) pathNeighborIsParent(pred, z int) bool {
+	return n.parent == pred || n.parent == z
+}
+
+// reorientHop applies one hop of the forward reorientation (the "w,z ∉
+// list2" state of Figure 2, lines 10-13): the node leaves its old parent
+// (the sender) and re-parents onto its successor on the cycle; the final
+// hop is the source_remove attachment through the initiating edge.
+func (n *Node) reorientHop(ctx *sim.Context, from int, msg RemoveMsg) {
+	if n.parent != from {
+		// The expected tree edge to the sender is gone: the tree changed
+		// under the exchange. The paper performs the Reverse_Aux
+		// handshake here; this implementation aborts and lets the
+		// spanning-tree module repair the partial exchange
+		// (interpretation I2).
+		n.stats.ChoreoAborted++
+		return
+	}
+	if n.id == msg.Init.V { // source_remove: re-attach through the init edge
+		y := msg.Init.U
+		if n.isTreeEdge(y) {
+			n.stats.ChoreoAborted++
+			return
+		}
+		vy := n.view[y]
+		n.parent = y
+		n.distance = vy.Distance + 1
+		n.stats.ExchangesComplete++
+		n.floodDist(ctx, -1)
+		return
+	}
+	if msg.Pos+1 >= len(msg.Path) {
+		n.stats.ChoreoAborted++
+		return
+	}
+	next := msg.Path[msg.Pos+1]
+	vn := n.view[next]
+	n.parent = next
+	n.distance = vn.Distance + 1
+	n.stats.ReorientHops++
+	msg.Pos++
+	ctx.Send(next, msg)
+}
+
+// handleBack applies one hop of the backward reorientation (Figure 2,
+// lines 15-21): each prefix node re-parents onto its predecessor on the
+// cycle; the initiator finally re-attaches through the initiating edge
+// (the paper's line 17 with the endpoint corrected to the far endpoint,
+// see the package comment).
+func (n *Node) handleBack(ctx *sim.Context, from int, msg BackMsg) {
+	if msg.Pos < 0 || msg.Pos >= len(msg.Path) || msg.Path[msg.Pos] != n.id {
+		n.stats.ChoreoAborted++
+		return
+	}
+	defer n.sendInfo(ctx) // Figure 2, line 21
+	if n.parent != from {
+		n.stats.ChoreoAborted++ // Reverse_Aux situation: abort (I2)
+		return
+	}
+	if n.id == msg.Init.U { // source attach: re-parent onto the terminus
+		x := msg.Init.V
+		if n.isTreeEdge(x) {
+			n.stats.ChoreoAborted++
+			return
+		}
+		vx := n.view[x]
+		n.parent = x
+		n.distance = vx.Distance + 1
+		n.stats.ExchangesComplete++
+		n.floodDist(ctx, -1)
+		return
+	}
+	if msg.Pos+1 >= len(msg.Path) {
+		n.stats.ChoreoAborted++
+		return
+	}
+	next := msg.Path[msg.Pos+1]
+	vn := n.view[next]
+	n.parent = next
+	n.distance = vn.Distance + 1
+	n.stats.ReorientHops++
+	msg.Pos++
+	ctx.Send(next, msg)
+}
+
+// handleReverseMsg is the paper's Reverse handler, literal (Figure 2,
+// lines 23-24): forward up the old parent chain, then adopt the sender
+// as the new parent — reversing the chain's orientation hop by hop until
+// Target is reached.
+func (n *Node) handleReverseMsg(ctx *sim.Context, from int, msg ReverseMsg) {
+	if msg.Target != n.id && n.parent != n.id && n.parent != from {
+		ctx.Send(n.parent, ReverseMsg{Target: msg.Target})
+		n.stats.ReversesSent++
+	}
+	if v, ok := n.view[from]; ok {
+		n.parent = from
+		n.distance = v.Distance + 1
+	}
+}
+
+// triggerDeblock starts a deblock for whichever endpoint of the init
+// edge blocks the improvement, with a fresh TTL.
+func (n *Node) triggerDeblock(ctx *sim.Context, y, myDeg, yDeg int) {
+	n.triggerDeblockTTL(ctx, y, myDeg, yDeg, n.cfg.DeblockTTL)
+}
+
+// triggerDeblockTTL is the paper's Deblock(y, s): the higher-degree
+// endpoint becomes the blocked node; ties trigger both.
+func (n *Node) triggerDeblockTTL(ctx *sim.Context, y, myDeg, yDeg, ttl int) {
+	if ttl <= 0 {
+		return
+	}
+	if myDeg >= yDeg {
+		n.broadcastDeblock(ctx, n.id, ttl, -1)
+	}
+	if yDeg >= myDeg {
+		ctx.Send(y, core.DeblockMsg{Block: y, TTL: ttl})
+	}
+}
+
+// broadcastDeblock floods a Deblock through the blocked node's subtree
+// and launches the local deblock searches (the paper's Broadcast +
+// Cycle_Search(idblock)).
+func (n *Node) broadcastDeblock(ctx *sim.Context, block, ttl, except int) {
+	if last, ok := n.lastDeblock[block]; ok && n.tick-last < n.cfg.SearchPeriod {
+		return
+	}
+	n.lastDeblock[block] = n.tick
+	n.stats.DeblocksTriggered++
+	for _, u := range n.nbrs {
+		if u == except || !n.isTreeEdge(u) {
+			continue
+		}
+		if v := n.view[u]; v.Parent == n.id {
+			ctx.Send(u, core.DeblockMsg{Block: block, TTL: ttl})
+		}
+	}
+	for _, u := range n.nbrs {
+		if !n.isTreeEdge(u) {
+			n.startSearch(ctx, u, block, ttl)
+		}
+	}
+}
+
+// handleDeblock processes a Deblock received from a neighbor.
+func (n *Node) handleDeblock(ctx *sim.Context, from int, msg core.DeblockMsg) {
+	if !n.locallyStabilized() || msg.TTL <= 0 {
+		return
+	}
+	n.broadcastDeblock(ctx, msg.Block, msg.TTL, from)
+}
+
+// floodDist sends UpdateDist to every tree child except `except`,
+// repairing the distances of the reversed region (Figure 2, lines
+// 25-27).
+func (n *Node) floodDist(ctx *sim.Context, except int) {
+	for _, u := range n.nbrs {
+		if u == except {
+			continue
+		}
+		if v := n.view[u]; v.Parent == n.id {
+			ctx.Send(u, core.UpdateDistMsg{Dist: n.distance})
+		}
+	}
+}
+
+// handleUpdateDist repairs this node's distance from its parent's
+// announcement and propagates downward on change. Announcements beyond
+// the distance bound are dropped so a flood circulating in a transient
+// parent cycle dies out instead of livelocking the repair (see the
+// matching guard in internal/core).
+func (n *Node) handleUpdateDist(ctx *sim.Context, from int, msg core.UpdateDistMsg) {
+	if from != n.parent {
+		return
+	}
+	if msg.Dist+1 > n.cfg.MaxDist {
+		return
+	}
+	if n.distance == msg.Dist+1 {
+		return
+	}
+	n.distance = msg.Dist + 1
+	for _, u := range n.nbrs {
+		if v := n.view[u]; v.Parent == n.id {
+			ctx.Send(u, core.UpdateDistMsg{Dist: n.distance})
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package paperproto is the literal-choreography variant of the
+// self-stabilizing minimum-degree spanning tree protocol (Blin,
+// Gradinariu Potop-Butucaru, Rovedakis; IPDPS 2009).
+//
+// The primary implementation, internal/core, realizes the paper's edge
+// exchange as an ordered chain of single-parent moves so that every
+// intermediate configuration is a spanning tree (DESIGN.md substitution
+// S3). This package instead keeps the paper's two-phase message
+// choreography of Figures 1-2 on the wire:
+//
+//   - Improve sends a Remove message from the search terminus across the
+//     initiating non-tree edge; the Remove is routed hop by hop along the
+//     fundamental-cycle path it carries, mutating nothing until it
+//     reaches the target edge (Figure 2, lines 3-14, the "w,z ∈ list2"
+//     transit case).
+//   - At the target edge, Reverse_Orientation (Figure 1, lines 31-43)
+//     deletes the edge and corrects the orientation of the detached
+//     segment, continuing with either the same Remove (Figure 5a) or a
+//     Back message retracing the traversed prefix (Figure 5b). Each hop
+//     of that second phase re-parents one node onto its successor on the
+//     cycle; the final hop re-attaches the detached segment through the
+//     initiating edge (the source_remove case).
+//   - UpdateDist floods repair the distances of the reversed region
+//     (Figure 2, lines 25-27), and Reverse (Figure 2, lines 23-24)
+//     reverses a parent chain when a transit node finds the expected
+//     tree edge already gone (the Reverse_Aux handshake).
+//
+// Because the removal happens at the target edge *before* the detached
+// segment is re-attached, intermediate configurations are NOT spanning
+// trees: the detached region is transiently parent-cycled or rootless
+// exactly as in the paper, and the spanning-tree module (rules R1/R2)
+// absorbs any choreography that aborts midway. That is the property this
+// package exists to exercise; the differential tests in choreo_test.go
+// check that both variants converge to legitimate configurations with
+// deg(T) <= Δ*+1 and that this variant pays for its fidelity with extra
+// repair churn (experiment E11).
+//
+// # Interpretation notes
+//
+// The paper's pseudo-code leaves the orientation bookkeeping of
+// Reverse_Orientation under-determined (the roles of list1/list2 and the
+// re-parent at the first target endpoint cannot all hold simultaneously
+// for any consistent reading of path order; see DESIGN.md §3,
+// interpretation I1). This implementation derives the case split from
+// the actual tree state at the target edge, which is the only reading
+// that realizes Figure 5(c)'s net effect:
+//
+//   - If the far endpoint of the target edge is the child (its parent
+//     pointer crosses the target edge against the travel direction), the
+//     detached segment lies ahead: continue with Remove (case a).
+//   - If the near endpoint is the child, the detached segment is the
+//     already-traversed prefix: send Back along the reversed prefix
+//     (case b).
+//   - Otherwise the target edge has already been removed by a concurrent
+//     exchange and the message is discarded, the paper's staleness rule.
+package paperproto

@@ -1,0 +1,98 @@
+package paperproto
+
+import (
+	"testing"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/mdstseq"
+	"mdst/internal/sim"
+	"mdst/internal/spanning"
+)
+
+// Aliases keeping the choreography tests terse.
+type (
+	coreSearch    = core.SearchMsg
+	corePathEntry = core.PathEntry
+)
+
+func deblockMsg(block, ttl int) core.DeblockMsg { return core.DeblockMsg{Block: block, TTL: ttl} }
+
+func updateDist(d int) core.UpdateDistMsg { return core.UpdateDistMsg{Dist: d} }
+
+// drain delivers every pending message in deterministic order until the
+// network is quiet (no ticks run: handler-level tests drive messages
+// only).
+func drain(net *sim.Network, maxSteps int) int {
+	steps := 0
+	for steps < maxSteps {
+		links := net.NonEmptyLinks()
+		if len(links) == 0 {
+			return steps
+		}
+		net.Deliver(links[0])
+		steps++
+	}
+	return steps
+}
+
+// chainTree builds a spanning tree from explicit (child, parent) pairs
+// rooted at 0.
+func chainTree(t *testing.T, g *graph.Graph, pairs [][2]int) *spanning.Tree {
+	t.Helper()
+	parents := make([]int, g.N())
+	parents[0] = 0
+	for _, p := range pairs {
+		parents[p[0]] = p[1]
+	}
+	tr, err := spanning.NewFromParents(g, parents, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// preload writes a legitimate configuration (stabilized BFS tree reduced
+// to a Fürer–Raghavachari fixed point, coherent views) into a network.
+func preload(t *testing.T, g *graph.Graph, net *sim.Network) *spanning.Tree {
+	t.Helper()
+	tree := spanning.BFSTree(g, 0)
+	mdstseq.FurerRaghavachari(tree)
+	loadTree(g, net, tree)
+	return tree
+}
+
+// loadTree installs an arbitrary valid tree (plus coherent degree data)
+// as the current configuration.
+func loadTree(g *graph.Graph, net *sim.Network, tree *spanning.Tree) {
+	k := tree.MaxDegree()
+	deg := tree.Degrees()
+	submax := make([]int, g.N())
+	for pass := 0; pass < g.N(); pass++ {
+		for v := 0; v < g.N(); v++ {
+			submax[v] = deg[v]
+			for _, c := range tree.Children(v) {
+				if submax[c] > submax[v] {
+					submax[v] = submax[c]
+				}
+			}
+		}
+	}
+	nodes := NodesOf(net)
+	for i, nd := range nodes {
+		nd.SetState(tree.Root(), tree.Parent(i), tree.Depth(i), k, submax[i], false)
+	}
+	for i, nd := range nodes {
+		for _, u := range g.Neighbors(i) {
+			nd.SetView(u, View{
+				Root:     tree.Root(),
+				Parent:   tree.Parent(u),
+				Distance: tree.Depth(u),
+				Dmax:     k,
+				Submax:   submax[u],
+				Deg:      deg[u],
+				Color:    false,
+			})
+		}
+	}
+}

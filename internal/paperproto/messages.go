@@ -1,0 +1,79 @@
+package paperproto
+
+import "mdst/internal/graph"
+
+// Message kinds specific to the literal choreography. InfoMsg, Search
+// and Deblock reuse the wire formats of internal/core (identical in the
+// paper); Remove, Back and Reverse are this variant's own.
+const (
+	KindRemove  = "remove"
+	KindBack    = "back"
+	KindReverse = "reverse"
+)
+
+// ReductionKinds lists the message kinds that must drain before a
+// configuration is considered quiescent: an in-flight Remove, Back,
+// Reverse or UpdateDist can still change the tree. (Search and Deblock
+// keep flowing at a fixed point by design, exactly as in core.)
+func ReductionKinds() []string {
+	return []string{KindRemove, KindBack, KindReverse, "updatedist"}
+}
+
+// RemoveMsg is the paper's Remove message: ⟨Remove, init_edge, deg_max,
+// target, path⟩. It is routed from the search terminus across the
+// initiating non-tree edge and then along the fundamental cycle to the
+// target edge; past the target edge it drives the reorientation of the
+// detached segment (Figure 5a).
+//
+// Path holds the cycle node IDs in traversal order: the initiator
+// (Init.U) first, the terminus (Init.V) last. Pos is the index of the
+// node the message is currently addressed to — the paper encodes the
+// same information as the list1 ⊕ v ⊕ list2 split of the carried path.
+// Reorient marks that the target edge has been processed (the "w,z ∉
+// list2" state of Figure 2, line 10).
+type RemoveMsg struct {
+	Init     graph.Edge // Init.U = initiator (low ID), Init.V = terminus
+	DegMax   int        // deg(T) frozen at decision time
+	Target   graph.Edge // Target.U = w (the node whose degree drops), Target.V = z
+	WDeg     int        // degree of w at decision time (target_remove check)
+	Path     []int
+	Pos      int
+	Reorient bool
+}
+
+// Kind implements sim.Message.
+func (RemoveMsg) Kind() string { return KindRemove }
+
+// Size implements sim.Message: one word per path entry plus header,
+// O(n log n) bits as in the paper's buffer-length analysis.
+func (m RemoveMsg) Size() int { return len(m.Path) + 8 }
+
+// BackMsg is the paper's Back message: ⟨Back, init_edge, path⟩. It
+// retraces the already-traversed prefix of the cycle in reverse order
+// (Figure 5b), re-parenting each node onto its predecessor, and finally
+// re-attaches the detached segment through the initiating edge.
+type BackMsg struct {
+	Init graph.Edge
+	Path []int // reversed prefix: Path[0] is the first node to re-parent
+	Pos  int
+}
+
+// Kind implements sim.Message.
+func (BackMsg) Kind() string { return KindBack }
+
+// Size implements sim.Message.
+func (m BackMsg) Size() int { return len(m.Path) + 4 }
+
+// ReverseMsg is the paper's Reverse message (Figure 2, lines 23-24): it
+// walks up the parent chain re-parenting every traversed node onto the
+// message's sender until it reaches Target, reversing the chain's
+// orientation. It is the messenger half of the Reverse_Aux handshake.
+type ReverseMsg struct {
+	Target int
+}
+
+// Kind implements sim.Message.
+func (ReverseMsg) Kind() string { return KindReverse }
+
+// Size implements sim.Message.
+func (ReverseMsg) Size() int { return 1 }

@@ -1,0 +1,309 @@
+package paperproto
+
+import (
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/sim"
+)
+
+// Config reuses the primary implementation's tuning knobs: the two
+// variants share the spanning-tree, maximum-degree and cycle-search
+// modules and differ only in the exchange choreography.
+type Config = core.Config
+
+// DefaultConfig returns the configuration used by the experiments for a
+// network of n nodes (identical to core.DefaultConfig).
+func DefaultConfig(n int) Config { return core.DefaultConfig(n) }
+
+// View is a node's local copy of one neighbor's variables (send/receive
+// atomicity), refreshed only by InfoMsg.
+type View struct {
+	Root     int
+	Parent   int
+	Distance int
+	Dmax     int
+	Submax   int
+	Deg      int
+	Color    bool
+}
+
+// Node is one participant of the literal-choreography protocol variant.
+type Node struct {
+	id   int
+	cfg  Config
+	nbrs []int
+
+	// The paper's per-node variables (§3.1).
+	root     int
+	parent   int
+	distance int
+	dmax     int
+	submax   int
+	color    bool
+
+	view map[int]*View
+
+	// Implementation bookkeeping (transient; not protocol state).
+	tick        int
+	nextSearch  map[int]int
+	lastDeblock map[int]int
+
+	stats Stats
+}
+
+// Stats counts protocol events at this node (observability only).
+type Stats struct {
+	SearchesLaunched  int // DFS tokens this node initiated
+	CyclesClassified  int // actionOnCycle invocations at this node
+	RemovesStarted    int // Improve invocations (Remove sent across the init edge)
+	ReorientHops      int // re-parenting hops applied in the reorientation phase
+	BacksStarted      int // case-(b) Back messages emitted at the target edge
+	ExchangesComplete int // source_remove attachments: one per completed exchange
+	ChoreoAborted     int // Remove/Back hops discarded by a staleness check
+	ReversesSent      int // literal Reverse messages emitted (Reverse_Aux path)
+	DeblocksTriggered int // Deblock floods this node started or forwarded
+}
+
+// NewNode creates a node in a clean initial state (its own root).
+func NewNode(id int, neighbors []int, cfg Config) *Node {
+	n := &Node{
+		id:          id,
+		cfg:         cfg,
+		nbrs:        append([]int(nil), neighbors...),
+		root:        id,
+		parent:      id,
+		view:        make(map[int]*View, len(neighbors)),
+		nextSearch:  make(map[int]int),
+		lastDeblock: make(map[int]int),
+	}
+	for _, u := range neighbors {
+		n.view[u] = &View{Root: u, Parent: u}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the node (state, views and bookkeeping),
+// used by the exhaustive model checker to branch executions.
+func (n *Node) Clone() *Node {
+	c := *n
+	c.view = make(map[int]*View, len(n.view))
+	for u, v := range n.view {
+		vv := *v
+		c.view[u] = &vv
+	}
+	c.nextSearch = make(map[int]int, len(n.nextSearch))
+	for k, v := range n.nextSearch {
+		c.nextSearch[k] = v
+	}
+	c.lastDeblock = make(map[int]int, len(n.lastDeblock))
+	for k, v := range n.lastDeblock {
+		c.lastDeblock[k] = v
+	}
+	return &c
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Root returns the locally known root of the spanning tree.
+func (n *Node) Root() int { return n.root }
+
+// Parent returns the node's parent pointer (itself when it is a root).
+func (n *Node) Parent() int { return n.parent }
+
+// Distance returns the node's distance-to-root variable.
+func (n *Node) Distance() int { return n.distance }
+
+// Dmax returns the node's estimate of deg(T).
+func (n *Node) Dmax() int { return n.dmax }
+
+// Color returns the freeze-wave color bit.
+func (n *Node) Color() bool { return n.color }
+
+// NodeStats returns the node's protocol event counters.
+func (n *Node) NodeStats() Stats { return n.stats }
+
+// Deg returns the node's degree in the current tree (the paper's
+// edge_status derived from parent pointers and neighbor copies).
+func (n *Node) Deg() int {
+	d := 0
+	for _, u := range n.nbrs {
+		if n.isTreeEdge(u) {
+			d++
+		}
+	}
+	return d
+}
+
+// isTreeEdge is the paper's is_tree_edge(v,u) on v's local copies.
+func (n *Node) isTreeEdge(u int) bool {
+	if n.parent == u && n.id != n.root {
+		return true
+	}
+	if v, ok := n.view[u]; ok && v.Parent == n.id {
+		return true
+	}
+	return false
+}
+
+// SetState overwrites the protocol variables (test/fault injection).
+func (n *Node) SetState(root, parent, distance, dmax, submax int, color bool) {
+	n.root, n.parent, n.distance = root, parent, distance
+	n.dmax, n.submax, n.color = dmax, submax, color
+}
+
+// SetView overwrites the local copy of neighbor u (test/fault injection).
+func (n *Node) SetView(u int, v View) {
+	if _, ok := n.view[u]; !ok {
+		panic("paperproto: SetView for non-neighbor")
+	}
+	*n.view[u] = v
+}
+
+// Corrupt randomizes every protocol variable and neighbor copy — the
+// arbitrary initial configuration of Definition 1.
+func (n *Node) Corrupt(rng *rand.Rand, idSpace int) {
+	pick := func() int {
+		if rng.Float64() < 0.2 {
+			return rng.Intn(idSpace)
+		}
+		if len(n.nbrs) == 0 || rng.Float64() < 0.3 {
+			return n.id
+		}
+		return n.nbrs[rng.Intn(len(n.nbrs))]
+	}
+	n.root = rng.Intn(idSpace)
+	n.parent = pick()
+	n.distance = rng.Intn(n.cfg.MaxDist + 2)
+	n.dmax = rng.Intn(idSpace + 2)
+	n.submax = rng.Intn(idSpace + 2)
+	n.color = rng.Intn(2) == 0
+	for _, u := range n.nbrs {
+		n.view[u] = &View{
+			Root:     rng.Intn(idSpace),
+			Parent:   rng.Intn(idSpace),
+			Distance: rng.Intn(n.cfg.MaxDist + 2),
+			Dmax:     rng.Intn(idSpace + 2),
+			Submax:   rng.Intn(idSpace + 2),
+			Deg:      rng.Intn(idSpace + 1),
+			Color:    rng.Intn(2) == 0,
+		}
+	}
+}
+
+// Init implements sim.Process. Deliberately empty: self-stabilization
+// must work from whatever state the node carries.
+func (n *Node) Init(ctx *sim.Context) {}
+
+// Tick implements sim.Process: one iteration of the "do forever" loop.
+func (n *Node) Tick(ctx *sim.Context) {
+	n.tick++
+	n.runTreeModule()
+	n.runDegreeModule()
+	if !n.cfg.DisableReduction {
+		n.maybeStartSearches(ctx)
+	}
+	n.sendInfo(ctx)
+}
+
+// Receive implements sim.Process.
+func (n *Node) Receive(ctx *sim.Context, from sim.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case core.InfoMsg:
+		n.handleInfo(from, msg)
+	case core.SearchMsg:
+		if !n.cfg.DisableReduction {
+			n.handleSearch(ctx, from, msg)
+		}
+	case RemoveMsg:
+		if !n.cfg.DisableReduction {
+			n.handleRemove(ctx, from, msg)
+		}
+	case BackMsg:
+		if !n.cfg.DisableReduction {
+			n.handleBack(ctx, from, msg)
+		}
+	case ReverseMsg:
+		if !n.cfg.DisableReduction {
+			n.handleReverseMsg(ctx, from, msg)
+		}
+	case core.DeblockMsg:
+		if !n.cfg.DisableReduction {
+			n.handleDeblock(ctx, from, msg)
+		}
+	case core.UpdateDistMsg:
+		n.handleUpdateDist(ctx, from, msg)
+	}
+}
+
+// sendInfo gossips the current variables to every neighbor.
+func (n *Node) sendInfo(ctx *sim.Context) {
+	msg := core.InfoMsg{
+		Root:     n.root,
+		Parent:   n.parent,
+		Distance: n.distance,
+		Dmax:     n.dmax,
+		Submax:   n.submax,
+		Deg:      n.Deg(),
+		Color:    n.color,
+	}
+	for _, u := range n.nbrs {
+		ctx.Send(u, msg)
+	}
+}
+
+// handleInfo is the paper's Update_State: refresh the local copy, then
+// re-run the correction rules.
+func (n *Node) handleInfo(from int, m core.InfoMsg) {
+	v, ok := n.view[from]
+	if !ok {
+		return
+	}
+	v.Root, v.Parent, v.Distance = m.Root, m.Parent, m.Distance
+	v.Dmax, v.Submax, v.Deg, v.Color = m.Dmax, m.Submax, m.Deg, m.Color
+	n.runTreeModule()
+}
+
+// Fingerprint implements sim.Fingerprinter (protocol variables and
+// neighbor copies; message traffic excluded).
+func (n *Node) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	mix(uint64(n.root))
+	mix(uint64(n.parent))
+	mix(uint64(n.distance))
+	mix(uint64(n.dmax))
+	mix(uint64(n.submax))
+	if n.color {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	for _, u := range n.nbrs {
+		v := n.view[u]
+		mix(uint64(v.Root))
+		mix(uint64(v.Parent))
+		mix(uint64(v.Distance))
+		mix(uint64(v.Dmax))
+		mix(uint64(v.Submax))
+		mix(uint64(v.Deg))
+		if v.Color {
+			mix(3)
+		} else {
+			mix(4)
+		}
+	}
+	return h
+}
+
+// StateBits implements sim.StateSizer: same accounting as the primary
+// variant — the choreography adds no per-node state, only messages.
+func (n *Node) StateBits() int {
+	words := 6 + 7*len(n.nbrs)
+	return words * n.cfg.WordBits
+}

@@ -1,0 +1,170 @@
+package paperproto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdst/internal/graph"
+)
+
+func TestMessageKindsAndSizes(t *testing.T) {
+	r := RemoveMsg{Path: []int{1, 2, 3}}
+	if r.Kind() != KindRemove || r.Size() != 11 {
+		t.Fatalf("Remove kind=%q size=%d", r.Kind(), r.Size())
+	}
+	b := BackMsg{Path: []int{1, 2}}
+	if b.Kind() != KindBack || b.Size() != 6 {
+		t.Fatalf("Back kind=%q size=%d", b.Kind(), b.Size())
+	}
+	v := ReverseMsg{Target: 3}
+	if v.Kind() != KindReverse || v.Size() != 1 {
+		t.Fatalf("Reverse kind=%q size=%d", v.Kind(), v.Size())
+	}
+	kinds := ReductionKinds()
+	if len(kinds) != 4 {
+		t.Fatalf("ReductionKinds = %v", kinds)
+	}
+}
+
+// Message length property: a Remove carrying a cycle of c nodes is
+// O(c) words — the paper's O(n log n)-bit buffer bound.
+func TestQuickRemoveSizeLinearInPath(t *testing.T) {
+	f := func(k uint8) bool {
+		c := int(k%64) + 2
+		m := RemoveMsg{Path: make([]int, c)}
+		return m.Size() == c+8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegAndTreeEdgeDerivation(t *testing.T) {
+	g := graph.Star(5) // five nodes: hub 0, leaves 1..4
+	net := BuildNetwork(g, DefaultConfig(5), 1)
+	nodes := NodesOf(net)
+	// Clean start: every node its own root, no tree edges except those
+	// implied by views (leaves' views say hub parents are themselves).
+	hub := nodes[0]
+	hub.SetState(0, 0, 0, 0, 0, false)
+	for leaf := 1; leaf <= 4; leaf++ {
+		nodes[leaf].SetState(0, 0, 1, 0, 0, false)
+		hub.SetView(leaf, View{Root: 0, Parent: 0, Distance: 1})
+	}
+	if d := hub.Deg(); d != 4 {
+		t.Fatalf("hub degree %d, want 4", d)
+	}
+	if !hub.isTreeEdge(1) || nodes[1].Parent() != 0 {
+		t.Fatal("tree edge derivation broken")
+	}
+}
+
+func TestStateBitsMatchesAccounting(t *testing.T) {
+	g := graph.Complete(6)
+	cfg := DefaultConfig(6)
+	net := BuildNetwork(g, cfg, 1)
+	for _, nd := range NodesOf(net) {
+		want := (6 + 7*5) * cfg.WordBits
+		if nd.StateBits() != want {
+			t.Fatalf("StateBits %d, want %d", nd.StateBits(), want)
+		}
+	}
+}
+
+// Property: the memory stays within the paper's O(δ log n) bound with a
+// small constant across random graphs (experiment E3, literal variant).
+func TestQuickMemoryWithinDeltaLogN(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		g := graph.RandomGnp(n, 0.4, rng)
+		cfg := DefaultConfig(n)
+		net := BuildNetwork(g, cfg, seed)
+		delta := 0
+		for v := 0; v < n; v++ {
+			if d := g.Degree(v); d > delta {
+				delta = d
+			}
+		}
+		logN := 1
+		for v := n; v > 1; v >>= 1 {
+			logN++
+		}
+		bound := 16 * (delta + 1) * logN // generous constant; the point is the shape
+		return net.MaxStateBits() <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptStaysInDomain(t *testing.T) {
+	g := graph.Ring(8)
+	net := BuildNetwork(g, DefaultConfig(8), 3)
+	rng := rand.New(rand.NewSource(3))
+	for _, nd := range NodesOf(net) {
+		nd.Corrupt(rng, 8)
+		if nd.Root() < 0 || nd.Root() >= 8 {
+			t.Fatalf("corrupted root %d out of ID space", nd.Root())
+		}
+	}
+}
+
+// The Deblock flood is rate-limited per blocker and respects TTL.
+func TestDeblockFloodRateLimitAndTTL(t *testing.T) {
+	g := graph.Star(3)
+	net := BuildNetwork(g, DefaultConfig(4), 1)
+	preload(t, g, net)
+	nodes := NodesOf(net)
+
+	ctx := net.Context(0)
+	nodes[0].broadcastDeblock(ctx, 0, 2, -1)
+	first := nodes[0].NodeStats().DeblocksTriggered
+	nodes[0].broadcastDeblock(ctx, 0, 2, -1) // within SearchPeriod: suppressed
+	if nodes[0].NodeStats().DeblocksTriggered != first {
+		t.Fatal("deblock storm not suppressed")
+	}
+	// TTL zero messages are ignored by receivers.
+	before := nodes[1].NodeStats().DeblocksTriggered
+	nodes[1].handleDeblock(net.Context(1), 0, deblockMsg(0, 0))
+	if nodes[1].NodeStats().DeblocksTriggered != before {
+		t.Fatal("TTL-0 deblock processed")
+	}
+}
+
+// UpdateDist only applies when coming from the parent and propagates on
+// change.
+func TestUpdateDistParentOnly(t *testing.T) {
+	g := graph.Path(3)
+	net := BuildNetwork(g, DefaultConfig(3), 1)
+	tree := chainTree(t, g, [][2]int{{1, 0}, {2, 1}})
+	loadTree(g, net, tree)
+	nodes := NodesOf(net)
+
+	nodes[1].handleUpdateDist(net.Context(1), 2, updateDist(9)) // from child: ignored
+	if nodes[1].Distance() != 1 {
+		t.Fatalf("distance changed by non-parent UpdateDist: %d", nodes[1].Distance())
+	}
+	nodes[1].handleUpdateDist(net.Context(1), 0, updateDist(4)) // from parent: applied
+	if nodes[1].Distance() != 5 {
+		t.Fatalf("distance %d, want 5", nodes[1].Distance())
+	}
+	drain(net, 100)
+	if nodes[2].Distance() != 6 {
+		t.Fatalf("child distance %d, want 6 (flood)", nodes[2].Distance())
+	}
+}
+
+// A search from a node with no tree neighbors dies silently.
+func TestStartSearchIsolatedInTree(t *testing.T) {
+	g := graph.Ring(4)
+	net := BuildNetwork(g, DefaultConfig(4), 1)
+	nodes := NodesOf(net)
+	// Node 2 is its own root with no children in anyone's view.
+	nodes[2].SetState(2, 2, 0, 3, 3, false)
+	nodes[2].startSearch(net.Context(2), 3, -1, 0)
+	if net.Pending() != 0 {
+		t.Fatal("isolated node launched a token")
+	}
+}

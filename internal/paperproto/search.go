@@ -1,0 +1,134 @@
+package paperproto
+
+import (
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+)
+
+// Fundamental-cycle detection (paper §3.2.2, Fig. 3) — identical to the
+// primary variant: a DFS token over tree edges whose Path is the DFS
+// stack, reusing core's Search wire format.
+
+// maybeStartSearches launches due plain searches for non-tree edges
+// toward higher IDs, guarded by locally_stabilized and paced by
+// SearchPeriod.
+func (n *Node) maybeStartSearches(ctx *sim.Context) {
+	if !n.locallyStabilized() {
+		return
+	}
+	if n.dmax <= 2 {
+		return // a degree-2 tree is a Hamiltonian path: globally optimal
+	}
+	for _, u := range n.nbrs {
+		if n.isTreeEdge(u) || n.id > u {
+			continue
+		}
+		if n.tick < n.nextSearch[u] {
+			continue
+		}
+		n.nextSearch[u] = n.tick + n.cfg.SearchPeriod + n.searchJitter(u)
+		n.startSearch(ctx, u, -1, 0)
+	}
+}
+
+// searchJitter desynchronizes retries of different initiators with a
+// deterministic hash of (id, edge, tick), breaking the concurrent
+// exchange retry resonance (see the matching function in internal/core).
+func (n *Node) searchJitter(u int) int {
+	span := n.cfg.SearchPeriod / 2
+	if span < 2 {
+		return 0
+	}
+	h := uint64(n.id)*0x9e3779b97f4a7c15 ^ uint64(u)*0xc2b2ae3d27d4eb4f ^ uint64(n.tick)*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return int(h % uint64(span))
+}
+
+// startSearch launches one DFS token seeking target.
+func (n *Node) startSearch(ctx *sim.Context, target, block, ttl int) {
+	first := n.firstTreeNeighbor(-1, -1, nil)
+	if first < 0 {
+		return
+	}
+	n.stats.SearchesLaunched++
+	msg := core.SearchMsg{
+		Init:  graph.Edge{U: n.id, V: target},
+		Block: block,
+		TTL:   ttl,
+		Path:  []core.PathEntry{{Node: n.id, Deg: n.Deg(), Parent: n.parent, Cursor: first}},
+	}
+	ctx.Send(first, msg)
+}
+
+// firstTreeNeighbor returns the smallest tree neighbor with ID > after,
+// excluding `exclude` and any node already on the path; -1 if none.
+func (n *Node) firstTreeNeighbor(after, exclude int, path []core.PathEntry) int {
+	for _, u := range n.nbrs {
+		if u <= after || u == exclude || !n.isTreeEdge(u) {
+			continue
+		}
+		onPath := false
+		for i := range path {
+			if path[i].Node == u {
+				onPath = true
+				break
+			}
+		}
+		if !onPath {
+			return u
+		}
+	}
+	return -1
+}
+
+// handleSearch advances a DFS token through this node.
+func (n *Node) handleSearch(ctx *sim.Context, from int, msg core.SearchMsg) {
+	if !n.locallyStabilized() {
+		return
+	}
+	if len(msg.Path) == 0 {
+		return
+	}
+	if n.id == msg.Init.V {
+		if from != msg.Path[len(msg.Path)-1].Node || !n.isTreeEdge(from) {
+			return
+		}
+		if n.isTreeEdge(msg.Init.U) {
+			return
+		}
+		n.actionOnCycle(ctx, msg)
+		return
+	}
+	top := len(msg.Path) - 1
+	if msg.Path[top].Node == n.id {
+		if n.parent != msg.Path[top].Parent {
+			return
+		}
+	} else {
+		if !n.isTreeEdge(from) || msg.Path[top].Node != from {
+			return
+		}
+		msg.Path = append(msg.Path, core.PathEntry{Node: n.id, Deg: n.Deg(), Parent: n.parent, Cursor: -1})
+		top++
+	}
+	prev := -1
+	if top > 0 {
+		prev = msg.Path[top-1].Node
+	}
+	next := n.firstTreeNeighbor(msg.Path[top].Cursor, prev, msg.Path[:top])
+	if next >= 0 {
+		msg.Path[top].Cursor = next
+		ctx.Send(next, msg)
+		return
+	}
+	msg.Path = msg.Path[:top]
+	if len(msg.Path) == 0 {
+		return
+	}
+	if prev >= 0 && n.isTreeEdge(prev) {
+		ctx.Send(prev, msg)
+	}
+}

@@ -1,0 +1,73 @@
+package paperproto
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdst/internal/graph"
+	"mdst/internal/mdstseq"
+	"mdst/internal/sim"
+)
+
+// runToQuiescence runs the full protocol with the standard stop rule.
+func runToQuiescence(net *sim.Network, g *graph.Graph, sched sim.Scheduler, maxRounds int) sim.RunResult {
+	if maxRounds <= 0 {
+		maxRounds = 200*g.N() + 20000
+	}
+	return net.Run(sim.RunConfig{
+		Scheduler:     sched,
+		MaxRounds:     maxRounds,
+		QuiesceRounds: 2*g.N() + 40,
+		ActiveKinds:   ReductionKinds(),
+	})
+}
+
+// TestSmokeWheel runs the literal variant on a wheel graph (hub degree
+// n-1 in the worst starting tree; Δ* = 3 for n >= 7) from a clean start.
+func TestSmokeWheel(t *testing.T) {
+	g := graph.Wheel(10)
+	net := BuildNetwork(g, DefaultConfig(g.N()), 1)
+	res := runToQuiescence(net, g, sim.NewSyncScheduler(), 0)
+	if !res.Converged {
+		t.Fatalf("no quiescence in %d rounds", res.Rounds)
+	}
+	leg := CheckLegitimacy(g, NodesOf(net))
+	if !leg.OK() {
+		t.Fatalf("not legitimate: %+v", leg)
+	}
+	star, ok := mdstseq.ExactDelta(g, 0)
+	if !ok {
+		t.Fatal("exact solver gave up on a 10-node wheel")
+	}
+	if leg.MaxDegree > star+1 {
+		t.Fatalf("degree %d > Δ*+1 = %d", leg.MaxDegree, star+1)
+	}
+	st := AggregateStats(NodesOf(net))
+	if st.ExchangesComplete == 0 {
+		t.Fatal("no exchange ever completed: the choreography never ran")
+	}
+	t.Logf("rounds=%d deg=%d Δ*=%d stats=%+v", res.Rounds, leg.MaxDegree, star, st)
+}
+
+// TestSmokeCorrupted runs from fully corrupted states on a few seeds.
+func TestSmokeCorrupted(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(6)
+		g := graph.RandomGnp(n, 0.4, rng)
+		net := BuildNetwork(g, DefaultConfig(n), seed)
+		CorruptAll(net, rng)
+		res := runToQuiescence(net, g, sim.NewSyncScheduler(), 0)
+		if !res.Converged {
+			t.Fatalf("seed %d: no quiescence in %d rounds", seed, res.Rounds)
+		}
+		leg := CheckLegitimacy(g, NodesOf(net))
+		if !leg.OK() {
+			t.Fatalf("seed %d: not legitimate: %+v", seed, leg)
+		}
+		star, ok := mdstseq.ExactDelta(g, 0)
+		if ok && leg.MaxDegree > star+1 {
+			t.Fatalf("seed %d: degree %d > Δ*+1 = %d", seed, leg.MaxDegree, star+1)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package paperproto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdst/internal/graph"
+	"mdst/internal/mdstseq"
+	"mdst/internal/sim"
+	"mdst/internal/spanning"
+)
+
+// Global-observer helpers, mirroring internal/core's: experiments and
+// tests use them to decide legitimacy and extract the constructed tree.
+
+// BuildNetwork wires a simulated network of literal-variant nodes over g.
+func BuildNetwork(g *graph.Graph, cfg Config, seed int64) *sim.Network {
+	return sim.NewNetwork(g, func(id sim.NodeID, nbrs []sim.NodeID) sim.Process {
+		return NewNode(id, nbrs, cfg)
+	}, seed)
+}
+
+// NodesOf extracts the protocol nodes from a network built by
+// BuildNetwork.
+func NodesOf(net *sim.Network) []*Node {
+	out := make([]*Node, net.Graph().N())
+	for i := range out {
+		out[i] = net.Process(i).(*Node)
+	}
+	return out
+}
+
+// CorruptAll drives every node into an arbitrary configuration
+// (Definition 1's worst case: no bound on the number of corrupted
+// nodes).
+func CorruptAll(net *sim.Network, rng *rand.Rand) {
+	nodes := NodesOf(net)
+	for _, nd := range nodes {
+		nd.Corrupt(rng, len(nodes))
+	}
+}
+
+// ExtractTree reconstructs the spanning tree from the nodes' parent
+// pointers. It fails if the pointers do not form a single spanning tree
+// rooted at a self-parented node.
+func ExtractTree(g *graph.Graph, nodes []*Node) (*spanning.Tree, error) {
+	root := -1
+	parents := make([]int, g.N())
+	for i, nd := range nodes {
+		parents[i] = nd.Parent()
+		if nd.Parent() == nd.ID() {
+			if root != -1 {
+				return nil, fmt.Errorf("paperproto: multiple roots (%d and %d)", root, i)
+			}
+			root = i
+		}
+	}
+	if root == -1 {
+		return nil, fmt.Errorf("paperproto: no root")
+	}
+	return spanning.NewFromParents(g, parents, root)
+}
+
+// AggregateStats sums the per-node protocol counters.
+func AggregateStats(nodes []*Node) Stats {
+	var total Stats
+	for _, nd := range nodes {
+		s := nd.NodeStats()
+		total.SearchesLaunched += s.SearchesLaunched
+		total.CyclesClassified += s.CyclesClassified
+		total.RemovesStarted += s.RemovesStarted
+		total.ReorientHops += s.ReorientHops
+		total.BacksStarted += s.BacksStarted
+		total.ExchangesComplete += s.ExchangesComplete
+		total.ChoreoAborted += s.ChoreoAborted
+		total.ReversesSent += s.ReversesSent
+		total.DeblocksTriggered += s.DeblocksTriggered
+	}
+	return total
+}
+
+// Legitimacy is the result of checking the global legitimacy predicate
+// (DESIGN.md §5) on a configuration of this variant.
+type Legitimacy struct {
+	TreeValid   bool
+	RootIsMin   bool
+	DistancesOK bool
+	ViewsOK     bool
+	DmaxOK      bool
+	FixedPoint  bool
+	MaxDegree   int
+	Detail      string
+}
+
+// OK reports whether every component of the predicate holds.
+func (l Legitimacy) OK() bool {
+	return l.TreeValid && l.RootIsMin && l.DistancesOK && l.ViewsOK &&
+		l.DmaxOK && l.FixedPoint
+}
+
+// CheckLegitimacy evaluates the full legitimacy predicate on a
+// configuration snapshot.
+func CheckLegitimacy(g *graph.Graph, nodes []*Node) Legitimacy {
+	var leg Legitimacy
+	tree, err := ExtractTree(g, nodes)
+	if err != nil {
+		leg.Detail = err.Error()
+		return leg
+	}
+	leg.TreeValid = true
+	leg.MaxDegree = tree.MaxDegree()
+
+	leg.RootIsMin = tree.Root() == 0
+	for _, nd := range nodes {
+		if nd.Root() != 0 {
+			leg.RootIsMin = false
+		}
+	}
+
+	leg.DistancesOK = true
+	for i, nd := range nodes {
+		if nd.Distance() != tree.Depth(i) {
+			leg.DistancesOK = false
+			leg.Detail = fmt.Sprintf("node %d distance %d, depth %d", i, nd.Distance(), tree.Depth(i))
+			break
+		}
+	}
+
+	leg.ViewsOK = true
+viewCheck:
+	for i, nd := range nodes {
+		for _, u := range g.Neighbors(i) {
+			v := nd.view[u]
+			o := nodes[u]
+			if v.Root != o.root || v.Parent != o.parent || v.Distance != o.distance ||
+				v.Dmax != o.dmax || v.Submax != o.submax || v.Color != o.color ||
+				v.Deg != o.Deg() {
+				leg.ViewsOK = false
+				leg.Detail = fmt.Sprintf("node %d stale view of %d", i, u)
+				break viewCheck
+			}
+		}
+	}
+
+	leg.DmaxOK = true
+	color := nodes[0].Color()
+	for _, nd := range nodes {
+		if nd.Dmax() != leg.MaxDegree || nd.Color() != color {
+			leg.DmaxOK = false
+			break
+		}
+	}
+
+	leg.FixedPoint = mdstseq.IsFixedPoint(tree)
+	return leg
+}

@@ -1,0 +1,159 @@
+package paperproto
+
+import "mdst/internal/core"
+
+// Spanning-tree and maximum-degree modules (paper §3.2.1 and §3.2.3).
+// These are the same modules as in internal/core — both variants share
+// them verbatim; only the degree-reduction choreography differs. They
+// are re-stated here on this package's Node type so that the variant is
+// a self-contained protocol implementation.
+
+// betterParent is the paper's better_parent(v).
+func (n *Node) betterParent() bool {
+	for _, u := range n.nbrs {
+		v := n.view[u]
+		if v.Root < n.root && v.Distance+1 <= n.cfg.MaxDist {
+			return true
+		}
+	}
+	return false
+}
+
+// bestParentCandidate returns the neighbor with the minimal advertised
+// root, ties broken by minimal ID (the paper's argmin).
+func (n *Node) bestParentCandidate() int {
+	best := -1
+	for _, u := range n.nbrs {
+		v := n.view[u]
+		if v.Root >= n.root || v.Distance+1 > n.cfg.MaxDist {
+			continue
+		}
+		if best == -1 || v.Root < n.view[best].Root {
+			best = u
+		}
+	}
+	return best
+}
+
+// coherentParent is the paper's coherent_parent(v).
+func (n *Node) coherentParent() bool {
+	if n.parent == n.id {
+		return n.root == n.id
+	}
+	v, ok := n.view[n.parent]
+	return ok && v.Root == n.root
+}
+
+// coherentDistance is the paper's coherent_distance(v) plus the distance
+// bound.
+func (n *Node) coherentDistance() bool {
+	if n.parent == n.id {
+		return n.distance == 0
+	}
+	v, ok := n.view[n.parent]
+	if !ok {
+		return false
+	}
+	return n.distance == v.Distance+1 && n.distance <= n.cfg.MaxDist
+}
+
+// newRootCandidate is the paper's new_root_candidate(v) plus the
+// self-ID guard (root > id is always illegal: the node itself would be
+// the better root); see the matching comment in internal/core.
+func (n *Node) newRootCandidate() bool {
+	return n.root > n.id || !n.coherentParent() || !n.coherentDistance()
+}
+
+// treeStabilized is the paper's tree_stabilized(v).
+func (n *Node) treeStabilized() bool {
+	return !n.betterParent() && !n.newRootCandidate()
+}
+
+// degreeStabilized is the paper's degree_stabilized(v).
+func (n *Node) degreeStabilized() bool {
+	for _, u := range n.nbrs {
+		if n.view[u].Dmax != n.dmax {
+			return false
+		}
+	}
+	return true
+}
+
+// colorStabilized is the paper's color_stabilized(v).
+func (n *Node) colorStabilized() bool {
+	for _, u := range n.nbrs {
+		if n.view[u].Color != n.color {
+			return false
+		}
+	}
+	return true
+}
+
+// locallyStabilized is the paper's locally_stabilized(v), the guard on
+// every reduction-module handler.
+func (n *Node) locallyStabilized() bool {
+	return n.treeStabilized() && n.degreeStabilized() && n.colorStabilized()
+}
+
+// createNewRoot is the paper's create_new_root(v).
+func (n *Node) createNewRoot() {
+	n.root = n.id
+	n.parent = n.id
+	n.distance = 0
+}
+
+// changeParentTo is the paper's change_parent_to(v,u).
+func (n *Node) changeParentTo(u int) {
+	v := n.view[u]
+	n.root = v.Root
+	n.parent = u
+	n.distance = v.Distance + 1
+}
+
+// runTreeModule applies R2 then R1 — the highest-priority module.
+func (n *Node) runTreeModule() {
+	if n.newRootCandidate() {
+		switch n.cfg.Repair {
+		case core.RepairReset:
+			n.createNewRoot()
+		case core.RepairPatch:
+			if n.root > n.id || n.parent == n.id || !n.coherentParent() ||
+				n.view[n.parent].Distance+1 > n.cfg.MaxDist {
+				n.createNewRoot()
+			} else {
+				n.distance = n.view[n.parent].Distance + 1
+			}
+		}
+	}
+	if !n.newRootCandidate() && n.betterParent() {
+		if u := n.bestParentCandidate(); u >= 0 {
+			n.changeParentTo(u)
+		}
+	}
+}
+
+// runDegreeModule is the continuous piggybacked PIF (paper §3.2.3).
+func (n *Node) runDegreeModule() {
+	deg := n.Deg()
+	sub := deg
+	for _, u := range n.nbrs {
+		v := n.view[u]
+		if v.Parent == n.id && u != n.parent {
+			if v.Submax > sub {
+				sub = v.Submax
+			}
+		}
+	}
+	n.submax = sub
+	if n.parent == n.id {
+		if n.dmax != sub {
+			n.dmax = sub
+			n.color = !n.color
+		}
+		return
+	}
+	if v, ok := n.view[n.parent]; ok {
+		n.dmax = v.Dmax
+		n.color = v.Color
+	}
+}

@@ -1,0 +1,25 @@
+package pif
+
+// Additional combiners and derived aggregates. The paper's max-degree
+// module needs Max; Sum/Count give the tree size, which is how a
+// deployment can learn the bound N that the spanning-tree module's
+// distance cap assumes (DESIGN.md), and Min is the dual used in
+// min-root-style elections.
+
+// Min combines by minimum.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Sum combines by addition (use with per-node value 1 to count nodes).
+func Sum(a, b int) int { return a + b }
+
+// NewCounter returns a PIF node configured to count the nodes of the
+// tree: every node contributes 1 and the result is the tree size n —
+// the self-configuration input for the protocol's distance bound.
+func NewCounter(id, parent int, children []int) *Node {
+	return NewNode(id, parent, children, Sum, func() int { return 1 })
+}

@@ -1,0 +1,56 @@
+package pif
+
+import (
+	"testing"
+
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+	"mdst/internal/spanning"
+)
+
+func TestMinSumCombiners(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Fatal("Min")
+	}
+	if Sum(2, 3) != 5 {
+		t.Fatal("Sum")
+	}
+}
+
+func TestCounterComputesTreeSize(t *testing.T) {
+	g := graph.Caterpillar(4, 2) // 12 nodes
+	tr := spanning.BFSTree(g, 0)
+	net := sim.NewNetwork(g, func(id sim.NodeID, _ []sim.NodeID) sim.Process {
+		return NewCounter(id, tr.Parent(id), tr.Children(id))
+	}, 1)
+	res := net.Run(sim.RunConfig{Scheduler: sim.NewSyncScheduler(),
+		MaxRounds: 4000, QuiesceRounds: 4*g.N() + 20})
+	if !res.Converged {
+		t.Fatal("counter did not quiesce")
+	}
+	for id := 0; id < g.N(); id++ {
+		got, ok := net.Process(id).(*Node).Result()
+		if !ok || got != g.N() {
+			t.Fatalf("node %d: count %d ok=%v, want %d", id, got, ok, g.N())
+		}
+	}
+}
+
+func TestMinAggregation(t *testing.T) {
+	g := graph.Path(5)
+	tr := spanning.BFSTree(g, 0)
+	values := []int{9, 7, 3, 8, 6}
+	net := sim.NewNetwork(g, func(id sim.NodeID, _ []sim.NodeID) sim.Process {
+		return NewNode(id, tr.Parent(id), tr.Children(id), Min, func() int { return values[id] })
+	}, 2)
+	res := net.Run(sim.RunConfig{Scheduler: sim.NewSyncScheduler(),
+		MaxRounds: 4000, QuiesceRounds: 4*g.N() + 20})
+	if !res.Converged {
+		t.Fatal("did not quiesce")
+	}
+	for id := 0; id < g.N(); id++ {
+		if got, ok := net.Process(id).(*Node).Result(); !ok || got != 3 {
+			t.Fatalf("node %d: min %d ok=%v, want 3", id, got, ok)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package pif implements Propagation of Information with Feedback over a
+// fixed rooted tree — the substrate the paper's maximum-degree module
+// relies on ([16,17] in the paper). The root repeatedly runs waves: a
+// broadcast phase queries the tree, a feedback phase folds each node's
+// local value upward with an associative Combine, and the next broadcast
+// disseminates the previous wave's global result.
+//
+// The protocol is stabilizing: wave numbers carried on every message
+// resynchronize nodes that start from arbitrary (corrupted) state, and a
+// node that observes an unknown wave simply re-joins it. The core MDST
+// protocol uses the piggybacked continuous equivalent of this scheme
+// (DESIGN.md substitution S2); this package reproduces the referenced
+// wave protocol in isolation with its own tests.
+package pif
+
+import (
+	"mdst/internal/sim"
+)
+
+// Combine is an associative, commutative fold (e.g. max).
+type Combine func(a, b int) int
+
+// Max is the combiner used by the paper's maximum-degree module.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// broadcast starts a wave.
+type broadcast struct{ wave uint32 }
+
+func (broadcast) Kind() string { return "pif-b" }
+func (broadcast) Size() int    { return 2 }
+
+// feedback folds values toward the root.
+type feedback struct {
+	wave uint32
+	agg  int
+}
+
+func (feedback) Kind() string { return "pif-f" }
+func (feedback) Size() int    { return 3 }
+
+// result disseminates the global aggregate of a completed wave.
+type result struct {
+	wave uint32
+	val  int
+}
+
+func (result) Kind() string { return "pif-r" }
+func (result) Size() int    { return 3 }
+
+// Node is a PIF participant on a fixed tree. Value() supplies the local
+// contribution (re-read every wave, so it may change over time);
+// Result() returns the most recent completed global aggregate.
+type Node struct {
+	id       sim.NodeID
+	parent   sim.NodeID // == id at the root
+	children []sim.NodeID
+	combine  Combine
+	value    func() int
+
+	wave      uint32
+	collected map[sim.NodeID]int
+	agg       int
+	haveRes   bool
+	res       int
+}
+
+// NewNode creates a PIF node. parent must equal id at the root; children
+// lists the node's tree children. value is sampled at each feedback.
+func NewNode(id, parent sim.NodeID, children []sim.NodeID, combine Combine, value func() int) *Node {
+	return &Node{
+		id:        id,
+		parent:    parent,
+		children:  append([]sim.NodeID(nil), children...),
+		combine:   combine,
+		value:     value,
+		collected: make(map[sim.NodeID]int),
+	}
+}
+
+// IsRoot reports whether the node is the tree root.
+func (n *Node) IsRoot() bool { return n.parent == n.id }
+
+// Result returns the last completed global aggregate and whether one has
+// completed since the node joined the current execution.
+func (n *Node) Result() (int, bool) { return n.res, n.haveRes }
+
+// Wave returns the node's current wave number (diagnostic).
+func (n *Node) Wave() uint32 { return n.wave }
+
+// Corrupt arbitrarily rewrites the stabilization-relevant state; used by
+// fault-injection tests.
+func (n *Node) Corrupt(wave uint32, res int) {
+	n.wave = wave
+	n.res = res
+	n.haveRes = true
+	n.collected = map[sim.NodeID]int{}
+}
+
+// Init implements sim.Process.
+func (n *Node) Init(ctx *sim.Context) {}
+
+// Tick implements sim.Process: the root (re)launches its current wave;
+// non-roots re-emit feedback if their subtree has already folded (makes
+// the protocol resilient to lost coordination after corruption — in a
+// reliable network re-sends are idempotent thanks to wave numbers).
+func (n *Node) Tick(ctx *sim.Context) {
+	if n.IsRoot() {
+		n.startWave(ctx)
+		return
+	}
+	// A corrupted interior node may sit on a stale wave forever unless it
+	// keeps the feedback flowing; re-fold if complete.
+	if len(n.collected) == len(n.children) && len(n.children) > 0 {
+		n.fold(ctx)
+	}
+}
+
+// startWave (root only) begins the broadcast of wave n.wave, immediately
+// folding if the root is a leaf-root.
+func (n *Node) startWave(ctx *sim.Context) {
+	for _, c := range n.children {
+		ctx.Send(c, broadcast{wave: n.wave})
+	}
+	if len(n.children) == 0 {
+		// Degenerate single-node tree: the wave completes instantly.
+		n.res = n.value()
+		n.haveRes = true
+		n.wave++
+	}
+}
+
+// Receive implements sim.Process.
+func (n *Node) Receive(ctx *sim.Context, from sim.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case broadcast:
+		if from != n.parent {
+			return // stale or corrupted topology information
+		}
+		if msg.wave != n.wave {
+			// Join the parent's wave, discarding partial feedback.
+			n.wave = msg.wave
+			n.collected = map[sim.NodeID]int{}
+		}
+		if len(n.children) == 0 {
+			ctx.Send(n.parent, feedback{wave: n.wave, agg: n.value()})
+			return
+		}
+		for _, c := range n.children {
+			ctx.Send(c, broadcast{wave: n.wave})
+		}
+	case feedback:
+		if msg.wave != n.wave {
+			return // feedback from another wave: drop
+		}
+		if !n.isChild(from) {
+			return
+		}
+		n.collected[from] = msg.agg
+		if len(n.collected) == len(n.children) {
+			n.fold(ctx)
+		}
+	case result:
+		if from != n.parent {
+			return
+		}
+		n.res = msg.val
+		n.haveRes = true
+		for _, c := range n.children {
+			ctx.Send(c, result{wave: msg.wave, val: msg.val})
+		}
+	}
+}
+
+// fold combines the children's aggregates with the local value; at the
+// root this completes the wave and disseminates the result.
+func (n *Node) fold(ctx *sim.Context) {
+	agg := n.value()
+	for _, v := range n.collected {
+		agg = n.combine(agg, v)
+	}
+	n.agg = agg
+	if n.IsRoot() {
+		n.res = agg
+		n.haveRes = true
+		done := n.wave
+		n.wave++
+		n.collected = map[sim.NodeID]int{}
+		for _, c := range n.children {
+			ctx.Send(c, result{wave: done, val: agg})
+		}
+		return
+	}
+	ctx.Send(n.parent, feedback{wave: n.wave, agg: agg})
+	n.collected = map[sim.NodeID]int{}
+}
+
+func (n *Node) isChild(v sim.NodeID) bool {
+	for _, c := range n.children {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Fingerprint implements sim.Fingerprinter over the published result.
+func (n *Node) Fingerprint() uint64 {
+	f := uint64(n.res)<<1 | 1
+	if !n.haveRes {
+		f = 0
+	}
+	return f
+}
+
+// StateBits implements sim.StateSizer: wave + result + per-child slot.
+func (n *Node) StateBits() int {
+	return 32 + 64 + 64*len(n.children)
+}

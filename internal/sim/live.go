@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"sync"
+	"time"
+
+	"mdst/internal/graph"
+)
+
+// LiveNetwork runs each node as a goroutine exchanging messages over Go
+// channels — the natural CSP rendering of the paper's asynchronous
+// message-passing model. A node's inbox is a single buffered channel;
+// because channel delivery preserves send order per sender, each
+// (sender, receiver) pair sees FIFO delivery, which is exactly the
+// paper's reliable-FIFO-link assumption.
+//
+// LiveNetwork trades determinism for real concurrency; the deterministic
+// Network is used for experiments, the live runtime for validating the
+// protocol under true parallelism (run with -race in tests).
+type LiveNetwork struct {
+	g      *graph.Graph
+	procs  []Process
+	inbox  []chan liveEnvelope
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	tick   time.Duration
+	inboxN int
+}
+
+type liveEnvelope struct {
+	from NodeID
+	msg  Message
+}
+
+// LiveConfig controls a LiveNetwork.
+type LiveConfig struct {
+	// TickInterval is the gossip period of each node's "do forever" loop
+	// (default 200µs).
+	TickInterval time.Duration
+	// InboxSize is each node's channel buffer (default 4096). A full
+	// inbox blocks the sender, which models link back-pressure.
+	InboxSize int
+}
+
+// NewLiveNetwork builds the live runtime over g. The factory contract is
+// the same as NewNetwork's.
+func NewLiveNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) Process, cfg LiveConfig) *LiveNetwork {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 200 * time.Microsecond
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 4096
+	}
+	n := g.N()
+	ln := &LiveNetwork{
+		g:      g,
+		procs:  make([]Process, n),
+		inbox:  make([]chan liveEnvelope, n),
+		stop:   make(chan struct{}),
+		tick:   cfg.TickInterval,
+		inboxN: cfg.InboxSize,
+	}
+	for id := 0; id < n; id++ {
+		ln.inbox[id] = make(chan liveEnvelope, cfg.InboxSize)
+	}
+	for id := 0; id < n; id++ {
+		ln.procs[id] = factory(id, g.Neighbors(id))
+	}
+	return ln
+}
+
+// Start launches one goroutine per node. Each goroutine alternates
+// between draining its inbox and ticking on its gossip timer until Stop.
+func (ln *LiveNetwork) Start() {
+	for id := 0; id < ln.g.N(); id++ {
+		id := id
+		ctx := &Context{
+			id:   id,
+			nbrs: ln.g.Neighbors(id),
+			send: ln.send,
+		}
+		ln.procs[id].Init(ctx)
+		ln.wg.Add(1)
+		go func() {
+			defer ln.wg.Done()
+			ticker := time.NewTicker(ln.tick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ln.stop:
+					return
+				case env := <-ln.inbox[id]:
+					ln.procs[id].Receive(ctx, env.from, env.msg)
+				case <-ticker.C:
+					ln.procs[id].Tick(ctx)
+				}
+			}
+		}()
+	}
+}
+
+func (ln *LiveNetwork) send(from, to NodeID, m Message) {
+	if !ln.g.HasEdge(from, to) {
+		panic("sim: live send to non-neighbor")
+	}
+	select {
+	case ln.inbox[to] <- liveEnvelope{from: from, msg: m}:
+	case <-ln.stop:
+		// Shutting down: drop the message (links are being torn down).
+	}
+}
+
+// Stop halts all node goroutines and waits for them to exit. After Stop
+// returns, process states can be inspected safely.
+func (ln *LiveNetwork) Stop() {
+	close(ln.stop)
+	ln.wg.Wait()
+}
+
+// RunFor starts the network, lets it run for d, then stops it.
+func (ln *LiveNetwork) RunFor(d time.Duration) {
+	ln.Start()
+	time.Sleep(d)
+	ln.Stop()
+}
+
+// Process returns the process at node id. Only safe to call before Start
+// or after Stop.
+func (ln *LiveNetwork) Process(id NodeID) Process { return ln.procs[id] }
+
+// Fingerprint combines process fingerprints; only safe after Stop.
+func (ln *LiveNetwork) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, p := range ln.procs {
+		var f uint64
+		if fp, ok := p.(Fingerprinter); ok {
+			f = fp.Fingerprint()
+		}
+		h ^= f
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,145 @@
+package sim
+
+// Schedulers. All three implement the Scheduler interface and use the
+// network's seeded RNG exclusively, so executions are reproducible.
+
+// SyncScheduler executes classical synchronous rounds: every message
+// pending at the round start is delivered (in randomized link order,
+// FIFO within each link), then every node ticks once (in randomized
+// order). Messages sent during the round are delivered the next round.
+// Experiment E2 measures rounds under this scheduler, matching the round
+// complexity statement of the paper's Lemma 5.
+type SyncScheduler struct{}
+
+// NewSyncScheduler returns a SyncScheduler.
+func NewSyncScheduler() *SyncScheduler { return &SyncScheduler{} }
+
+// RunRound implements Scheduler.
+func (s *SyncScheduler) RunRound(n *Network) int {
+	events := 0
+	rng := n.Rand()
+	// Snapshot pending counts per link; deliver exactly those.
+	type slot struct{ li, count int }
+	var slots []slot
+	for _, li := range n.NonEmptyLinks() {
+		slots = append(slots, slot{li, n.LinkLen(li)})
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	for _, sl := range slots {
+		for c := 0; c < sl.count; c++ {
+			n.Deliver(sl.li)
+			events++
+		}
+	}
+	order := rng.Perm(n.Graph().N())
+	for _, id := range order {
+		n.Tick(id)
+		events++
+	}
+	n.resetRoundSnapshot()
+	return events
+}
+
+// AsyncScheduler executes a random asynchronous schedule: each atomic
+// step is either the delivery of a uniformly chosen undelivered MESSAGE
+// or a tick at a uniformly chosen node. Weighting deliveries by queued
+// messages (not by link) keeps the system subcritical: when traffic
+// piles up, deliveries dominate and queues drain, matching the standard
+// model where every in-flight message has the same delivery rate. A
+// round ends when every node has taken a step and all messages pending
+// at the round start have been delivered (the standard asynchronous
+// round).
+type AsyncScheduler struct {
+	// TickWeight is the relative probability mass of tick events versus
+	// a single pending message (default 1.0: a tick at a random node is
+	// as likely as the delivery of any given specific pending message
+	// when queues are short).
+	TickWeight float64
+	// MaxStepsPerRound guards against pathological schedules; the round
+	// is cut after this many steps (default 1<<20).
+	MaxStepsPerRound int
+}
+
+// NewAsyncScheduler returns an AsyncScheduler with default weights.
+func NewAsyncScheduler() *AsyncScheduler {
+	return &AsyncScheduler{TickWeight: 1.0, MaxStepsPerRound: 1 << 20}
+}
+
+// RunRound implements Scheduler.
+func (s *AsyncScheduler) RunRound(n *Network) int {
+	rng := n.Rand()
+	nNodes := n.Graph().N()
+	limit := s.MaxStepsPerRound
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	events := 0
+	for events < limit {
+		pending := n.Pending()
+		tickMass := s.TickWeight * float64(nNodes)
+		total := tickMass + float64(pending)
+		if rng.Float64()*total < tickMass {
+			n.Tick(rng.Intn(nNodes))
+		} else {
+			n.Deliver(n.RandomPendingLink())
+		}
+		events++
+		if n.roundComplete() {
+			break
+		}
+	}
+	n.resetRoundSnapshot()
+	return events
+}
+
+// AdversarialScheduler starves ticks and favors the most backlogged
+// links, delaying gossip refresh as long as the fairness assumption
+// allows: all old messages are delivered (always from the currently
+// longest queue) before any node ticks, and ticks run in descending ID
+// order. Every node still ticks exactly once per round: the "do forever:
+// send InfoMsg" loop of the paper is weakly fair, so a schedule that
+// permanently starved ticks at a node that keeps receiving messages
+// would be illegal — it can freeze the whole network in a stale-view
+// orbit that no self-stabilizing protocol can escape. This is the
+// harshest legal schedule for the protocol's freshness assumptions and
+// is used by ablation E7.
+type AdversarialScheduler struct {
+	MaxStepsPerRound int
+}
+
+// NewAdversarialScheduler returns an AdversarialScheduler.
+func NewAdversarialScheduler() *AdversarialScheduler {
+	return &AdversarialScheduler{MaxStepsPerRound: 1 << 20}
+}
+
+// RunRound implements Scheduler.
+func (s *AdversarialScheduler) RunRound(n *Network) int {
+	limit := s.MaxStepsPerRound
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	events := 0
+	// Deliver every old message first, always from the longest link.
+	for events < limit && n.pendingOld > 0 {
+		best, bestLen := -1, 0
+		for _, li := range n.NonEmptyLinks() {
+			if l := n.LinkLen(li); l > bestLen {
+				best, bestLen = li, l
+			}
+		}
+		if best < 0 {
+			break
+		}
+		n.Deliver(best)
+		events++
+	}
+	// Then tick every node once, largest ID first (deterministic
+	// starvation order) — receives alone do not discharge a node's
+	// do-forever obligation.
+	for id := n.Graph().N() - 1; id >= 0 && events < limit; id-- {
+		n.Tick(id)
+		events++
+	}
+	n.resetRoundSnapshot()
+	return events
+}

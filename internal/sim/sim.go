@@ -1,0 +1,463 @@
+// Package sim is the distributed-system substrate of the reproduction: an
+// asynchronous message-passing network with reliable FIFO links and
+// send/receive atomicity, executed either by deterministic seeded
+// schedulers (synchronous, random-asynchronous, adversarial) or by a live
+// goroutine-per-node runtime with real channels (live.go).
+//
+// The paper's model (§2) maps as follows: each node is a Process driven
+// by Tick (the "do forever: send InfoMsg" loop) and Receive (one message
+// per atomic step); links are per-direction FIFO queues; a round is the
+// standard asynchronous round — the minimal execution segment in which
+// every node takes at least one step and every message pending at the
+// segment's start is delivered.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdst/internal/graph"
+)
+
+// NodeID identifies a node; IDs are the graph's dense node indices and
+// double as the unique, totally ordered identifiers of the paper's model.
+type NodeID = int
+
+// Message is anything a Process sends over a link. Kind groups messages
+// for metrics; Size is the abstract message length in O(log n)-bit words,
+// used by experiment E4 to check the paper's O(n log n) buffer claim.
+type Message interface {
+	Kind() string
+	Size() int
+}
+
+// Process is a node program. Implementations must confine all state to
+// the process itself: the only interaction with the world is through the
+// Context passed to Init, Tick and Receive.
+type Process interface {
+	// Init is called once before execution starts. It must NOT reset
+	// state: self-stabilization runs start from whatever (possibly
+	// corrupted) state the process already carries.
+	Init(ctx *Context)
+	// Tick is one iteration of the node's "do forever" loop.
+	Tick(ctx *Context)
+	// Receive handles a single message — one atomic step in the
+	// send/receive atomicity model.
+	Receive(ctx *Context, from NodeID, m Message)
+}
+
+// Fingerprinter lets the runner detect quiescence: a process returns a
+// hash of its protocol-visible state (message traffic excluded).
+type Fingerprinter interface {
+	Fingerprint() uint64
+}
+
+// StateSizer reports the current size of a process's state in bits, for
+// the memory experiment E3.
+type StateSizer interface {
+	StateBits() int
+}
+
+// Context gives a process its identity, neighborhood and send primitive.
+type Context struct {
+	id   NodeID
+	nbrs []NodeID
+	send func(from, to NodeID, m Message)
+}
+
+// NewContext builds a standalone context for harnesses outside Network
+// (e.g. the exhaustive model checker): the send function receives every
+// outgoing message.
+func NewContext(id NodeID, neighbors []NodeID, send func(from, to NodeID, m Message)) *Context {
+	return &Context{id: id, nbrs: append([]NodeID(nil), neighbors...), send: send}
+}
+
+// ID returns the node's identifier.
+func (c *Context) ID() NodeID { return c.id }
+
+// Neighbors returns the node's neighbor IDs in increasing order. The
+// slice is shared; callers must not modify it.
+func (c *Context) Neighbors() []NodeID { return c.nbrs }
+
+// Send enqueues m on the FIFO link to neighbor `to`. Sending to a
+// non-neighbor panics: the paper's algorithm is strictly local.
+func (c *Context) Send(to NodeID, m Message) { c.send(c.id, to, m) }
+
+// envelope is a queued message with a global sequence number used for
+// round accounting.
+type envelope struct {
+	from NodeID
+	msg  Message
+	seq  uint64
+}
+
+// link is one directed FIFO queue implemented as a re-slicing deque.
+type link struct {
+	from, to NodeID
+	buf      []envelope
+	head     int
+}
+
+func (l *link) empty() bool { return l.head >= len(l.buf) }
+func (l *link) len() int    { return len(l.buf) - l.head }
+
+func (l *link) push(e envelope) { l.buf = append(l.buf, e) }
+
+func (l *link) pop() envelope {
+	e := l.buf[l.head]
+	l.buf[l.head] = envelope{} // release for GC
+	l.head++
+	if l.head == len(l.buf) {
+		l.buf = l.buf[:0]
+		l.head = 0
+	}
+	return e
+}
+
+// Metrics aggregates execution statistics.
+type Metrics struct {
+	Rounds          int
+	Events          int64
+	Deliveries      int64
+	Ticks           int64
+	SentByKind      map[string]int64
+	MaxMsgSize      int
+	MaxMsgSizeKind  string
+	MaxQueueLen     int
+	LastChangeRound int // round index of the most recent fingerprint change
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{SentByKind: make(map[string]int64)}
+}
+
+// Network is the deterministic simulated network.
+type Network struct {
+	g     *graph.Graph
+	procs []Process
+	ctxs  []*Context
+
+	links     []*link
+	linkIdx   map[[2]NodeID]int
+	nonEmpty  []int       // indices of non-empty links
+	nePos     map[int]int // link index -> position in nonEmpty
+	nextSeq   uint64
+	delivered uint64 // highest contiguous... (not needed; see pendingOld)
+
+	pendingTotal int // undelivered messages across all links
+
+	// Lossy-link fault injection (violates the paper's reliable-links
+	// assumption; used by the robustness extension E9): each delivery is
+	// dropped with probability dropRate, drawn from the scheduling RNG.
+	dropRate float64
+	dropped  int64
+
+	// Asynchronous round accounting.
+	snapshotSeq uint64 // messages with seq <= snapshotSeq are "old"
+	pendingOld  int    // undelivered old messages
+	needStep    map[NodeID]bool
+
+	rng     *rand.Rand
+	metrics *Metrics
+}
+
+// NewNetwork builds a simulated network over g. The factory is called
+// once per node, in ID order, to create the process; seed drives every
+// scheduling decision, making runs fully reproducible.
+func NewNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) Process, seed int64) *Network {
+	n := g.N()
+	net := &Network{
+		g:        g,
+		procs:    make([]Process, n),
+		ctxs:     make([]*Context, n),
+		linkIdx:  make(map[[2]NodeID]int),
+		nePos:    make(map[int]int),
+		needStep: make(map[NodeID]bool, n),
+		rng:      rand.New(rand.NewSource(seed)),
+		metrics:  newMetrics(),
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			net.linkIdx[[2]NodeID{u, v}] = len(net.links)
+			net.links = append(net.links, &link{from: u, to: v})
+		}
+	}
+	for id := 0; id < n; id++ {
+		ctx := &Context{id: id, nbrs: g.Neighbors(id), send: net.send}
+		net.ctxs[id] = ctx
+		net.procs[id] = factory(id, ctx.nbrs)
+	}
+	for id := 0; id < n; id++ {
+		net.procs[id].Init(net.ctxs[id])
+	}
+	net.resetRoundSnapshot()
+	return net
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Process returns the process at node id for inspection between steps.
+func (n *Network) Process(id NodeID) Process { return n.procs[id] }
+
+// Context returns node id's context. It lets tests drive a process's
+// handlers directly while still sending over the network's real links.
+func (n *Network) Context(id NodeID) *Context { return n.ctxs[id] }
+
+// Metrics returns the accumulated execution metrics.
+func (n *Network) Metrics() *Metrics { return n.metrics }
+
+// Rand returns the scheduling RNG (shared with schedulers for
+// determinism).
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Pending returns the number of undelivered messages.
+func (n *Network) Pending() int { return n.pendingTotal }
+
+// RandomPendingLink returns a link index chosen with probability
+// proportional to its queue length — i.e. a uniformly random undelivered
+// message. Panics if nothing is pending.
+func (n *Network) RandomPendingLink() int {
+	if n.pendingTotal <= 0 {
+		panic("sim: RandomPendingLink with no pending messages")
+	}
+	idx := n.rng.Intn(n.pendingTotal)
+	for _, li := range n.nonEmpty {
+		idx -= n.links[li].len()
+		if idx < 0 {
+			return li
+		}
+	}
+	panic("sim: pending counter out of sync")
+}
+
+// PendingKind returns the number of undelivered messages of the given
+// kind (linear scan; used by stop conditions, not hot paths).
+func (n *Network) PendingKind(kind string) int {
+	total := 0
+	for _, li := range n.nonEmpty {
+		l := n.links[li]
+		for i := l.head; i < len(l.buf); i++ {
+			if l.buf[i].msg.Kind() == kind {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func (n *Network) send(from, to NodeID, m Message) {
+	key := [2]NodeID{from, to}
+	li, ok := n.linkIdx[key]
+	if !ok {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbor %d", from, to))
+	}
+	l := n.links[li]
+	wasEmpty := l.empty()
+	n.nextSeq++
+	l.push(envelope{from: from, msg: m, seq: n.nextSeq})
+	n.pendingTotal++
+	if wasEmpty {
+		n.nePos[li] = len(n.nonEmpty)
+		n.nonEmpty = append(n.nonEmpty, li)
+	}
+	if ql := l.len(); ql > n.metrics.MaxQueueLen {
+		n.metrics.MaxQueueLen = ql
+	}
+	n.metrics.SentByKind[m.Kind()]++
+	if s := m.Size(); s > n.metrics.MaxMsgSize {
+		n.metrics.MaxMsgSize = s
+		n.metrics.MaxMsgSizeKind = m.Kind()
+	}
+}
+
+// removeNonEmpty drops link li from the non-empty index.
+func (n *Network) removeNonEmpty(li int) {
+	pos := n.nePos[li]
+	last := len(n.nonEmpty) - 1
+	n.nonEmpty[pos] = n.nonEmpty[last]
+	n.nePos[n.nonEmpty[pos]] = pos
+	n.nonEmpty = n.nonEmpty[:last]
+	delete(n.nePos, li)
+}
+
+// Deliver pops the head of link li and delivers it: one atomic receive
+// step at the destination. With a configured drop rate the message may
+// be lost instead (it still counts as an event, not as a delivery).
+func (n *Network) Deliver(li int) {
+	l := n.links[li]
+	if l.empty() {
+		panic("sim: Deliver on empty link")
+	}
+	env := l.pop()
+	n.pendingTotal--
+	if l.empty() {
+		n.removeNonEmpty(li)
+	}
+	if env.seq <= n.snapshotSeq {
+		n.pendingOld--
+	}
+	n.metrics.Events++
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.dropped++
+		delete(n.needStep, l.to) // the round cannot wait on a lost message
+		return
+	}
+	n.metrics.Deliveries++
+	delete(n.needStep, l.to)
+	n.procs[l.to].Receive(n.ctxs[l.to], env.from, env.msg)
+}
+
+// SetDropRate configures lossy links: every delivery is independently
+// lost with probability rate. Zero (the default) is the paper's
+// reliable-link model.
+func (n *Network) SetDropRate(rate float64) {
+	if rate < 0 || rate >= 1 {
+		panic("sim: drop rate must be in [0,1)")
+	}
+	n.dropRate = rate
+}
+
+// Dropped returns the number of messages lost to SetDropRate.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// Tick runs one loop iteration at node id: one atomic step.
+func (n *Network) Tick(id NodeID) {
+	n.metrics.Ticks++
+	n.metrics.Events++
+	delete(n.needStep, id)
+	n.procs[id].Tick(n.ctxs[id])
+}
+
+// NonEmptyLinks returns the indices of links with pending messages. The
+// slice is owned by the network; schedulers must not retain it across
+// steps.
+func (n *Network) NonEmptyLinks() []int { return n.nonEmpty }
+
+// LinkLen returns the queue length of link li.
+func (n *Network) LinkLen(li int) int { return n.links[li].len() }
+
+// LinkEnds returns the (from, to) endpoints of link li.
+func (n *Network) LinkEnds(li int) (NodeID, NodeID) {
+	return n.links[li].from, n.links[li].to
+}
+
+func (n *Network) resetRoundSnapshot() {
+	n.snapshotSeq = n.nextSeq
+	n.pendingOld = n.Pending()
+	for id := 0; id < n.g.N(); id++ {
+		n.needStep[id] = true
+	}
+}
+
+// roundComplete reports whether the asynchronous round condition holds:
+// every node stepped and all old messages were delivered.
+func (n *Network) roundComplete() bool {
+	return len(n.needStep) == 0 && n.pendingOld == 0
+}
+
+// Fingerprint hashes all process states (FNV-style combination) for
+// quiescence detection. Processes that do not implement Fingerprinter
+// contribute a constant.
+func (n *Network) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, p := range n.procs {
+		var f uint64
+		if fp, ok := p.(Fingerprinter); ok {
+			f = fp.Fingerprint()
+		}
+		h ^= f
+		h *= prime
+	}
+	return h
+}
+
+// MaxStateBits returns the maximum StateBits over all processes, or 0 if
+// unsupported.
+func (n *Network) MaxStateBits() int {
+	max := 0
+	for _, p := range n.procs {
+		if s, ok := p.(StateSizer); ok {
+			if b := s.StateBits(); b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}
+
+// Scheduler executes one round of the network per RunRound call.
+type Scheduler interface {
+	// RunRound advances the network by one round and returns the number
+	// of atomic events executed. Returning 0 means no progress is
+	// possible (should not happen: ticks are always enabled).
+	RunRound(n *Network) int
+}
+
+// RunConfig controls Network.Run.
+type RunConfig struct {
+	Scheduler Scheduler
+	// MaxRounds bounds the execution; Run returns with Converged=false
+	// when exceeded.
+	MaxRounds int
+	// QuiesceRounds: stop after this many consecutive rounds without a
+	// fingerprint change (and no pending messages of the kinds listed in
+	// ActiveKinds, if any). Zero disables quiescence detection.
+	QuiesceRounds int
+	// ActiveKinds: message kinds that must drain before quiescence is
+	// declared (e.g. reduction messages still in flight).
+	ActiveKinds []string
+	// OnRound, if non-nil, is called after every round with the round
+	// index; returning false stops the run (Converged=false).
+	OnRound func(round int) bool
+}
+
+// RunResult summarizes a Run.
+type RunResult struct {
+	Converged       bool
+	Rounds          int
+	LastChangeRound int
+}
+
+// Run executes rounds until quiescence or the round bound.
+func (n *Network) Run(cfg RunConfig) RunResult {
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = NewSyncScheduler()
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1 << 20
+	}
+	lastFP := n.Fingerprint()
+	stable := 0
+	for r := 0; r < cfg.MaxRounds; r++ {
+		cfg.Scheduler.RunRound(n)
+		n.metrics.Rounds++
+		fp := n.Fingerprint()
+		if fp != lastFP {
+			lastFP = fp
+			stable = 0
+			n.metrics.LastChangeRound = n.metrics.Rounds
+		} else {
+			stable++
+		}
+		if cfg.QuiesceRounds > 0 && stable >= cfg.QuiesceRounds {
+			drained := true
+			for _, k := range cfg.ActiveKinds {
+				if n.PendingKind(k) > 0 {
+					drained = false
+					break
+				}
+			}
+			if drained {
+				return RunResult{Converged: true, Rounds: n.metrics.Rounds,
+					LastChangeRound: n.metrics.LastChangeRound}
+			}
+		}
+		if cfg.OnRound != nil && !cfg.OnRound(r) {
+			break
+		}
+	}
+	return RunResult{Converged: false, Rounds: n.metrics.Rounds,
+		LastChangeRound: n.metrics.LastChangeRound}
+}

@@ -1,0 +1,31 @@
+package spanning_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdst/internal/graph"
+	"mdst/internal/spanning"
+)
+
+// ExamplePruferEncode shows the tree/sequence bijection on a star.
+func ExamplePruferEncode() {
+	g := graph.Star(5) // hub 0, leaves 1..4
+	tr := spanning.BFSTree(g, 0)
+	fmt.Println(spanning.PruferEncode(tr))
+	// Output: [0 0 0]
+}
+
+// ExampleTree_Center finds the middle of a path.
+func ExampleTree_Center() {
+	tr := spanning.BFSTree(graph.Path(7), 0)
+	fmt.Println(tr.Center())
+	// Output: [3]
+}
+
+// ExampleRandomLabeledTree samples a uniform labeled tree.
+func ExampleRandomLabeledTree() {
+	tr, _ := spanning.RandomLabeledTree(20, rand.New(rand.NewSource(1)))
+	fmt.Println("nodes:", tr.Graph().N(), "edges:", len(tr.Edges()), "valid:", tr.Validate() == nil)
+	// Output: nodes: 20 edges: 19 valid: true
+}

@@ -1,0 +1,230 @@
+package spanning
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdst/internal/graph"
+)
+
+func pathTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	return BFSTree(graph.Path(n), 0)
+}
+
+func starTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	return BFSTree(graph.Star(n), 0)
+}
+
+func TestDiameterAndRadius(t *testing.T) {
+	cases := []struct {
+		tr       *Tree
+		diameter int
+		radius   int
+	}{
+		{pathTree(t, 5), 4, 2},
+		{pathTree(t, 6), 5, 3},
+		{starTree(t, 6), 2, 1},
+		{pathTree(t, 1), 0, 0},
+		{pathTree(t, 2), 1, 1},
+	}
+	for i, c := range cases {
+		if d := c.tr.Diameter(); d != c.diameter {
+			t.Errorf("case %d: diameter %d, want %d", i, d, c.diameter)
+		}
+		if r := c.tr.Radius(); r != c.radius {
+			t.Errorf("case %d: radius %d, want %d", i, r, c.radius)
+		}
+	}
+}
+
+func TestCenterPathOddEven(t *testing.T) {
+	// Path 0-1-2-3-4: unique center 2.
+	c := pathTree(t, 5).Center()
+	if len(c) != 1 || c[0] != 2 {
+		t.Fatalf("center = %v, want [2]", c)
+	}
+	// Path 0..5: centers 2 and 3.
+	c = pathTree(t, 6).Center()
+	if len(c) != 2 || c[0] != 2 || c[1] != 3 {
+		t.Fatalf("center = %v, want [2 3]", c)
+	}
+	// Star: the hub.
+	c = starTree(t, 7).Center()
+	if len(c) != 1 || c[0] != 0 {
+		t.Fatalf("center = %v, want [0]", c)
+	}
+}
+
+func TestCentroidPathAndStar(t *testing.T) {
+	c := pathTree(t, 5).Centroid()
+	if len(c) != 1 || c[0] != 2 {
+		t.Fatalf("centroid = %v, want [2]", c)
+	}
+	c = pathTree(t, 4).Centroid()
+	if len(c) != 2 || c[0] != 1 || c[1] != 2 {
+		t.Fatalf("centroid = %v, want [1 2]", c)
+	}
+	c = starTree(t, 9).Centroid()
+	if len(c) != 1 || c[0] != 0 {
+		t.Fatalf("centroid = %v, want [0]", c)
+	}
+}
+
+func TestWienerIndexKnown(t *testing.T) {
+	// Path on 4 nodes: distances 1+2+3+1+2+1 = 10.
+	if w := pathTree(t, 4).WienerIndex(); w != 10 {
+		t.Fatalf("Wiener(path4) = %d, want 10", w)
+	}
+	// Star on 5 nodes: 4 hub-leaf pairs at 1 + 6 leaf-leaf pairs at 2 = 16.
+	if w := starTree(t, 5).WienerIndex(); w != 16 {
+		t.Fatalf("Wiener(star5) = %d, want 16", w)
+	}
+}
+
+// Property: the edge-contribution Wiener index equals the brute-force
+// pairwise-distance sum.
+func TestQuickWienerMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		tr, err := RandomLabeledTree(n, rng)
+		if err != nil {
+			return false
+		}
+		adj := tr.treeAdj()
+		var brute int64
+		for v := 0; v < n; v++ {
+			_, dist := bfsFarthest(adj, v)
+			for u := v + 1; u < n; u++ {
+				brute += int64(dist[u])
+			}
+		}
+		return tr.WienerIndex() == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diameter <= 2*radius <= diameter+1, and the center nodes'
+// eccentricity equals the radius.
+func TestQuickRadiusDiameterRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		tr, err := RandomLabeledTree(n, rng)
+		if err != nil {
+			return false
+		}
+		d, r := tr.Diameter(), tr.Radius()
+		if d > 2*r || 2*r > d+1 {
+			return false
+		}
+		c := tr.Center()
+		return len(c) >= 1 && len(c) <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing a centroid leaves components of size <= n/2
+// (verified by brute force).
+func TestQuickCentroidBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		tr, err := RandomLabeledTree(n, rng)
+		if err != nil {
+			return false
+		}
+		adj := tr.treeAdj()
+		for _, c := range tr.Centroid() {
+			// BFS from each neighbor of c with c removed.
+			for _, s := range adj[c] {
+				seen := map[int]bool{c: true, s: true}
+				queue := []int{s}
+				for len(queue) > 0 {
+					v := queue[0]
+					queue = queue[1:]
+					for _, u := range adj[v] {
+						if !seen[u] {
+							seen[u] = true
+							queue = append(queue, u)
+						}
+					}
+				}
+				if len(seen)-1 > n/2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPathIsStar(t *testing.T) {
+	if !pathTree(t, 6).IsPath() || pathTree(t, 6).IsStar() {
+		t.Fatal("path misclassified")
+	}
+	if starTree(t, 6).IsPath() || !starTree(t, 6).IsStar() {
+		t.Fatal("star misclassified")
+	}
+	if !pathTree(t, 2).IsPath() || !pathTree(t, 2).IsStar() {
+		t.Fatal("2-node tree is both")
+	}
+}
+
+func TestAverageDepth(t *testing.T) {
+	// Path 0-1-2: depths 0,1,2 => mean 1.
+	if ad := pathTree(t, 3).AverageDepth(); ad != 1.0 {
+		t.Fatalf("avg depth %f, want 1", ad)
+	}
+}
+
+func TestCanonicalStringIsomorphism(t *testing.T) {
+	// Two different labelings of the same unlabeled tree (a path).
+	g1 := graph.Path(5)
+	t1 := BFSTree(g1, 0)
+	g2 := graph.New(5)
+	g2.MustAddEdge(3, 1)
+	g2.MustAddEdge(1, 4)
+	g2.MustAddEdge(4, 0)
+	g2.MustAddEdge(0, 2)
+	t2 := BFSTree(g2, 3)
+	if t1.CanonicalString() != t2.CanonicalString() {
+		t.Fatal("isomorphic paths got different canonical strings")
+	}
+	// A star is not isomorphic to a path.
+	if starTree(t, 5).CanonicalString() == t1.CanonicalString() {
+		t.Fatal("star and path share a canonical string")
+	}
+}
+
+// Property: canonical strings are invariant under random relabeling.
+func TestQuickCanonicalRelabelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		tr, err := RandomLabeledTree(n, rng)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		h := graph.New(n)
+		for _, e := range tr.Edges() {
+			h.MustAddEdge(perm[e.U], perm[e.V])
+		}
+		rel := BFSTree(h, perm[tr.Root()])
+		return tr.CanonicalString() == rel.CanonicalString()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

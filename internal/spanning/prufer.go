@@ -1,0 +1,141 @@
+package spanning
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdst/internal/graph"
+)
+
+// Prüfer codes: the classical bijection between labeled trees on n nodes
+// and sequences in {0..n-1}^(n-2). They give the experiment suite a way
+// to enumerate or sample *all* labeled trees uniformly (not just the
+// spanning trees of a particular graph), used by the tree-metric
+// property tests and by workload generators that need a random tree
+// topology with exact uniformity guarantees.
+
+// PruferEncode returns the Prüfer sequence of the tree (length n-2).
+// The tree's underlying graph edges are ignored: only the parent
+// structure matters. Trees with fewer than 2 nodes have no code; n = 2
+// yields the empty sequence.
+func PruferEncode(t *Tree) []int {
+	n := t.g.N()
+	if n < 2 {
+		return nil
+	}
+	deg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range t.Edges() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+		deg[e.U]++
+		deg[e.V]++
+	}
+	removed := make([]bool, n)
+	seq := make([]int, 0, n-2)
+	// leaf = the smallest-labeled current leaf; classic O(n log n) with a
+	// moving pointer suffices because labels only ever become leaves once.
+	ptr := 0
+	for ptr < n && deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for k := 0; k < n-2; k++ {
+		// Remove `leaf`; its unique remaining neighbor joins the sequence.
+		var nb int = -1
+		for _, u := range adj[leaf] {
+			if !removed[u] {
+				nb = u
+				break
+			}
+		}
+		seq = append(seq, nb)
+		removed[leaf] = true
+		deg[nb]--
+		if deg[nb] == 1 && nb < ptr {
+			leaf = nb
+		} else {
+			for ptr < n && (removed[ptr] || deg[ptr] != 1) {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	return seq
+}
+
+// PruferDecode builds the labeled tree on n nodes encoded by seq
+// (length n-2), rooted at the smallest-labeled leaf's neighbor chain
+// end... the root is chosen as node n-1, the node that is never removed.
+// The returned tree lives on its own complete-graph-free topology: the
+// underlying graph contains exactly the tree edges.
+func PruferDecode(seq []int) (*Tree, error) {
+	n := len(seq) + 2
+	deg := make([]int, n)
+	for _, v := range seq {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("spanning: prüfer symbol %d out of range [0,%d)", v, n)
+		}
+		deg[v]++
+	}
+	for v := range deg {
+		deg[v]++ // every node appears deg-1 times in the sequence
+	}
+	g := graph.New(n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	ptr := 0
+	for ptr < n && deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range seq {
+		g.MustAddEdge(leaf, v)
+		parent[leaf] = v
+		deg[leaf]--
+		deg[v]--
+		if deg[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			for ptr < n && deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// Two nodes of degree 1 remain; connect them. One is always n-1.
+	last := -1
+	for v := 0; v < n; v++ {
+		if deg[v] == 1 && v != n-1 {
+			last = v
+			break
+		}
+	}
+	if last == -1 {
+		last = n - 2
+	}
+	g.MustAddEdge(last, n-1)
+	parent[last] = n - 1
+	parent[n-1] = n - 1
+	return NewFromParents(g, parent, n-1)
+}
+
+// RandomLabeledTree samples a uniformly random labeled tree on n nodes
+// via a random Prüfer sequence (exactly uniform over the n^(n-2) trees,
+// by Cayley's formula).
+func RandomLabeledTree(n int, rng *rand.Rand) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("spanning: RandomLabeledTree needs n >= 1")
+	}
+	if n == 1 {
+		g := graph.New(1)
+		return NewFromParents(g, []int{0}, 0)
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	return PruferDecode(seq)
+}

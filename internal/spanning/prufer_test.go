@@ -1,0 +1,172 @@
+package spanning
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdst/internal/graph"
+)
+
+func TestPruferEncodePath(t *testing.T) {
+	// Path 0-1-2-3: removing leaves 0,1 yields sequence [1,2].
+	g := graph.Path(4)
+	tr := BFSTree(g, 0)
+	seq := PruferEncode(tr)
+	if len(seq) != 2 || seq[0] != 1 || seq[1] != 2 {
+		t.Fatalf("seq = %v, want [1 2]", seq)
+	}
+}
+
+func TestPruferEncodeStar(t *testing.T) {
+	// Star with hub 0 and 4 leaves: sequence is [0,0,0].
+	g := graph.Star(5)
+	tr := BFSTree(g, 0)
+	seq := PruferEncode(tr)
+	if len(seq) != 3 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	for _, v := range seq {
+		if v != 0 {
+			t.Fatalf("seq = %v, want all zeros", seq)
+		}
+	}
+}
+
+func TestPruferDecodeInverseOfEncode(t *testing.T) {
+	// Round trip: decode(encode(T)) has the same edge set as T.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(30)
+		tr, err := RandomLabeledTree(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := PruferEncode(tr)
+		back, err := PruferDecode(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tr.EdgeSet()
+		got := back.EdgeSet()
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: edge counts differ: %d vs %d", trial, len(want), len(got))
+		}
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("trial %d: edge %v missing after round trip", trial, e)
+			}
+		}
+	}
+}
+
+// Property: every sequence in range decodes to a valid tree whose code
+// is the sequence itself (the bijection, decode-then-encode direction).
+func TestQuickPruferBijection(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		n := len(raw) + 2
+		seq := make([]int, len(raw))
+		for i, b := range raw {
+			seq[i] = int(b) % n
+		}
+		tr, err := PruferDecode(seq)
+		if err != nil || tr.Validate() != nil {
+			return false
+		}
+		got := PruferEncode(tr)
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: node v appears deg(v)-1 times in the Prüfer sequence.
+func TestQuickPruferDegreeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		tr, err := RandomLabeledTree(n, rng)
+		if err != nil {
+			return false
+		}
+		seq := PruferEncode(tr)
+		count := make([]int, n)
+		for _, v := range seq {
+			count[v]++
+		}
+		for v := 0; v < n; v++ {
+			if count[v] != tr.Degree(v)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruferDecodeRejectsOutOfRange(t *testing.T) {
+	if _, err := PruferDecode([]int{5}); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+	if _, err := PruferDecode([]int{-1}); err == nil {
+		t.Fatal("negative symbol accepted")
+	}
+}
+
+func TestRandomLabeledTreeSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3} {
+		tr, err := RandomLabeledTree(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Graph().N() != n {
+			t.Fatalf("n=%d: got %d nodes", n, tr.Graph().N())
+		}
+	}
+	if _, err := RandomLabeledTree(0, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+// Uniformity smoke check: over the 16 labeled trees on 4 nodes, a large
+// sample should hit every shape with roughly equal frequency.
+func TestRandomLabeledTreeUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	const trials = 4800
+	for i := 0; i < trials; i++ {
+		tr, err := RandomLabeledTree(4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := PruferEncode(tr)
+		key := string(rune('0'+seq[0])) + string(rune('0'+seq[1]))
+		counts[key]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("only %d of 16 codes seen", len(counts))
+	}
+	for key, c := range counts {
+		if c < trials/16/2 || c > trials/16*2 {
+			t.Fatalf("code %s count %d far from uniform %d", key, c, trials/16)
+		}
+	}
+}
