@@ -1,0 +1,35 @@
+# CI entry points. `make ci` is the gate: vet + build + full test suite
+# + a short -race job over the concurrency-bearing packages (the live
+# CSP runtime, the harness, and the scenario engine, whose differential
+# test exercises goroutine-per-node execution).
+
+GO ?= go
+
+RACE_PKGS = ./internal/sim/... ./internal/harness/... ./internal/scenario/...
+
+.PHONY: ci vet build test race bench matrix clean
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Reduced-sweep benchmark pass (one iteration per benchmark).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# The default 108-run scenario matrix across all CPUs.
+matrix:
+	$(GO) run ./cmd/mdstmatrix
+
+clean:
+	$(GO) clean ./...

@@ -1,10 +1,13 @@
 package mdst
 
-// One benchmark per experiment of EXPERIMENTS.md (E1–E7), plus
-// micro-benchmarks of the hot substrates. Each experiment bench runs one
-// complete workload cell per iteration; `go test -bench=. -benchmem`
-// regenerates every number the experiment tables are built from (at a
-// reduced sweep — cmd/mdstbench runs the full sweep).
+// One benchmark per experiment of EXPERIMENTS.md (E1–E11), plus
+// micro-benchmarks of the hot substrates and the scenario-matrix
+// engine. Each experiment bench runs one complete workload cell per
+// iteration; `go test -bench=. -benchmem` regenerates every number the
+// experiment tables are built from (at a reduced sweep — cmd/mdstbench
+// and cmd/mdstmatrix run the full sweeps). The sweep-shaped experiments
+// execute through internal/scenario, so these benchmarks exercise the
+// engine's worker sharding as well.
 
 import (
 	"fmt"
@@ -16,6 +19,7 @@ import (
 	"mdst/internal/graph"
 	"mdst/internal/harness"
 	"mdst/internal/mdstseq"
+	"mdst/internal/scenario"
 	"mdst/internal/sim"
 	"mdst/internal/spanning"
 )
@@ -160,6 +164,51 @@ func BenchmarkProtocolConvergence(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkScenarioMatrix measures the scenario engine end to end: a
+// 16-run matrix (2 sizes × 2 schedulers × 2 fault models × 2 seeds)
+// executed across all CPUs per iteration.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	spec := scenario.Spec{
+		Families:     []string{"gnp"},
+		Sizes:        []int{16, 24},
+		Schedulers:   []harness.SchedulerKind{harness.SchedSync, harness.SchedAsync},
+		Faults:       []scenario.FaultModel{scenario.NoFault{}, scenario.Lossy{Rate: 0.05}},
+		SeedsPerCell: 2,
+		BaseSeed:     1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := scenario.Default().Execute(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range m.Cells {
+			if !c.WithinBound {
+				b.Fatalf("cell %s above degree bound", c.Cell)
+			}
+		}
+	}
+}
+
+// BenchmarkScenarioMatrixSerial is the single-worker baseline of
+// BenchmarkScenarioMatrix; the ratio of the two is the engine's
+// parallel speedup on this machine.
+func BenchmarkScenarioMatrixSerial(b *testing.B) {
+	spec := scenario.Spec{
+		Families:     []string{"gnp"},
+		Sizes:        []int{16, 24},
+		Schedulers:   []harness.SchedulerKind{harness.SchedSync, harness.SchedAsync},
+		Faults:       []scenario.FaultModel{scenario.NoFault{}, scenario.Lossy{Rate: 0.05}},
+		SeedsPerCell: 2,
+		BaseSeed:     1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := (scenario.Engine{Workers: 1}).Execute(spec); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,11 +1,15 @@
 // Command mdstbench regenerates the experiment tables E1–E11 of
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. The sweep-shaped experiments (E1, E2, E8–E10) execute
+// through the internal/scenario matrix engine and shard their runs
+// across all CPUs; -workers caps that parallelism (ad-hoc scenario
+// matrices beyond the fixed tables are cmd/mdstmatrix's job).
 //
 // Usage:
 //
 //	mdstbench                 # full suite, default sweep
 //	mdstbench -exp E1 -csv    # one experiment as CSV
 //	mdstbench -sizes 16,32,64 -seeds 5 -sched async
+//	mdstbench -exp E9 -workers 1                          # serial execution
 //	mdstbench -exp fit -families gnp -sizes 12,16,24,32   # complexity fit
 //	mdstbench -series conv -families geometric -sizes 32  # figure series CSV
 package main
@@ -41,9 +45,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	series := fs.String("series", "", "emit a per-round figure series: conv|recovery")
 	faults := fs.Int("faults", 4, "with -series recovery: corrupted nodes")
 	variant := fs.String("variant", "core", "with -series conv: protocol implementation core|literal")
+	workers := fs.Int("workers", 0, "cap on scenario-engine parallelism (0: all CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	benchtab.Workers = *workers
 
 	sweep := benchtab.DefaultSweep()
 	sweep.Seeds = *seeds

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyMatrixTable(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-families", "gnp", "-sizes", "10", "-seeds", "2",
+		"-scheds", "sync", "-faults", "none,lossy:0.1", "-quiet"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"family", "lossy:0.1", "gnp"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONParses(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-families", "gnp", "-sizes", "10", "-seeds", "2",
+		"-scheds", "sync", "-faults", "none,targeted:root", "-format", "json",
+		"-quiet"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var m struct {
+		TotalRuns int `json:"totalRuns"`
+		Cells     []struct {
+			Fault      string `json:"fault"`
+			Legitimate bool   `json:"legitimate"`
+		} `json:"cells"`
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if m.TotalRuns != 4 || len(m.Cells) != 2 || len(m.Runs) != 4 {
+		t.Fatalf("runs=%d cells=%d perRun=%d", m.TotalRuns, len(m.Cells), len(m.Runs))
+	}
+	for _, c := range m.Cells {
+		if !c.Legitimate {
+			t.Fatalf("cell %q not legitimate", c.Fault)
+		}
+	}
+}
+
+// The matrix must be byte-identical across worker counts: seeding is
+// per-run, aggregation is in expansion order, and no timing leaks into
+// the output.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	invoke := func(workers string) string {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-families", "gnp,ring+chords", "-sizes", "10",
+			"-scheds", "sync", "-seeds", "2", "-faults", "none,corrupt:3",
+			"-format", "json", "-workers", workers, "-quiet"}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	serial := invoke("1")
+	parallel := invoke("8")
+	if serial != parallel {
+		t.Fatal("matrix JSON differs between -workers 1 and -workers 8")
+	}
+}
+
+func TestRunBadFlagsRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faults", "lossy:2"},
+		{"-faults", "bogus"},
+		{"-starts", "bogus"},
+		{"-sizes", "x"},
+		{"-families", "no-such-family", "-quiet"},
+		{"-format", "bogus", "-families", "gnp", "-sizes", "8", "-seeds", "1"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// The default invocation is the acceptance-scale matrix: >= 100 runs,
+// verified by dry-run expansion (no execution).
+func TestDefaultMatrixIsAtLeast100Runs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-expand", "-quiet"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	lines := strings.Count(out.String(), "\n")
+	if lines < 100 {
+		t.Fatalf("default matrix expands to only %d runs, want >= 100", lines)
+	}
+}

@@ -3,13 +3,23 @@
 // (Blin, Gradinariu Potop-Butucaru, Rovedakis; IPDPS 2009).
 //
 // The public surface lives in the commands (cmd/mdstsim, cmd/mdstbench,
-// cmd/mdstnet, cmd/mdstviz, cmd/graphgen) and the examples; the library
-// packages are under internal/ (graph, spanning, mdstseq, sim, pif,
-// core, paperproto, netrun, harness, benchtab, trace, analysis, viz,
-// mc). The protocol is implemented twice — internal/core with the
-// tree-preserving chain exchange and internal/paperproto with the
-// paper's literal Remove/Back choreography — and runs under three
-// runtimes: the deterministic simulator, a goroutine/channel runtime
-// and real TCP sockets. See README.md for a tour, DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the reproduced evaluation.
+// cmd/mdstmatrix, cmd/mdstnet, cmd/mdstviz, cmd/graphgen) and the
+// examples; the library packages are under internal/ (graph, spanning,
+// mdstseq, sim, pif, core, paperproto, netrun, harness, scenario,
+// benchtab, trace, analysis, viz, mc). The protocol is implemented
+// twice — internal/core with the tree-preserving chain exchange and
+// internal/paperproto with the paper's literal Remove/Back choreography
+// — and runs under three runtimes: the deterministic simulator, a
+// goroutine/channel runtime and real TCP sockets.
+//
+// Experiment execution layers on the internal/scenario matrix engine: a
+// declarative Spec (graph families × sizes × schedulers × start modes ×
+// variants × fault models × seeds) expands into a run matrix executed
+// across GOMAXPROCS workers, each run seeded from a hash of its matrix
+// coordinates so results are byte-identical at any parallelism. The
+// churn, lossy-link and targeted-corruption fault injections are shared
+// scenario.FaultModel values; internal/benchtab's experiment tables and
+// the cmd/mdstmatrix CLI are thin renderers over the engine. See
+// README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
 package mdst

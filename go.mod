@@ -1,0 +1,3 @@
+module mdst
+
+go 1.21

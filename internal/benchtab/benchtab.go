@@ -1,8 +1,12 @@
-// Package benchtab generates the experiment tables E1–E10 of
+// Package benchtab generates the experiment tables E1–E11 of
 // EXPERIMENTS.md: each function sweeps a workload, runs the harness and
 // returns a Table that can be rendered as aligned text or CSV. The
 // bench targets in the repository root and cmd/mdstbench are thin
-// wrappers over these functions.
+// wrappers over these functions. The sweep-shaped experiments (E1, E2)
+// and the fault extensions (E8–E10) execute their runs through the
+// internal/scenario matrix engine, sharded across all CPUs, so the
+// fault injections are the shared scenario.FaultModel values rather
+// than per-experiment one-offs.
 package benchtab
 
 import (
@@ -16,6 +20,7 @@ import (
 	"mdst/internal/graph"
 	"mdst/internal/harness"
 	"mdst/internal/mdstseq"
+	"mdst/internal/scenario"
 	"mdst/internal/spanning"
 )
 
@@ -87,6 +92,22 @@ func ftoa(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func btos(v bool) string     { return fmt.Sprintf("%v", v) }
 func log2ceil(n int) float64 { return math.Ceil(math.Log2(float64(n))) }
 
+// Workers caps the scenario-engine parallelism used by this package's
+// engine-backed tables (<= 0: GOMAXPROCS). cmd/mdstbench sets it from
+// its -workers flag; results never depend on it, only wall time.
+var Workers int
+
+// mustExecute runs a matrix on the package engine. The specs built by
+// this package are static, so an error is a programmer error — the
+// same contract as graph.MustFamily.
+func mustExecute(spec scenario.Spec) *scenario.Matrix {
+	m, err := scenario.Engine{Workers: Workers}.Execute(spec)
+	if err != nil {
+		panic("benchtab: " + err.Error())
+	}
+	return m
+}
+
 // SweepSpec controls the shared sweep dimensions.
 type SweepSpec struct {
 	Sizes []int // requested node counts
@@ -101,7 +122,10 @@ func DefaultSweep() SweepSpec {
 }
 
 // E1DegreeQuality checks Theorem 2 across families: the stabilized degree
-// versus the exact or bracketed Δ*, with the Δ*+1 bound verdict.
+// versus the exact or bracketed Δ*, with the Δ*+1 bound verdict. The runs
+// execute through the scenario engine (one per family × size × seed,
+// sharded across all CPUs); the exact Δ* label is re-derived per row by
+// rebuilding the run's graph from its seed.
 func E1DegreeQuality(sweep SweepSpec, families []graph.Family) *Table {
 	t := &Table{
 		Title:   "E1: degree quality — deg(T) vs Δ*+1 (Theorem 2)",
@@ -111,37 +135,48 @@ func E1DegreeQuality(sweep SweepSpec, families []graph.Family) *Table {
 			"withinBound asserts deg(T) <= deltaStar+1 (paper Theorem 2)",
 		},
 	}
-	for _, fam := range families {
-		for _, n := range sweep.Sizes {
-			for s := 0; s < sweep.Seeds; s++ {
-				seed := int64(n*1000 + s)
-				rng := rand.New(rand.NewSource(seed))
-				g := fam.Build(n, rng)
-				res := harness.Run(harness.RunSpec{
-					Graph: g, Scheduler: sweep.Sched,
-					Start: harness.StartCorrupt, Seed: seed,
-				})
-				if res.Tree == nil {
-					t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(g.M()),
-						"FAIL", "-", "-", "false"})
-					continue
-				}
-				deg := res.Tree.MaxDegree()
-				star, exact := deltaStar(g)
-				bound := star + 1
-				within := deg <= bound
-				label := itoa(star)
-				if !exact {
-					label = fmt.Sprintf("[%d..%d]", star, starUpper(g))
-					bound = starUpper(g) + 1
-					within = deg <= bound
-				}
-				t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(g.M()),
-					itoa(deg), label, itoa(bound), btos(within)})
-			}
+	m := mustExecute(scenario.Spec{
+		Families:     familyNames(families),
+		Sizes:        sweep.Sizes,
+		Schedulers:   []harness.SchedulerKind{sweep.Sched},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		SeedsPerCell: sweep.Seeds,
+		BaseSeed:     1000,
+	})
+	for _, rr := range m.Runs {
+		if rr.MaxDegree < 0 {
+			t.Rows = append(t.Rows, []string{rr.Family, itoa(rr.Nodes), itoa(rr.Edges),
+				"FAIL", "-", "-", "false"})
+			continue
 		}
+		g, err := scenario.BuildGraph(rr.Run)
+		if err != nil {
+			panic("benchtab: " + err.Error())
+		}
+		deg := rr.MaxDegree
+		star, exact := deltaStar(g)
+		bound := star + 1
+		within := deg <= bound
+		label := itoa(star)
+		if !exact {
+			label = fmt.Sprintf("[%d..%d]", star, starUpper(g))
+			bound = starUpper(g) + 1
+			within = deg <= bound
+		}
+		t.Rows = append(t.Rows, []string{rr.Family, itoa(rr.Nodes), itoa(rr.Edges),
+			itoa(deg), label, itoa(bound), btos(within)})
 	}
 	return t
+}
+
+// familyNames projects the registered names of a family slice (the
+// scenario engine resolves families by name).
+func familyNames(families []graph.Family) []string {
+	names := make([]string, len(families))
+	for i, f := range families {
+		names[i] = f.Name
+	}
+	return names
 }
 
 // deltaStar returns the exact Δ* for small graphs, else the FR-derived
@@ -171,26 +206,19 @@ func E2Convergence(sweep SweepSpec, families []graph.Family) *Table {
 			"ratio should stay bounded (and in practice tiny) as n grows",
 		},
 	}
-	for _, fam := range families {
-		for _, n := range sweep.Sizes {
-			worst := 0
-			var g *graph.Graph
-			for s := 0; s < sweep.Seeds; s++ {
-				seed := int64(n*2000 + s)
-				rng := rand.New(rand.NewSource(seed))
-				g = fam.Build(n, rng)
-				res := harness.Run(harness.RunSpec{
-					Graph: g, Scheduler: sweep.Sched,
-					Start: harness.StartCorrupt, Seed: seed,
-				})
-				if res.LastChange > worst {
-					worst = res.LastChange
-				}
-			}
-			bound := float64(g.M()) * float64(g.N()) * float64(g.N()) * log2ceil(g.N())
-			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(g.M()),
-				itoa(worst), fmt.Sprintf("%.0f", bound), ftoa(float64(worst) / bound * 1e6)})
-		}
+	m := mustExecute(scenario.Spec{
+		Families:     familyNames(families),
+		Sizes:        sweep.Sizes,
+		Schedulers:   []harness.SchedulerKind{sweep.Sched},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		SeedsPerCell: sweep.Seeds,
+		BaseSeed:     2000,
+	})
+	for _, c := range m.Cells {
+		worst := c.RoundsMax
+		bound := float64(c.Edges) * float64(c.Nodes) * float64(c.Nodes) * log2ceil(c.Nodes)
+		t.Rows = append(t.Rows, []string{c.Family, itoa(c.Nodes), itoa(c.Edges),
+			itoa(worst), fmt.Sprintf("%.0f", bound), ftoa(float64(worst) / bound * 1e6)})
 	}
 	return t
 }

@@ -2,12 +2,9 @@ package benchtab
 
 import (
 	"fmt"
-	"math/rand"
 
-	"mdst/internal/core"
-	"mdst/internal/graph"
 	"mdst/internal/harness"
-	"mdst/internal/sim"
+	"mdst/internal/scenario"
 )
 
 // E10 (extension; the paper's §6 open problem): topology churn. A
@@ -17,6 +14,9 @@ import (
 // almost free (the tree is untouched; at most the fixed point shifts);
 // removing a TREE edge orphans a subtree that must re-attach; adding an
 // edge may enable a better tree and re-trigger reduction.
+//
+// The stabilize→mutate→migrate→re-run cycle is scenario.Churn, the
+// shared Executor fault model; this file only renders the table.
 
 // E10Churn measures re-stabilization per churn operation.
 func E10Churn(famName string, n, seeds int, sched harness.SchedulerKind) *Table {
@@ -28,58 +28,24 @@ func E10Churn(famName string, n, seeds int, sched harness.SchedulerKind) *Table 
 			"removals preserve connectivity; rounds = last state change on the new topology",
 		},
 	}
-	fam := graph.MustFamily(famName)
-	for _, op := range harness.ChurnOps() {
-		sum, worst, runs := 0, 0, 0
-		allLegit := true
-		for s := 0; s < seeds; s++ {
-			seed := int64(n*15000 + s)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			cfg := core.DefaultConfig(g.N())
-
-			// Stabilize on the original topology.
-			net := core.BuildNetwork(g, cfg, seed)
-			if err := harness.Preload(g, core.NodesOf(net), cfg); err != nil {
-				allLegit = false
-				continue
-			}
-			tree, err := core.ExtractTree(g, core.NodesOf(net))
-			if err != nil {
-				allLegit = false
-				continue
-			}
-
-			// Apply the churn operation and migrate.
-			newG, _, ok := harness.ApplyChurn(g, tree, op, rng)
-			if !ok {
-				continue // no applicable edge on this instance
-			}
-			newNet, err := harness.Migrate(net, newG, cfg, seed+1)
-			if err != nil {
-				allLegit = false
-				continue
-			}
-			res := newNet.Run(sim.RunConfig{
-				Scheduler:     harness.NewScheduler(sched),
-				MaxRounds:     200*n + 20000,
-				QuiesceRounds: 2*n + 40,
-				ActiveKinds:   core.ReductionKinds(),
-			})
-			runs++
-			sum += res.LastChangeRound
-			if res.LastChangeRound > worst {
-				worst = res.LastChangeRound
-			}
-			if !core.CheckLegitimacy(newG, core.NodesOf(newNet)).OK() {
-				allLegit = false
-			}
-		}
-		avg := 0.0
-		if runs > 0 {
-			avg = float64(sum) / float64(runs)
-		}
-		t.Rows = append(t.Rows, []string{string(op), ftoa(avg), itoa(worst), btos(allLegit)})
+	ops := harness.ChurnOps()
+	faults := make([]scenario.FaultModel, len(ops))
+	for i, op := range ops {
+		faults[i] = scenario.Churn{Op: op}
+	}
+	m := mustExecute(scenario.Spec{
+		Families:     []string{famName},
+		Sizes:        []int{n},
+		Schedulers:   []harness.SchedulerKind{sched},
+		Starts:       []harness.StartMode{harness.StartLegitimate},
+		Faults:       faults,
+		SeedsPerCell: seeds,
+		BaseSeed:     int64(n * 15000),
+		MaxRounds:    200*n + 20000,
+	})
+	for i, c := range m.Cells {
+		t.Rows = append(t.Rows, []string{string(ops[i]), ftoa(c.RoundsAvg),
+			itoa(c.RoundsMax), btos(c.Legitimate)})
 	}
 	return t
 }

@@ -2,12 +2,9 @@ package benchtab
 
 import (
 	"fmt"
-	"math/rand"
 
-	"mdst/internal/core"
-	"mdst/internal/graph"
 	"mdst/internal/harness"
-	"mdst/internal/sim"
+	"mdst/internal/scenario"
 )
 
 // E9 (extension beyond the paper): lossy links. The paper assumes
@@ -19,6 +16,10 @@ import (
 // probability decays as (1-p)^{2n} — at high loss the tree is valid but
 // can stall short of the Fürer–Raghavachari fixed point. The table
 // separates the two: treeOK (safety) versus fixedPoint (optimality).
+//
+// The sweep executes through the scenario engine: one cell per drop
+// rate, runs sharded across all CPUs, with scenario.Lossy as the shared
+// fault model.
 
 // E9LossyLinks sweeps drop rates on one family.
 func E9LossyLinks(famName string, n, seeds int) *Table {
@@ -30,48 +31,29 @@ func E9LossyLinks(famName string, n, seeds int) *Table {
 			"but Search tokens die with prob 1-(1-p)^{2n}, so optimality can stall at high loss",
 		},
 	}
-	fam := graph.MustFamily(famName)
-	for _, rate := range []float64{0, 0.01, 0.05, 0.1, 0.25} {
-		sum, worst := 0, 0
-		var droppedSum int64
-		allTree, allFixed := true, true
-		for s := 0; s < seeds; s++ {
-			seed := int64(n*13000 + s)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			cfg := core.DefaultConfig(g.N())
-			net := core.BuildNetwork(g, cfg, seed)
-			net.SetDropRate(rate)
-			nodes := core.NodesOf(net)
-			for _, nd := range nodes {
-				nd.Corrupt(rng, g.N())
-			}
-			res := net.Run(sim.RunConfig{
-				Scheduler:     harness.NewScheduler(harness.SchedSync),
-				MaxRounds:     400*g.N() + 40000,
-				QuiesceRounds: 2*g.N() + 40,
-				ActiveKinds:   core.ReductionKinds(),
-			})
-			sum += res.LastChangeRound
-			if res.LastChangeRound > worst {
-				worst = res.LastChangeRound
-			}
-			droppedSum += net.Dropped()
-			leg := core.CheckLegitimacy(g, nodes)
-			if !leg.TreeValid || !leg.RootIsMin {
-				allTree = false
-			}
-			if !leg.FixedPoint {
-				allFixed = false
-			}
-		}
+	rates := []float64{0, 0.01, 0.05, 0.1, 0.25}
+	faults := make([]scenario.FaultModel, len(rates))
+	for i, rate := range rates {
+		faults[i] = scenario.Lossy{Rate: rate}
+	}
+	m := mustExecute(scenario.Spec{
+		Families:     []string{famName},
+		Sizes:        []int{n},
+		Schedulers:   []harness.SchedulerKind{harness.SchedSync},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		Faults:       faults,
+		SeedsPerCell: seeds,
+		BaseSeed:     int64(n * 13000),
+		MaxRounds:    400*n + 40000,
+	})
+	for i, c := range m.Cells {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.2f", rate),
-			ftoa(float64(sum) / float64(seeds)),
-			itoa(worst),
-			fmt.Sprintf("%.0f", float64(droppedSum)/float64(seeds)),
-			btos(allTree),
-			btos(allFixed),
+			fmt.Sprintf("%.2f", rates[i]),
+			ftoa(c.RoundsAvg),
+			itoa(c.RoundsMax),
+			fmt.Sprintf("%.0f", c.DroppedAvg),
+			btos(c.TreeOK),
+			btos(c.FixedPoint),
 		})
 	}
 	return t

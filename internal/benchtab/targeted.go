@@ -2,13 +2,9 @@ package benchtab
 
 import (
 	"fmt"
-	"math/rand"
 
-	"mdst/internal/core"
-	"mdst/internal/graph"
 	"mdst/internal/harness"
-	"mdst/internal/sim"
-	"mdst/internal/spanning"
+	"mdst/internal/scenario"
 )
 
 // E8 (extension beyond the paper): targeted transient faults. The
@@ -18,54 +14,26 @@ import (
 // — and compares recovery cost, quantifying the intuition that
 // root-adjacent corruption is the most expensive (it can re-trigger the
 // global election).
+//
+// The role machinery lives in internal/scenario (scenario.Targeted /
+// scenario.PickTargets) and is shared with the matrix CLI; this file
+// only renders the table. The aliases below preserve this package's
+// historical API.
 
-// TargetRole names a fault location.
-type TargetRole string
+// TargetRole names a fault location (moved to internal/scenario).
+type TargetRole = scenario.TargetRole
 
 // Fault locations.
 const (
-	RoleRoot    TargetRole = "root"
-	RoleLeaf    TargetRole = "deepest-leaf"
-	RoleMaxDeg  TargetRole = "max-degree"
-	RoleRandom  TargetRole = "random"
-	RoleParents TargetRole = "root+children"
+	RoleRoot    = scenario.RoleRoot
+	RoleLeaf    = scenario.RoleLeaf
+	RoleMaxDeg  = scenario.RoleMaxDeg
+	RoleRandom  = scenario.RoleRandom
+	RoleParents = scenario.RoleParents
 )
 
 // TargetRoles returns the roles in display order.
-func TargetRoles() []TargetRole {
-	return []TargetRole{RoleRoot, RoleLeaf, RoleMaxDeg, RoleRandom, RoleParents}
-}
-
-// pickTargets resolves a role to concrete node IDs on the preloaded
-// fixed-point tree.
-func pickTargets(tree *spanning.Tree, role TargetRole, rng *rand.Rand) []int {
-	switch role {
-	case RoleRoot:
-		return []int{tree.Root()}
-	case RoleLeaf:
-		deepest, depth := 0, -1
-		for v := 0; v < tree.Graph().N(); v++ {
-			if d := tree.Depth(v); d > depth {
-				deepest, depth = v, d
-			}
-		}
-		return []int{deepest}
-	case RoleMaxDeg:
-		k := tree.MaxDegree()
-		for v := 0; v < tree.Graph().N(); v++ {
-			if tree.Degree(v) == k {
-				return []int{v}
-			}
-		}
-		return []int{0}
-	case RoleParents:
-		out := []int{tree.Root()}
-		out = append(out, tree.Children(tree.Root())...)
-		return out
-	default:
-		return []int{rng.Intn(tree.Graph().N())}
-	}
-}
+func TargetRoles() []TargetRole { return scenario.TargetRoles() }
 
 // E8TargetedFaults measures recovery cost per fault role on one family.
 func E8TargetedFaults(famName string, n, seeds int, sched harness.SchedulerKind) *Table {
@@ -77,52 +45,23 @@ func E8TargetedFaults(famName string, n, seeds int, sched harness.SchedulerKind)
 			"extension beyond the paper: Definition 1 is location-oblivious; operations care",
 		},
 	}
-	fam := graph.MustFamily(famName)
-	for _, role := range TargetRoles() {
-		sum, worst, count := 0, 0, 0
-		allLegit := true
-		for s := 0; s < seeds; s++ {
-			seed := int64(n*11000 + s)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			cfg := core.DefaultConfig(g.N())
-			net := core.BuildNetwork(g, cfg, seed)
-			nodes := core.NodesOf(net)
-			if err := harness.Preload(g, nodes, cfg); err != nil {
-				allLegit = false
-				continue
-			}
-			tree, err := core.ExtractTree(g, nodes)
-			if err != nil {
-				allLegit = false
-				continue
-			}
-			targets := pickTargets(tree, role, rng)
-			for _, v := range targets {
-				nodes[v].Corrupt(rng, g.N())
-			}
-			count = len(targets)
-			run := runPrepared(net, g, sched)
-			sum += run.LastChangeRound
-			if run.LastChangeRound > worst {
-				worst = run.LastChangeRound
-			}
-			if !core.CheckLegitimacy(g, nodes).OK() {
-				allLegit = false
-			}
-		}
-		t.Rows = append(t.Rows, []string{string(role), itoa(count),
-			ftoa(float64(sum) / float64(seeds)), itoa(worst), btos(allLegit)})
+	roles := TargetRoles()
+	faults := make([]scenario.FaultModel, len(roles))
+	for i, role := range roles {
+		faults[i] = scenario.Targeted{Role: role}
+	}
+	m := mustExecute(scenario.Spec{
+		Families:     []string{famName},
+		Sizes:        []int{n},
+		Schedulers:   []harness.SchedulerKind{sched},
+		Starts:       []harness.StartMode{harness.StartLegitimate},
+		Faults:       faults,
+		SeedsPerCell: seeds,
+		BaseSeed:     int64(n * 11000),
+	})
+	for i, c := range m.Cells {
+		t.Rows = append(t.Rows, []string{string(roles[i]), itoa(c.Corrupted),
+			ftoa(c.RoundsAvg), itoa(c.RoundsMax), btos(c.Legitimate)})
 	}
 	return t
-}
-
-// runPrepared runs an already-prepared network to quiescence.
-func runPrepared(net *sim.Network, g *graph.Graph, sched harness.SchedulerKind) sim.RunResult {
-	return net.Run(sim.RunConfig{
-		Scheduler:     harness.NewScheduler(sched),
-		MaxRounds:     200*g.N() + 20000,
-		QuiesceRounds: 2*g.N() + 40,
-		ActiveKinds:   core.ReductionKinds(),
-	})
 }

@@ -53,6 +53,31 @@ const (
 	StartLegitimate
 )
 
+// String returns the stable name used in scenario specs and CLIs.
+func (m StartMode) String() string {
+	switch m {
+	case StartCorrupt:
+		return "corrupt"
+	case StartLegitimate:
+		return "legitimate"
+	default:
+		return "clean"
+	}
+}
+
+// ParseStartMode resolves a StartMode name (clean|corrupt|legitimate).
+func ParseStartMode(s string) (StartMode, error) {
+	switch s {
+	case "clean":
+		return StartClean, nil
+	case "corrupt":
+		return StartCorrupt, nil
+	case "legitimate", "legit":
+		return StartLegitimate, nil
+	}
+	return 0, fmt.Errorf("harness: unknown start mode %q", s)
+}
+
 // Variant selects which protocol implementation a run executes.
 type Variant string
 
@@ -76,8 +101,16 @@ type RunSpec struct {
 	// CorruptNodes: with Start == StartLegitimate, the number of nodes to
 	// corrupt after pre-loading (fault-recovery experiment E5).
 	CorruptNodes int
-	Seed         int64
-	MaxRounds    int
+	// CorruptTargets: with Start == StartLegitimate, the specific node IDs
+	// to corrupt after pre-loading (targeted-fault models pick roles such
+	// as the root or a maximum-degree node). Applied before CorruptNodes.
+	CorruptTargets []int
+	// DropRate enables lossy links: every delivery is independently lost
+	// with this probability (the E9 fault model; zero keeps the paper's
+	// reliable-link assumption).
+	DropRate  float64
+	Seed      int64
+	MaxRounds int
 	// TrackSafety counts rounds in which the parent pointers do not form
 	// a single spanning tree (transient breakage under concurrent
 	// exchanges; see DESIGN.md S3). Counting starts at the first round
@@ -100,6 +133,8 @@ type Result struct {
 	// BrokenRounds counts rounds without a valid spanning tree (only
 	// populated when RunSpec.TrackSafety is set).
 	BrokenRounds int
+	// Dropped is the number of deliveries lost to RunSpec.DropRate.
+	Dropped int64
 	// Exchanges and Aborts are the protocol's completed edge exchanges
 	// and staleness-aborted choreography hops (ablation E11 compares
 	// them across variants).
@@ -119,6 +154,9 @@ func Run(spec RunSpec) Result {
 		cfg = core.DefaultConfig(n)
 	}
 	net := core.BuildNetwork(g, cfg, spec.Seed)
+	if spec.DropRate > 0 {
+		net.SetDropRate(spec.DropRate)
+	}
 	nodes := core.NodesOf(net)
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
 
@@ -130,6 +168,11 @@ func Run(spec RunSpec) Result {
 	case StartLegitimate:
 		if err := Preload(g, nodes, cfg); err != nil {
 			return Result{Legit: core.Legitimacy{Detail: err.Error()}}
+		}
+		for _, v := range spec.CorruptTargets {
+			if v >= 0 && v < n {
+				nodes[v].Corrupt(rng, n)
+			}
 		}
 		perm := rng.Perm(n)
 		for i := 0; i < spec.CorruptNodes && i < n; i++ {
@@ -176,6 +219,7 @@ func Run(spec RunSpec) Result {
 		Metrics:      net.Metrics(),
 		MaxStateBits: net.MaxStateBits(),
 		BrokenRounds: broken,
+		Dropped:      net.Dropped(),
 		Exchanges:    st.ExchangesComplete,
 		Aborts:       st.ChainsAborted,
 	}
@@ -194,9 +238,8 @@ func Run(spec RunSpec) Result {
 // configuration the protocol itself converges to (up to tie-breaking),
 // used as the starting point of closure and fault-recovery runs.
 func Preload(g *graph.Graph, nodes []*core.Node, cfg core.Config) error {
-	tree := spanning.BFSTree(g, 0)
-	// Reduce to a fixed point with the same sequential semantics.
-	if err := reduceToFixedPoint(tree); err != nil {
+	tree, err := PreloadTree(g)
+	if err != nil {
 		return err
 	}
 	k := tree.MaxDegree()
@@ -231,6 +274,20 @@ func Preload(g *graph.Graph, nodes []*core.Node, cfg core.Config) error {
 		}
 	}
 	return nil
+}
+
+// PreloadTree returns the deterministic legitimate tree that Preload
+// writes into the nodes: the BFS tree rooted at node 0 reduced to a
+// Fürer–Raghavachari fixed point. Targeted-fault models use it to pick
+// role nodes (root, deepest leaf, ...) consistent with the preloaded
+// configuration.
+func PreloadTree(g *graph.Graph) (*spanning.Tree, error) {
+	tree := spanning.BFSTree(g, 0)
+	// Reduce to a fixed point with the same sequential semantics.
+	if err := reduceToFixedPoint(tree); err != nil {
+		return nil, err
+	}
+	return tree, nil
 }
 
 // depthOrder returns the nodes sorted by increasing depth (parents before

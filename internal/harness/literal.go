@@ -7,7 +7,6 @@ import (
 	"mdst/internal/graph"
 	"mdst/internal/paperproto"
 	"mdst/internal/sim"
-	"mdst/internal/spanning"
 )
 
 // runLiteral executes one run of the literal-choreography variant
@@ -22,6 +21,9 @@ func runLiteral(spec RunSpec) Result {
 		cfg = paperproto.DefaultConfig(n)
 	}
 	net := paperproto.BuildNetwork(g, cfg, spec.Seed)
+	if spec.DropRate > 0 {
+		net.SetDropRate(spec.DropRate)
+	}
 	nodes := paperproto.NodesOf(net)
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
 
@@ -33,6 +35,11 @@ func runLiteral(spec RunSpec) Result {
 	case StartLegitimate:
 		if err := PreloadLiteral(g, nodes, cfg); err != nil {
 			return Result{Legit: core.Legitimacy{Detail: err.Error()}}
+		}
+		for _, v := range spec.CorruptTargets {
+			if v >= 0 && v < n {
+				nodes[v].Corrupt(rng, n)
+			}
 		}
 		perm := rng.Perm(n)
 		for i := 0; i < spec.CorruptNodes && i < n; i++ {
@@ -85,6 +92,7 @@ func runLiteral(spec RunSpec) Result {
 		Metrics:      net.Metrics(),
 		MaxStateBits: net.MaxStateBits(),
 		BrokenRounds: broken,
+		Dropped:      net.Dropped(),
 	}
 	st := paperproto.AggregateStats(nodes)
 	out.Exchanges = st.ExchangesComplete
@@ -101,8 +109,8 @@ func runLiteral(spec RunSpec) Result {
 // PreloadLiteral writes a legitimate configuration into literal-variant
 // nodes (the counterpart of Preload).
 func PreloadLiteral(g *graph.Graph, nodes []*paperproto.Node, cfg core.Config) error {
-	tree := spanning.BFSTree(g, 0)
-	if err := reduceToFixedPoint(tree); err != nil {
+	tree, err := PreloadTree(g)
+	if err != nil {
 		return err
 	}
 	k := tree.MaxDegree()

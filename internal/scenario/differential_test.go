@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/harness"
+	"mdst/internal/mdstseq"
+	"mdst/internal/sim"
+)
+
+// Satellite: differential test between the two runtimes. The same
+// (graph, seed) spec — same topology, same corrupted initial state —
+// runs through the deterministic sim.Network (via harness.Run) and the
+// goroutine-per-node sim.LiveNetwork, and both must stabilize to a
+// legitimate tree within the Δ*+1 degree guarantee. The live side uses
+// the restartable Start/Stop loop to poll the legitimacy predicate
+// between bursts without racing the node goroutines (the whole package
+// runs under -race in the Makefile's race job).
+func TestDifferentialDeterministicVsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock live runtime test")
+	}
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+		seed  int64
+	}{
+		{"wheel-8", func() *graph.Graph { return graph.Wheel(8) }, 11},
+		{"gnp-10", func() *graph.Graph {
+			return graph.RandomGnp(10, 0.4, rand.New(rand.NewSource(11)))
+		}, 12},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			g := tc.build()
+			n := g.N()
+			star, ok := mdstseq.ExactDelta(g, 2_000_000)
+			if !ok {
+				t.Fatal("exact solver budget exceeded")
+			}
+
+			// Deterministic runtime.
+			det := harness.Run(harness.RunSpec{
+				Graph: g, Start: harness.StartCorrupt, Seed: tc.seed,
+			})
+			if !det.Legit.OK() {
+				t.Fatalf("deterministic run not legitimate: %+v", det.Legit)
+			}
+			if det.Tree == nil || det.Tree.MaxDegree() > star+1 {
+				t.Fatalf("deterministic degree %d violates Δ*+1=%d", det.Tree.MaxDegree(), star+1)
+			}
+
+			// Live CSP runtime: same graph, same corrupted start (the
+			// harness corrupts with rng(seed^0x5eed) in node order).
+			cfg := core.DefaultConfig(n)
+			ln := sim.NewLiveNetwork(g, func(id sim.NodeID, nbrs []sim.NodeID) sim.Process {
+				return core.NewNode(id, nbrs, cfg)
+			}, sim.LiveConfig{TickInterval: 50 * time.Microsecond})
+			nodes := make([]*core.Node, n)
+			for i := range nodes {
+				nodes[i] = ln.Process(i).(*core.Node)
+			}
+			rng := rand.New(rand.NewSource(tc.seed ^ 0x5eed))
+			for _, nd := range nodes {
+				nd.Corrupt(rng, n)
+			}
+
+			deadline := time.Now().Add(90 * time.Second)
+			var leg core.Legitimacy
+			for {
+				ln.Start()
+				time.Sleep(250 * time.Millisecond)
+				ln.Stop()
+				leg = core.CheckLegitimacy(g, nodes)
+				if leg.OK() || time.Now().After(deadline) {
+					break
+				}
+			}
+			if !leg.OK() {
+				t.Fatalf("live run not legitimate after deadline: %+v", leg)
+			}
+			if leg.MaxDegree > star+1 {
+				t.Fatalf("live degree %d violates Δ*+1=%d", leg.MaxDegree, star+1)
+			}
+			// Differential: both runtimes must land within the same
+			// guarantee band (tie-breaking may differ, the bound may not).
+			if det.Tree.MaxDegree() > star+1 || leg.MaxDegree > star+1 {
+				t.Fatalf("runtimes disagree on the guarantee: det=%d live=%d bound=%d",
+					det.Tree.MaxDegree(), leg.MaxDegree, star+1)
+			}
+		})
+	}
+}

@@ -1,0 +1,394 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"mdst/internal/graph"
+	"mdst/internal/harness"
+	"mdst/internal/mdstseq"
+)
+
+// Engine executes scenario matrices. The zero value uses GOMAXPROCS
+// workers.
+type Engine struct {
+	// Workers is the number of concurrent run executors (<= 0 means
+	// GOMAXPROCS). The worker count never affects results, only wall
+	// time: runs are seeded individually and aggregated in matrix order.
+	Workers int
+}
+
+// Default returns an engine sized to the machine.
+func Default() Engine { return Engine{} }
+
+// RunResult is the outcome of one run of the matrix.
+type RunResult struct {
+	Run
+	// Skipped: the fault model was not applicable to the drawn instance.
+	Skipped bool `json:"skipped,omitempty"`
+	// Err is a non-empty execution error (the run carries no metrics).
+	Err string `json:"err,omitempty"`
+
+	// EffectiveStart is the start mode actually executed. Fault models
+	// may override the declared axis (targeted/corrupt/churn faults
+	// always begin from a preloaded legitimate configuration); the cell
+	// keeps the declared label, this field records the truth.
+	EffectiveStart string `json:"effectiveStart"`
+
+	Nodes      int   `json:"nodes"`
+	Edges      int   `json:"edges"`
+	Converged  bool  `json:"converged"`
+	Legitimate bool  `json:"legitimate"`
+	TreeValid  bool  `json:"treeValid"`
+	FixedPoint bool  `json:"fixedPoint"`
+	Rounds     int   `json:"rounds"`
+	LastChange int   `json:"lastChange"`
+	Messages   int64 `json:"messages"`
+	Exchanges  int   `json:"exchanges"`
+	Aborts     int   `json:"aborts"`
+	Dropped    int64 `json:"dropped"`
+	// Corrupted is the number of nodes the fault model corrupted after
+	// preloading (targeted and corrupt-k models).
+	Corrupted int `json:"corrupted"`
+	// MaxDegree is deg(T) of the stabilized tree, or -1 if none formed.
+	MaxDegree int `json:"maxDegree"`
+	// DegreeBound is the assertable Δ*+1 bracket deg(T_FR)+1 (Δ* <=
+	// deg(T_FR), so deg(T) <= Δ*+1 implies deg(T) <= DegreeBound) on the
+	// run's final topology.
+	DegreeBound int `json:"degreeBound"`
+	// WithinBound asserts MaxDegree <= DegreeBound.
+	WithinBound bool `json:"withinBound"`
+}
+
+// CellResult aggregates the runs of one cell. Boolean fields hold over
+// every completed run (vacuously true when all runs were skipped,
+// false when any run errored); averages and maxima are over completed
+// runs only.
+type CellResult struct {
+	Cell
+	Runs    int `json:"runs"` // completed runs
+	Skipped int `json:"skippedRuns,omitempty"`
+	Errors  int `json:"errorRuns,omitempty"`
+
+	Converged   bool    `json:"converged"`
+	Legitimate  bool    `json:"legitimate"`
+	TreeOK      bool    `json:"treeOK"`
+	FixedPoint  bool    `json:"fixedPoint"`
+	WithinBound bool    `json:"withinBound"`
+	RoundsAvg   float64 `json:"roundsAvg"`
+	RoundsMax   int     `json:"roundsMax"`
+	MessagesAvg float64 `json:"messagesAvg"`
+	ExchangeAvg float64 `json:"exchangesAvg"`
+	DroppedAvg  float64 `json:"droppedAvg"`
+	Corrupted   int     `json:"corrupted"`   // max over runs
+	MaxDegree   int     `json:"maxDegree"`   // worst over runs (-1: none)
+	DegreeBound int     `json:"degreeBound"` // max over runs
+	Nodes       int     `json:"nodes"`       // max over runs
+	Edges       int     `json:"edges"`       // max over runs
+}
+
+// Matrix is the executed scenario matrix: the per-cell aggregate table
+// plus every per-run result, both in deterministic expansion order.
+type Matrix struct {
+	TotalRuns int          `json:"totalRuns"`
+	Cells     []CellResult `json:"cells"`
+	Runs      []RunResult  `json:"runs"`
+
+	// Elapsed and Workers describe the execution, not the results; they
+	// are excluded from JSON so output stays byte-identical across
+	// machines and worker counts.
+	Elapsed time.Duration `json:"-"`
+	Workers int           `json:"-"`
+}
+
+// JSON renders the matrix as deterministic indented JSON (stable field
+// order, no maps, no timing).
+func (m *Matrix) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Execute expands and runs the matrix across the engine's workers.
+func (e Engine) Execute(spec Spec) (*Matrix, error) {
+	start := time.Now()
+	ns := spec.normalized()
+	runs, err := ns.Expand()
+	if err != nil {
+		return nil, err
+	}
+	faults := make(map[string]FaultModel, len(ns.Faults))
+	for _, fm := range ns.Faults {
+		faults[fm.Name()] = fm
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]RunResult, len(runs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = executeRun(ns, faults[runs[i].Fault], runs[i])
+			}
+		}()
+	}
+	for i := range runs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	m := aggregate(results)
+	m.Elapsed = time.Since(start)
+	m.Workers = workers
+	return m, nil
+}
+
+// executeRun performs one run: draw the graph from the run seed, apply
+// the fault model, execute, and summarize.
+func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
+	out := RunResult{Run: r, MaxDegree: -1}
+	fam, ok := graph.LookupFamily(r.Family)
+	if !ok {
+		out.Err = fmt.Sprintf("unknown family %q", r.Family)
+		return out
+	}
+	start, err := harness.ParseStartMode(r.Start)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	g := fam.Build(r.N, rng)
+	out.Nodes, out.Edges = g.N(), g.M()
+
+	base := harness.RunSpec{
+		Graph:     g,
+		Scheduler: harness.SchedulerKind(r.Scheduler),
+		Start:     start,
+		Variant:   harness.Variant(r.Variant),
+		Seed:      r.Seed,
+		MaxRounds: spec.MaxRounds,
+	}
+	if spec.Config != nil {
+		base.Config = spec.Config(g.N())
+	}
+
+	var res harness.Result
+	if ex, isEx := fault.(Executor); isEx {
+		// Churn-style executors always begin from a preloaded
+		// legitimate configuration.
+		out.EffectiveStart = harness.StartLegitimate.String()
+		res, err = ex.Execute(base, rng)
+		if err == ErrNotApplicable {
+			out.Skipped = true
+			return out
+		}
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+	} else {
+		base, err = fault.Apply(base, rng)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.EffectiveStart = base.Start.String()
+		// Upper bound on corrupted nodes: the harness corrupts at most n
+		// random nodes, and explicit targets could in principle overlap
+		// them (no shipped model sets both).
+		corrupted := len(base.CorruptTargets)
+		if k := base.CorruptNodes; k > 0 {
+			if k > g.N() {
+				k = g.N()
+			}
+			corrupted += k
+		}
+		if corrupted > g.N() {
+			corrupted = g.N()
+		}
+		out.Corrupted = corrupted
+		res = harness.Run(base)
+	}
+
+	out.Converged = res.Converged
+	out.Legitimate = res.Legit.OK()
+	out.TreeValid = res.Legit.TreeValid
+	out.FixedPoint = res.Legit.FixedPoint
+	out.Rounds = res.Rounds
+	out.LastChange = res.LastChange
+	out.Messages = res.TotalMessages
+	out.Exchanges = res.Exchanges
+	out.Aborts = res.Aborts
+	out.Dropped = res.Dropped
+	if res.Tree != nil {
+		finalG := res.Tree.Graph() // churn re-stabilizes on a mutated graph
+		out.Nodes, out.Edges = finalG.N(), finalG.M()
+		out.MaxDegree = res.Tree.MaxDegree()
+		out.DegreeBound = mdstseq.Approximate(finalG).MaxDegree() + 1
+		out.WithinBound = out.MaxDegree <= out.DegreeBound
+	} else {
+		out.DegreeBound = mdstseq.Approximate(g).MaxDegree() + 1
+	}
+	return out
+}
+
+// aggregate folds run results into per-cell rows, preserving expansion
+// order.
+func aggregate(results []RunResult) *Matrix {
+	m := &Matrix{TotalRuns: len(results), Runs: results}
+	index := map[Cell]int{}
+	for _, rr := range results {
+		ci, seen := index[rr.Cell]
+		if !seen {
+			ci = len(m.Cells)
+			index[rr.Cell] = ci
+			m.Cells = append(m.Cells, CellResult{
+				Cell: rr.Cell, Converged: true, Legitimate: true,
+				TreeOK: true, FixedPoint: true, WithinBound: true,
+				MaxDegree: -1,
+			})
+		}
+		c := &m.Cells[ci]
+		// Instance dimensions are known even for skipped/errored runs
+		// (the graph was drawn before the fault applied); aggregate them
+		// first so an all-skipped cell still reports its real n and m.
+		if rr.Nodes > c.Nodes {
+			c.Nodes = rr.Nodes
+		}
+		if rr.Edges > c.Edges {
+			c.Edges = rr.Edges
+		}
+		if rr.Skipped {
+			c.Skipped++
+			continue
+		}
+		if rr.Err != "" {
+			// An errored run produced no tree: every quality claim of
+			// the cell is false, not vacuously true.
+			c.Errors++
+			c.Converged = false
+			c.Legitimate = false
+			c.TreeOK = false
+			c.FixedPoint = false
+			c.WithinBound = false
+			continue
+		}
+		c.Runs++
+		c.Converged = c.Converged && rr.Converged
+		c.Legitimate = c.Legitimate && rr.Legitimate
+		c.TreeOK = c.TreeOK && rr.TreeValid
+		c.FixedPoint = c.FixedPoint && rr.FixedPoint
+		c.WithinBound = c.WithinBound && rr.WithinBound
+		c.RoundsAvg += float64(rr.LastChange)
+		if rr.LastChange > c.RoundsMax {
+			c.RoundsMax = rr.LastChange
+		}
+		c.MessagesAvg += float64(rr.Messages)
+		c.ExchangeAvg += float64(rr.Exchanges)
+		c.DroppedAvg += float64(rr.Dropped)
+		if rr.Corrupted > c.Corrupted {
+			c.Corrupted = rr.Corrupted
+		}
+		if rr.MaxDegree > c.MaxDegree {
+			c.MaxDegree = rr.MaxDegree
+		}
+		if rr.DegreeBound > c.DegreeBound {
+			c.DegreeBound = rr.DegreeBound
+		}
+	}
+	for i := range m.Cells {
+		if n := m.Cells[i].Runs; n > 0 {
+			m.Cells[i].RoundsAvg /= float64(n)
+			m.Cells[i].MessagesAvg /= float64(n)
+			m.Cells[i].ExchangeAvg /= float64(n)
+			m.Cells[i].DroppedAvg /= float64(n)
+		}
+	}
+	return m
+}
+
+// RenderTable returns an aligned plain-text rendering of the cell table.
+func (m *Matrix) RenderTable() string {
+	cols := []string{"family", "n", "sched", "start", "variant", "fault",
+		"runs", "conv", "legit", "rounds(avg)", "rounds(max)", "msgs(avg)",
+		"deg", "bound", "within"}
+	rows := make([][]string, 0, len(m.Cells))
+	for _, c := range m.Cells {
+		rows = append(rows, []string{
+			c.Family, fmt.Sprintf("%d", c.Nodes), c.Scheduler, c.Start,
+			c.Variant, c.Fault, fmt.Sprintf("%d", c.Runs),
+			fmt.Sprintf("%v", c.Converged), fmt.Sprintf("%v", c.Legitimate),
+			fmt.Sprintf("%.1f", c.RoundsAvg), fmt.Sprintf("%d", c.RoundsMax),
+			fmt.Sprintf("%.0f", c.MessagesAvg), fmt.Sprintf("%d", c.MaxDegree),
+			fmt.Sprintf("%d", c.DegreeBound), fmt.Sprintf("%v", c.WithinBound),
+		})
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(cols)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns a comma-separated rendering of the cell table.
+func (m *Matrix) CSV() string {
+	var b strings.Builder
+	b.WriteString("family,n,scheduler,start,variant,fault,runs,converged,legitimate,roundsAvg,roundsMax,messagesAvg,maxDegree,degreeBound,withinBound\n")
+	for _, c := range m.Cells {
+		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%d,%v,%v,%.2f,%d,%.0f,%d,%d,%v\n",
+			c.Family, c.Nodes, c.Scheduler, c.Start, c.Variant, c.Fault,
+			c.Runs, c.Converged, c.Legitimate, c.RoundsAvg, c.RoundsMax,
+			c.MessagesAvg, c.MaxDegree, c.DegreeBound, c.WithinBound)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"testing"
+
+	"mdst/internal/mdstseq"
+)
+
+// Satellite: property-based sweep over random graph families × seeds —
+// after stabilization from an arbitrary corrupted configuration, every
+// run must satisfy the legitimacy predicate and the Δ*+1 degree
+// guarantee (Theorem 2). The sweep runs through the engine, so the
+// whole table executes in parallel across GOMAXPROCS workers.
+func TestPropertySweepDegreeGuarantee(t *testing.T) {
+	spec := Spec{
+		Families:     []string{"wheel", "grid", "gnp"},
+		Sizes:        []int{8, 12, 16},
+		SeedsPerCell: 2,
+		BaseSeed:     42,
+	}
+	m, err := Engine{}.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalRuns != 3*3*2 {
+		t.Fatalf("expanded %d runs", m.TotalRuns)
+	}
+	for _, rr := range m.Runs {
+		if rr.Err != "" || rr.Skipped {
+			t.Fatalf("run %s[%d] failed: err=%q skipped=%v", rr.Cell, rr.SeedIndex, rr.Err, rr.Skipped)
+		}
+		if !rr.Converged || !rr.Legitimate {
+			t.Fatalf("run %s[%d]: converged=%v legitimate=%v", rr.Cell, rr.SeedIndex, rr.Converged, rr.Legitimate)
+		}
+		// Engine-level bracket: deg(T) <= deg(T_FR)+1 >= Δ*+1.
+		if !rr.WithinBound {
+			t.Fatalf("run %s[%d]: degree %d above bracket %d", rr.Cell, rr.SeedIndex, rr.MaxDegree, rr.DegreeBound)
+		}
+		// Exact Δ*+1 check where the branch-and-bound solver is cheap.
+		if rr.Nodes <= 14 {
+			g, err := BuildGraph(rr.Run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if star, ok := mdstseq.ExactDelta(g, 2_000_000); ok {
+				if rr.MaxDegree > star+1 {
+					t.Fatalf("run %s[%d]: degree %d violates exact Δ*+1=%d",
+						rr.Cell, rr.SeedIndex, rr.MaxDegree, star+1)
+				}
+			}
+		}
+	}
+}

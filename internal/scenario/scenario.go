@@ -1,0 +1,215 @@
+// Package scenario is the worker-sharded, batched scenario-matrix
+// engine: it expands a declarative Spec (graph families × sizes ×
+// schedulers × start modes × protocol variants × fault models × seeds)
+// into a run matrix, executes the runs across GOMAXPROCS workers with a
+// per-run seeded RNG for bit-reproducibility, and aggregates per-cell
+// metrics (rounds, messages, exchanges, max degree vs the Δ*+1 bound)
+// into a single result table with deterministic JSON output.
+//
+// Every run's randomness — graph construction, fault placement,
+// scheduling — derives from a seed hashed from the cell coordinates and
+// the seed index, so results are byte-identical across repeated
+// executions and across any worker count; worker sharding only changes
+// wall-clock time. internal/benchtab's experiment tables and the
+// cmd/mdstmatrix CLI are thin renderers over this engine, and the
+// churn/lossy/targeted fault injections are shared FaultModel values
+// (fault.go) rather than per-experiment one-offs.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/harness"
+)
+
+// Spec declares a scenario matrix. Zero-valued axes default to a single
+// canonical element (sync scheduler, corrupt start, core variant, no
+// fault, one seed), so the minimal spec is Families × Sizes.
+type Spec struct {
+	// Families names registered graph families (graph.LookupFamily).
+	Families []string
+	// Sizes are the requested node counts (families may round them).
+	Sizes []int
+	// Schedulers defaults to [sync].
+	Schedulers []harness.SchedulerKind
+	// Starts defaults to [StartCorrupt]. Fault models may override the
+	// declared mode (targeted/corrupt/churn faults always begin from a
+	// preloaded legitimate configuration); the per-run EffectiveStart
+	// field records what actually executed.
+	Starts []harness.StartMode
+	// Variants defaults to [VariantCore].
+	Variants []harness.Variant
+	// Faults defaults to [NoFault]. Names must be unique.
+	Faults []FaultModel
+	// SeedsPerCell defaults to 1.
+	SeedsPerCell int
+	// BaseSeed perturbs every derived run seed; specs differing only in
+	// BaseSeed draw disjoint instances.
+	BaseSeed int64
+	// MaxRounds bounds each run (zero: the harness default).
+	MaxRounds int
+	// Config, if non-nil, overrides the protocol configuration per node
+	// count (zero Config means the core default).
+	Config func(n int) core.Config `json:"-"`
+}
+
+// Cell identifies one aggregation cell of the matrix: every axis except
+// the seed index.
+type Cell struct {
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	Scheduler string `json:"scheduler"`
+	Start     string `json:"start"`
+	Variant   string `json:"variant"`
+	Fault     string `json:"fault"`
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/n=%d/%s/%s/%s/%s",
+		c.Family, c.N, c.Scheduler, c.Start, c.Variant, c.Fault)
+}
+
+// Run is one executable element of the matrix.
+type Run struct {
+	Cell
+	SeedIndex int   `json:"seedIndex"`
+	Seed      int64 `json:"seed"`
+}
+
+// normalized returns a copy with defaulted axes.
+func (s Spec) normalized() Spec {
+	if len(s.Schedulers) == 0 {
+		s.Schedulers = []harness.SchedulerKind{harness.SchedSync}
+	}
+	if len(s.Starts) == 0 {
+		s.Starts = []harness.StartMode{harness.StartCorrupt}
+	}
+	if len(s.Variants) == 0 {
+		s.Variants = []harness.Variant{harness.VariantCore}
+	}
+	if len(s.Faults) == 0 {
+		s.Faults = []FaultModel{NoFault{}}
+	}
+	if s.SeedsPerCell <= 0 {
+		s.SeedsPerCell = 1
+	}
+	return s
+}
+
+// validate checks the axes of a normalized spec.
+func (s Spec) validate() error {
+	if len(s.Families) == 0 || len(s.Sizes) == 0 {
+		return fmt.Errorf("scenario: spec needs at least one family and one size")
+	}
+	for _, f := range s.Families {
+		if _, ok := graph.LookupFamily(f); !ok {
+			return fmt.Errorf("scenario: unknown graph family %q", f)
+		}
+	}
+	for _, n := range s.Sizes {
+		if n < 2 {
+			return fmt.Errorf("scenario: size %d too small", n)
+		}
+	}
+	// Unknown scheduler and variant names would silently execute as the
+	// sync/core defaults while labeling the cell with the bogus name —
+	// poison for a reproducibility tool, so reject them here.
+	for _, k := range s.Schedulers {
+		switch k {
+		case harness.SchedSync, harness.SchedAsync, harness.SchedAdversarial:
+		default:
+			return fmt.Errorf("scenario: unknown scheduler %q", k)
+		}
+	}
+	for _, v := range s.Variants {
+		switch v {
+		case harness.VariantCore, harness.VariantLiteral, "":
+		default:
+			return fmt.Errorf("scenario: unknown variant %q", v)
+		}
+	}
+	seen := map[string]bool{}
+	for _, fm := range s.Faults {
+		if fm == nil {
+			return fmt.Errorf("scenario: nil fault model")
+		}
+		if seen[fm.Name()] {
+			return fmt.Errorf("scenario: duplicate fault model %q", fm.Name())
+		}
+		seen[fm.Name()] = true
+	}
+	return nil
+}
+
+// runSeed derives the per-run seed from the instance identity (family,
+// size, seed index, base seed) — deliberately NOT from the scheduler,
+// start, variant or fault axes. Cells that differ only in those axes
+// therefore draw the SAME graph instances, so sweeps like "rounds vs
+// drop rate" or "recovery cost by fault role" are paired comparisons
+// on identical workloads rather than cross-instance noise. The hash —
+// not the worker or completion order — is the single source of
+// randomness for the run, which is what makes the matrix
+// bit-reproducible under any GOMAXPROCS.
+func runSeed(base int64, c Cell, idx int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", c.Family, c.N, base, idx)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Expand enumerates the full run matrix in deterministic order (family,
+// size, scheduler, start, variant, fault, seed).
+func (s Spec) Expand() ([]Run, error) {
+	ns := s.normalized()
+	if err := ns.validate(); err != nil {
+		return nil, err
+	}
+	var runs []Run
+	for _, fam := range ns.Families {
+		for _, n := range ns.Sizes {
+			for _, sched := range ns.Schedulers {
+				for _, start := range ns.Starts {
+					for _, variant := range ns.Variants {
+						if variant == "" {
+							variant = harness.VariantCore
+						}
+						for _, fm := range ns.Faults {
+							cell := Cell{
+								Family:    fam,
+								N:         n,
+								Scheduler: string(sched),
+								Start:     start.String(),
+								Variant:   string(variant),
+								Fault:     fm.Name(),
+							}
+							for idx := 0; idx < ns.SeedsPerCell; idx++ {
+								runs = append(runs, Run{
+									Cell:      cell,
+									SeedIndex: idx,
+									Seed:      runSeed(ns.BaseSeed, cell, idx),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// BuildGraph reconstructs the exact workload graph of a run: the
+// family's builder driven by a fresh RNG seeded with the run seed,
+// which is precisely how the engine drew it. Table renderers use this
+// to re-derive per-instance quantities (e.g. the exact Δ* label of E1)
+// without the engine having to retain every graph.
+func BuildGraph(r Run) (*graph.Graph, error) {
+	fam, ok := graph.LookupFamily(r.Family)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown graph family %q", r.Family)
+	}
+	return fam.Build(r.N, rand.New(rand.NewSource(r.Seed))), nil
+}

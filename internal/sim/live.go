@@ -21,10 +21,21 @@ type LiveNetwork struct {
 	g      *graph.Graph
 	procs  []Process
 	inbox  []chan liveEnvelope
-	stop   chan struct{}
 	wg     sync.WaitGroup
 	tick   time.Duration
 	inboxN int
+
+	// stop is replaced on every Start so the network is restartable:
+	// run–pause–inspect loops (e.g. the differential tests that poll the
+	// legitimacy predicate between bursts) Start again after Stop.
+	// lifecycle serializes whole Start/Stop transitions (a Start cannot
+	// overlap a Stop that is still draining goroutines); mu guards the
+	// stop field for concurrent readers in send.
+	lifecycle sync.Mutex
+	mu        sync.RWMutex
+	stop      chan struct{}
+	inited    bool
+	running   bool
 }
 
 type liveEnvelope struct {
@@ -56,7 +67,6 @@ func NewLiveNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) 
 		g:      g,
 		procs:  make([]Process, n),
 		inbox:  make([]chan liveEnvelope, n),
-		stop:   make(chan struct{}),
 		tick:   cfg.TickInterval,
 		inboxN: cfg.InboxSize,
 	}
@@ -71,7 +81,23 @@ func NewLiveNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) 
 
 // Start launches one goroutine per node. Each goroutine alternates
 // between draining its inbox and ticking on its gossip timer until Stop.
+// Start after a Stop resumes execution with the nodes' current state
+// (Init is only called on the first Start: self-stabilizing processes
+// must not reset their state).
 func (ln *LiveNetwork) Start() {
+	ln.lifecycle.Lock()
+	defer ln.lifecycle.Unlock()
+	if ln.running {
+		panic("sim: LiveNetwork.Start while running")
+	}
+	stop := make(chan struct{})
+	ln.mu.Lock()
+	ln.stop = stop
+	ln.mu.Unlock()
+	ln.running = true
+	first := !ln.inited
+	ln.inited = true
+
 	for id := 0; id < ln.g.N(); id++ {
 		id := id
 		ctx := &Context{
@@ -79,7 +105,9 @@ func (ln *LiveNetwork) Start() {
 			nbrs: ln.g.Neighbors(id),
 			send: ln.send,
 		}
-		ln.procs[id].Init(ctx)
+		if first {
+			ln.procs[id].Init(ctx)
+		}
 		ln.wg.Add(1)
 		go func() {
 			defer ln.wg.Done()
@@ -87,7 +115,7 @@ func (ln *LiveNetwork) Start() {
 			defer ticker.Stop()
 			for {
 				select {
-				case <-ln.stop:
+				case <-stop:
 					return
 				case env := <-ln.inbox[id]:
 					ln.procs[id].Receive(ctx, env.from, env.msg)
@@ -103,18 +131,29 @@ func (ln *LiveNetwork) send(from, to NodeID, m Message) {
 	if !ln.g.HasEdge(from, to) {
 		panic("sim: live send to non-neighbor")
 	}
+	ln.mu.RLock()
+	stop := ln.stop
+	ln.mu.RUnlock()
 	select {
 	case ln.inbox[to] <- liveEnvelope{from: from, msg: m}:
-	case <-ln.stop:
+	case <-stop:
 		// Shutting down: drop the message (links are being torn down).
 	}
 }
 
 // Stop halts all node goroutines and waits for them to exit. After Stop
-// returns, process states can be inspected safely.
+// returns, process states can be inspected safely, and Start may be
+// called again to resume.
 func (ln *LiveNetwork) Stop() {
+	ln.lifecycle.Lock()
+	defer ln.lifecycle.Unlock()
+	if !ln.running {
+		return
+	}
 	close(ln.stop)
 	ln.wg.Wait()
+	// Only now is a subsequent Start safe: every goroutine has exited.
+	ln.running = false
 }
 
 // RunFor starts the network, lets it run for d, then stops it.
