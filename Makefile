@@ -7,7 +7,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/sim/... ./internal/harness/... ./internal/scenario/...
 
-.PHONY: ci vet build test race bench matrix clean
+.PHONY: ci vet build test race bench gobench matrix clean
 
 ci: vet build test race
 
@@ -20,11 +20,23 @@ build:
 test:
 	$(GO) test ./...
 
+# -short skips the full 108-run differential matrix under the race
+# detector (the plain `test` target runs it undetected; race coverage
+# of the engine comes from its smaller concurrency tests).
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -short $(RACE_PKGS)
 
-# Reduced-sweep benchmark pass (one iteration per benchmark).
+# The committed scale benchmark: the n=256/512/1024 ladder on the
+# incremental simulator hot path plus the full-rehash baseline
+# comparison. Deterministic fields only — the output is byte-stable
+# across machines and reruns, so the file is committed.
 bench:
+	$(GO) run ./cmd/mdstmatrix -scale > BENCH_scale.json.tmp
+	mv BENCH_scale.json.tmp BENCH_scale.json
+	@tail -6 BENCH_scale.json
+
+# Reduced-sweep Go benchmark pass (one iteration per benchmark).
+gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # The default 108-run scenario matrix across all CPUs.

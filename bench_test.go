@@ -134,7 +134,7 @@ func BenchmarkLiteralProtocolConvergence(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rng := rand.New(rand.NewSource(int64(i)))
 				g := graph.MustFamily("gnp").Build(n, rng)
-				res := harness.Run(harness.RunSpec{
+				res := harness.MustRun(harness.RunSpec{
 					Graph: g, Variant: harness.VariantLiteral,
 					Scheduler: harness.SchedSync,
 					Start:     harness.StartCorrupt, Seed: int64(i),
@@ -155,7 +155,7 @@ func BenchmarkProtocolConvergence(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rng := rand.New(rand.NewSource(int64(i)))
 				g := graph.MustFamily("gnp").Build(n, rng)
-				res := harness.Run(harness.RunSpec{
+				res := harness.MustRun(harness.RunSpec{
 					Graph: g, Scheduler: harness.SchedSync,
 					Start: harness.StartCorrupt, Seed: int64(i),
 				})
@@ -209,6 +209,64 @@ func BenchmarkScenarioMatrixSerial(b *testing.B) {
 		if _, err := (scenario.Engine{Workers: 1}).Execute(spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScaleSweep runs a reduced version of the committed scale
+// sweep (cmd/mdstmatrix -scale / make bench -> BENCH_scale.json): the
+// incremental-hot-path ladder plus the full-rehash baseline
+// cross-check. The reported custom metric is the deterministic
+// fingerprint-work reduction at the baseline size.
+func BenchmarkScaleSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.ScaleSweep(scenario.ScaleSpec{
+			Family: "ring+chords", // protocol-active workload, reduced sizes
+			Sizes:  []int{48, 64},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rep.Cells {
+			if !c.Converged || !c.WithinBound {
+				b.Fatalf("scale cell n=%d: converged=%v withinBound=%v", c.N, c.Converged, c.WithinBound)
+			}
+		}
+		if rep.OverheadReduction <= 1 {
+			b.Fatalf("incremental fingerprinting did not reduce work: %.2fx", rep.OverheadReduction)
+		}
+		b.ReportMetric(rep.OverheadReduction, "fp-reduction-x")
+	}
+}
+
+// BenchmarkFingerprintQuiescence isolates the per-round
+// fingerprint+quiescence overhead the incremental cache removes: one
+// full stabilization run per mode on the same seeded workload. Compare
+// the two sub-benchmarks' ns/op; the deterministic recompute counts are
+// reported as custom metrics.
+func BenchmarkFingerprintQuiescence(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"incremental", false}, {"full-rehash", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sim.SetFullFingerprintRehash(mode.full)
+			defer sim.SetFullFingerprintRehash(false)
+			var recomputes int64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(7))
+				g := graph.MustFamily("ring+chords").Build(96, rng)
+				res := harness.MustRun(harness.RunSpec{
+					Graph: g, Scheduler: harness.SchedSync,
+					Start: harness.StartCorrupt, Seed: 7,
+				})
+				if res.Tree == nil {
+					b.Fatal("no tree")
+				}
+				recomputes = res.Metrics.FingerprintRecomputes
+			}
+			b.ReportMetric(float64(recomputes), "fp-recomputes")
+		})
 	}
 }
 

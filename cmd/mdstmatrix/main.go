@@ -12,6 +12,7 @@
 //	mdstmatrix -families gnp -sizes 16,24 -faults none,lossy:0.05,targeted:root,churn:add-edge
 //	mdstmatrix -scheds sync,async,adversarial -starts clean,corrupt -seeds 5
 //	mdstmatrix -workers 1                 # serial execution (same results)
+//	mdstmatrix -scale                     # n=256/512/1024 scale sweep -> BENCH_scale.json content
 package main
 
 import (
@@ -47,8 +48,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "table", "output format: table|csv|json")
 	expand := fs.Bool("expand", false, "dry run: print the expanded run matrix without executing")
 	quiet := fs.Bool("quiet", false, "suppress the execution summary on stderr")
+	scale := fs.Bool("scale", false, "run the large-n scale sweep and print the deterministic BENCH_scale.json report (uses -sizes when given, else 256,512,1024)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *scale {
+		return runScale(fs, *sizes, *workers, *quiet, stdout, stderr)
 	}
 
 	spec := scenario.Spec{
@@ -131,6 +137,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		fmt.Fprintf(stderr, "mdstmatrix: %d runs in %d cells, %d workers, %s\n",
 			m.TotalRuns, len(m.Cells), m.Workers, m.Elapsed.Round(1e6))
+	}
+	return 0
+}
+
+// runScale executes the deterministic large-n scale sweep (make bench
+// writes its output to BENCH_scale.json).
+func runScale(fs *flag.FlagSet, sizes string, workers int, quiet bool, stdout, stderr io.Writer) int {
+	spec := scenario.ScaleSpec{Workers: workers}
+	// -sizes overrides the default 256,512,1024 ladder only when the
+	// caller sets it explicitly (the matrix default would shrink it).
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "sizes" {
+			explicit = true
+		}
+	})
+	if explicit {
+		for _, s := range splitList(sizes) {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				fmt.Fprintln(stderr, "mdstmatrix: bad -sizes:", err)
+				return 2
+			}
+			spec.Sizes = append(spec.Sizes, v)
+		}
+	}
+	rep, err := scenario.ScaleSweep(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdstmatrix:", err)
+		return 1
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintln(stderr, "mdstmatrix:", err)
+		return 1
+	}
+	stdout.Write(b)
+	if !quiet {
+		fmt.Fprintf(stderr, "mdstmatrix: scale sweep %d cells, fingerprint overhead reduced %.1fx at n=%d\n",
+			len(rep.Cells), rep.OverheadReduction, rep.BaselineN)
 	}
 	return 0
 }

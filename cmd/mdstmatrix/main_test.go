@@ -87,6 +87,44 @@ func TestRunBadFlagsRejected(t *testing.T) {
 	}
 }
 
+// -scale emits the deterministic scale report; the reduced ladder keeps
+// test runtime low while covering the full-vs-incremental baseline
+// cross-check inside ScaleSweep.
+func TestRunScaleReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-scale", "-sizes", "32,48", "-quiet"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rep struct {
+		Cells []struct {
+			N         int  `json:"n"`
+			Converged bool `json:"converged"`
+		} `json:"cells"`
+		BaselineN             int   `json:"baselineN"`
+		FullRehashRecomputes  int64 `json:"fullRehashRecomputes"`
+		IncrementalRecomputes int64 `json:"incrementalRecomputes"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rep.Cells) != 2 || rep.BaselineN != 32 {
+		t.Fatalf("cells=%d baselineN=%d", len(rep.Cells), rep.BaselineN)
+	}
+	for _, c := range rep.Cells {
+		if !c.Converged {
+			t.Fatalf("n=%d did not converge", c.N)
+		}
+	}
+	if rep.FullRehashRecomputes <= rep.IncrementalRecomputes {
+		t.Fatalf("no fingerprint savings: full=%d incremental=%d",
+			rep.FullRehashRecomputes, rep.IncrementalRecomputes)
+	}
+}
+
 // The default invocation is the acceptance-scale matrix: >= 100 runs,
 // verified by dry-run expansion (no execution).
 func TestDefaultMatrixIsAtLeast100Runs(t *testing.T) {

@@ -52,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res := harness.Run(harness.RunSpec{
+	res := harness.MustRun(harness.RunSpec{
 		Graph:     g,
 		Scheduler: harness.SchedSync,
 		Start:     harness.StartCorrupt,

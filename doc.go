@@ -5,12 +5,27 @@
 // The public surface lives in the commands (cmd/mdstsim, cmd/mdstbench,
 // cmd/mdstmatrix, cmd/mdstnet, cmd/mdstviz, cmd/graphgen) and the
 // examples; the library packages are under internal/ (graph, spanning,
-// mdstseq, sim, pif, core, paperproto, netrun, harness, scenario,
-// benchtab, trace, analysis, viz, mc). The protocol is implemented
-// twice — internal/core with the tree-preserving chain exchange and
-// internal/paperproto with the paper's literal Remove/Back choreography
-// — and runs under three runtimes: the deterministic simulator, a
-// goroutine/channel runtime and real TCP sockets.
+// mdstseq, sim, pif, core, paperproto, localview, netrun, harness,
+// scenario, benchtab, trace, analysis, viz, mc). The protocol is
+// implemented twice — internal/core with the tree-preserving chain
+// exchange and internal/paperproto with the paper's literal Remove/Back
+// choreography, both storing neighbor views in the shared dense
+// localview tables — and runs under three runtimes: the deterministic
+// simulator, a goroutine/channel runtime and real TCP sockets.
+//
+// The simulator's hot path is incremental end to end, which is what
+// lets scenario matrices scale past n=256 (up to the committed n=1024
+// cell of BENCH_scale.json): per-node fingerprints are cached and
+// re-hashed only when a node's state version moves (sim.StateVersioner,
+// bumped by the protocol's guarded writes), the asynchronous-round
+// accounting is an epoch-stamped array instead of a per-round map, and
+// pending-message counts are maintained per kind. A full-rehash
+// reference mode (sim.SetFullFingerprintRehash) reproduces the original
+// hash-everything behavior; differential tests assert byte-identical
+// matrix JSON between the two modes, and `make bench` commits the
+// measured fingerprint-work reduction. Round accounting under lossy
+// links follows §2 strictly: a dropped delivery settles the old-message
+// obligation but never counts as a step at the recipient.
 //
 // Experiment execution layers on the internal/scenario matrix engine: a
 // declarative Spec (graph families × sizes × schedulers × start modes ×
@@ -18,8 +33,8 @@
 // across GOMAXPROCS workers, each run seeded from a hash of its matrix
 // coordinates so results are byte-identical at any parallelism. The
 // churn, lossy-link and targeted-corruption fault injections are shared
-// scenario.FaultModel values; internal/benchtab's experiment tables and
-// the cmd/mdstmatrix CLI are thin renderers over the engine. See
-// README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduced evaluation.
+// scenario.FaultModel values; every internal/benchtab experiment table
+// (E1–E11) and the cmd/mdstmatrix CLI are thin renderers over the
+// engine. See README.md for a tour, DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the reproduced evaluation.
 package mdst

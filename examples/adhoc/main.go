@@ -36,7 +36,7 @@ func main() {
 	fmt.Printf("naive BFS backbone: degree %d (profile %v)\n",
 		bfs.MaxDegree(), mdstseq.DegreeProfile(bfs)[:5])
 
-	res := harness.Run(harness.RunSpec{
+	res := harness.MustRun(harness.RunSpec{
 		Graph:     g,
 		Scheduler: harness.SchedAsync, // radios are asynchronous
 		Start:     harness.StartCorrupt,

@@ -29,7 +29,7 @@ func main() {
 		if faults > *n {
 			continue
 		}
-		res := harness.Run(harness.RunSpec{
+		res := harness.MustRun(harness.RunSpec{
 			Graph:        g,
 			Scheduler:    harness.SchedSync,
 			Start:        harness.StartLegitimate,

@@ -31,7 +31,7 @@ func main() {
 	fmt.Printf("overlay: n=%d links=%d (hidden backbone: Δ* = 2)\n", g.N(), g.M())
 
 	// Phase 1: stabilize from arbitrary states.
-	res := harness.Run(harness.RunSpec{
+	res := harness.MustRun(harness.RunSpec{
 		Graph:     g,
 		Scheduler: harness.SchedAsync,
 		Start:     harness.StartCorrupt,
@@ -45,7 +45,7 @@ func main() {
 	fmt.Printf("  relay duty profile (top 5): %v\n", mdstseq.DegreeProfile(res.Tree)[:5])
 
 	// Phase 2: churn — a batch of peers comes back with garbage state.
-	res2 := harness.Run(harness.RunSpec{
+	res2 := harness.MustRun(harness.RunSpec{
 		Graph:        g,
 		Scheduler:    harness.SchedAsync,
 		Start:        harness.StartLegitimate,

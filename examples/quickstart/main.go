@@ -21,7 +21,7 @@ func main() {
 	g := graph.Wheel(10)
 	fmt.Printf("network: n=%d m=%d max graph degree=%d\n", g.N(), g.M(), g.MaxDegree())
 
-	res := harness.Run(harness.RunSpec{
+	res := harness.MustRun(harness.RunSpec{
 		Graph:     g,
 		Scheduler: harness.SchedSync,
 		Start:     harness.StartCorrupt, // arbitrary initial state (Definition 1)

@@ -2,11 +2,14 @@
 // EXPERIMENTS.md: each function sweeps a workload, runs the harness and
 // returns a Table that can be rendered as aligned text or CSV. The
 // bench targets in the repository root and cmd/mdstbench are thin
-// wrappers over these functions. The sweep-shaped experiments (E1, E2)
-// and the fault extensions (E8–E10) execute their runs through the
-// internal/scenario matrix engine, sharded across all CPUs, so the
-// fault injections are the shared scenario.FaultModel values rather
-// than per-experiment one-offs.
+// wrappers over these functions. Every experiment table (E1–E11)
+// executes its runs through the internal/scenario matrix engine,
+// sharded across all CPUs: the fault injections are the shared
+// scenario.FaultModel values rather than per-experiment one-offs, and
+// per-run quantities the engine does not serialize (state bits, message
+// words, broken rounds) ride on scenario.RunResult's programmatic
+// fields. Only the figure-series generators (series.go) still drive
+// single traced runs directly.
 package benchtab
 
 import (
@@ -224,95 +227,108 @@ func E2Convergence(sweep SweepSpec, families []graph.Family) *Table {
 }
 
 // E3Memory compares measured per-node state with the paper's O(δ log n).
+// The runs execute through the scenario engine (sharded across CPUs);
+// each row's δ is re-derived by rebuilding the run's graph from its seed.
 func E3Memory(sweep SweepSpec, families []graph.Family) *Table {
 	t := &Table{
 		Title:   "E3: memory — max state bits per node vs δ·ceil(log2 n) (Lemma 5)",
 		Columns: []string{"family", "n", "delta", "stateBits", "delta*log2n", "ratio"},
 		Notes:   []string{"ratio = stateBits / (delta*ceil(log2 n)); O(δ log n) means bounded ratio"},
 	}
-	for _, fam := range families {
-		for _, n := range sweep.Sizes {
-			seed := int64(n*3000 + 1)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			res := harness.Run(harness.RunSpec{
-				Graph: g, Scheduler: sweep.Sched,
-				Start: harness.StartCorrupt, Seed: seed,
-			})
-			delta := g.MaxDegree()
-			ref := float64(delta) * log2ceil(g.N())
-			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(delta),
-				itoa(res.MaxStateBits), fmt.Sprintf("%.0f", ref),
-				ftoa(float64(res.MaxStateBits) / ref)})
+	m := mustExecute(scenario.Spec{
+		Families:     familyNames(families),
+		Sizes:        sweep.Sizes,
+		Schedulers:   []harness.SchedulerKind{sweep.Sched},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		SeedsPerCell: 1,
+		BaseSeed:     3000,
+	})
+	for _, rr := range m.Runs {
+		g, err := scenario.BuildGraph(rr.Run)
+		if err != nil {
+			panic("benchtab: " + err.Error())
 		}
+		delta := g.MaxDegree()
+		ref := float64(delta) * log2ceil(g.N())
+		t.Rows = append(t.Rows, []string{rr.Family, itoa(rr.Nodes), itoa(delta),
+			itoa(rr.MaxStateBits), fmt.Sprintf("%.0f", ref),
+			ftoa(float64(rr.MaxStateBits) / ref)})
 	}
 	return t
 }
 
 // E4MessageLength compares the largest message with the paper's
-// O(n log n) buffer claim.
+// O(n log n) buffer claim, one engine-backed run per family × size.
 func E4MessageLength(sweep SweepSpec, families []graph.Family) *Table {
 	t := &Table{
 		Title:   "E4: message length — max words vs n (buffer bound O(n log n))",
 		Columns: []string{"family", "n", "maxWords", "kind", "words/n"},
 		Notes:   []string{"one word = O(log n) bits; the paper's bound is O(n) words per message"},
 	}
-	for _, fam := range families {
-		for _, n := range sweep.Sizes {
-			seed := int64(n*4000 + 1)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			res := harness.Run(harness.RunSpec{
-				Graph: g, Scheduler: sweep.Sched,
-				Start: harness.StartCorrupt, Seed: seed,
-			})
-			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()),
-				itoa(res.Metrics.MaxMsgSize), res.Metrics.MaxMsgSizeKind,
-				ftoa(float64(res.Metrics.MaxMsgSize) / float64(g.N()))})
-		}
+	m := mustExecute(scenario.Spec{
+		Families:     familyNames(families),
+		Sizes:        sweep.Sizes,
+		Schedulers:   []harness.SchedulerKind{sweep.Sched},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		SeedsPerCell: 1,
+		BaseSeed:     4000,
+	})
+	for _, rr := range m.Runs {
+		t.Rows = append(t.Rows, []string{rr.Family, itoa(rr.Nodes),
+			itoa(rr.MaxMsgWords), rr.MaxMsgKind,
+			ftoa(float64(rr.MaxMsgWords) / float64(rr.Nodes))})
 	}
 	return t
 }
 
 // E5FaultRecovery measures re-stabilization time after corrupting k nodes
-// of a legitimate configuration (Definition 1's convergence).
+// of a legitimate configuration (Definition 1's convergence). Each fault
+// count is a scenario.CorruptRandom cell; cells share graph instances
+// (the engine derives seeds from the instance axes only), so the sweep
+// is a paired comparison on identical workloads.
 func E5FaultRecovery(n int, seeds int, sched harness.SchedulerKind) *Table {
 	t := &Table{
 		Title:   fmt.Sprintf("E5: fault recovery on geometric n=%d — rounds to re-stabilize vs faults", n),
 		Columns: []string{"faults", "rounds(avg)", "rounds(max)", "legitimate"},
 		Notes:   []string{"faults = nodes with fully randomized state injected into a legitimate configuration"},
 	}
-	fam := graph.MustFamily("geometric")
 	fracs := []float64{0, 0.05, 0.1, 0.25, 0.5, 1.0}
-	for _, f := range fracs {
-		k := int(math.Round(f * float64(n)))
-		sum, worst := 0, 0
-		allLegit := true
-		for s := 0; s < seeds; s++ {
-			seed := int64(n*5000 + s)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			res := harness.Run(harness.RunSpec{
-				Graph: g, Scheduler: sched,
-				Start: harness.StartLegitimate, CorruptNodes: k, Seed: seed,
-			})
-			sum += res.LastChange
-			if res.LastChange > worst {
-				worst = res.LastChange
-			}
-			if !res.Legit.OK() {
-				allLegit = false
-			}
+	var faults []scenario.FaultModel
+	ks := make([]int, len(fracs))
+	seen := map[int]bool{}
+	for i, f := range fracs {
+		ks[i] = int(math.Round(f * float64(n)))
+		if !seen[ks[i]] { // small n can round two fractions to the same k
+			seen[ks[i]] = true
+			faults = append(faults, scenario.CorruptRandom{K: ks[i]})
 		}
-		t.Rows = append(t.Rows, []string{itoa(k), ftoa(float64(sum) / float64(seeds)),
-			itoa(worst), btos(allLegit)})
+	}
+	m := mustExecute(scenario.Spec{
+		Families:     []string{"geometric"},
+		Sizes:        []int{n},
+		Schedulers:   []harness.SchedulerKind{sched},
+		Starts:       []harness.StartMode{harness.StartLegitimate},
+		Faults:       faults,
+		SeedsPerCell: seeds,
+		BaseSeed:     5000,
+	})
+	byK := map[string]scenario.CellResult{}
+	for _, c := range m.Cells {
+		byK[c.Fault] = c
+	}
+	for _, k := range ks {
+		c := byK[scenario.CorruptRandom{K: k}.Name()]
+		t.Rows = append(t.Rows, []string{itoa(k), ftoa(c.RoundsAvg),
+			itoa(c.RoundsMax), btos(c.Legitimate)})
 	}
 	return t
 }
 
 // E6Baselines compares the stabilized distributed tree against an
 // arbitrary BFS tree, a random spanning tree, the centralized FR tree and
-// (small n) the exact optimum.
+// (small n) the exact optimum. The protocol runs execute through the
+// scenario engine; the centralized baselines are re-derived per row from
+// the run's rebuilt graph (the random tree draws from a run-seeded RNG).
 func E6Baselines(sweep SweepSpec, families []graph.Family) *Table {
 	t := &Table{
 		Title:   "E6: baselines — tree degree by construction method",
@@ -322,31 +338,31 @@ func E6Baselines(sweep SweepSpec, families []graph.Family) *Table {
 			"selfstab is this paper's protocol, stabilized from a corrupted state",
 		},
 	}
-	for _, fam := range families {
-		for _, n := range sweep.Sizes {
-			seed := int64(n*6000 + 1)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			bfs := spanning.BFSTree(g, 0).MaxDegree()
-			random := spanning.RandomTree(g, 0, rng).MaxDegree()
-			worst := spanning.WorstDegreeTree(g, 0).MaxDegree()
-			fr := mdstseq.Approximate(g).MaxDegree()
-			res := harness.Run(harness.RunSpec{
-				Graph: g, Scheduler: sweep.Sched,
-				Start: harness.StartCorrupt, Seed: seed,
-			})
-			ss := -1
-			if res.Tree != nil {
-				ss = res.Tree.MaxDegree()
-			}
-			star, exact := deltaStar(g)
-			label := itoa(star)
-			if !exact {
-				label = fmt.Sprintf(">=%d", star)
-			}
-			t.Rows = append(t.Rows, []string{fam.Name, itoa(g.N()), itoa(bfs),
-				itoa(random), itoa(worst), itoa(fr), itoa(ss), label})
+	m := mustExecute(scenario.Spec{
+		Families:     familyNames(families),
+		Sizes:        sweep.Sizes,
+		Schedulers:   []harness.SchedulerKind{sweep.Sched},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		SeedsPerCell: 1,
+		BaseSeed:     6000,
+	})
+	for _, rr := range m.Runs {
+		g, err := scenario.BuildGraph(rr.Run)
+		if err != nil {
+			panic("benchtab: " + err.Error())
 		}
+		rng := rand.New(rand.NewSource(rr.Seed ^ 0xba5e))
+		bfs := spanning.BFSTree(g, 0).MaxDegree()
+		random := spanning.RandomTree(g, 0, rng).MaxDegree()
+		worst := spanning.WorstDegreeTree(g, 0).MaxDegree()
+		fr := mdstseq.Approximate(g).MaxDegree()
+		star, exact := deltaStar(g)
+		label := itoa(star)
+		if !exact {
+			label = fmt.Sprintf(">=%d", star)
+		}
+		t.Rows = append(t.Rows, []string{rr.Family, itoa(rr.Nodes), itoa(bfs),
+			itoa(random), itoa(worst), itoa(fr), itoa(rr.MaxDegree), label})
 	}
 	return t
 }
@@ -373,40 +389,39 @@ func Ablations() []AblationSpec {
 }
 
 // E7Ablations measures rounds, messages and final degree for each policy
-// variant on a fixed workload.
+// variant on a fixed workload. One engine-backed matrix per ablation
+// (the scheduler and config mutation are spec-wide axes); all ablations
+// share graph instances because the engine derives seeds from the
+// instance identity only.
 func E7Ablations(n int, seeds int) *Table {
 	t := &Table{
 		Title:   fmt.Sprintf("E7: ablations on gnp n=%d — policy vs cost and quality", n),
 		Columns: []string{"variant", "rounds(avg)", "messages(avg)", "deg(T)", "legitimate"},
 	}
-	fam := graph.MustFamily("gnp")
 	for _, ab := range Ablations() {
-		sumRounds, sumMsgs := 0.0, 0.0
-		worstDeg := 0
-		allLegit := true
-		for s := 0; s < seeds; s++ {
-			seed := int64(n*7000 + s)
-			rng := rand.New(rand.NewSource(seed))
-			g := fam.Build(n, rng)
-			cfg := core.DefaultConfig(g.N())
-			ab.Mut(&cfg)
-			res := harness.Run(harness.RunSpec{
-				Graph: g, Config: cfg, Scheduler: ab.Sched,
-				Start: harness.StartCorrupt, Seed: seed,
-			})
-			sumRounds += float64(res.LastChange)
-			sumMsgs += float64(res.TotalMessages)
-			if res.Tree != nil && res.Tree.MaxDegree() > worstDeg {
-				worstDeg = res.Tree.MaxDegree()
-			}
-			if !res.Legit.OK() {
-				allLegit = false
-			}
+		mut := ab.Mut
+		m := mustExecute(scenario.Spec{
+			Families:     []string{"gnp"},
+			Sizes:        []int{n},
+			Schedulers:   []harness.SchedulerKind{ab.Sched},
+			Starts:       []harness.StartMode{harness.StartCorrupt},
+			SeedsPerCell: seeds,
+			BaseSeed:     7000,
+			Config: func(n int) core.Config {
+				cfg := core.DefaultConfig(n)
+				mut(&cfg)
+				return cfg
+			},
+		})
+		c := m.Cells[0]
+		deg := c.MaxDegree
+		if deg < 0 {
+			deg = 0
 		}
 		t.Rows = append(t.Rows, []string{ab.Name,
-			ftoa(sumRounds / float64(seeds)),
-			fmt.Sprintf("%.0f", sumMsgs/float64(seeds)),
-			itoa(worstDeg), btos(allLegit)})
+			ftoa(c.RoundsAvg),
+			fmt.Sprintf("%.0f", c.MessagesAvg),
+			itoa(deg), btos(c.Legitimate)})
 	}
 	return t
 }

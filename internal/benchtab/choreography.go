@@ -2,16 +2,18 @@ package benchtab
 
 import (
 	"fmt"
-	"math/rand"
 
-	"mdst/internal/graph"
 	"mdst/internal/harness"
+	"mdst/internal/scenario"
 )
 
 // E11Choreography compares the two protocol implementations — the
 // primary S3 ordered-chain exchange (internal/core) and the literal
 // Remove/Back/Reverse choreography of the paper's Figures 1-2
 // (internal/paperproto) — on identical workloads, seeds and schedulers.
+// Both variants are axes of ONE scenario matrix (sharded across CPUs);
+// the engine's instance-derived seeding guarantees the same graphs per
+// cell, and Spec.TrackSafety surfaces the per-run broken-round counts.
 //
 // The expectation (DESIGN.md S3, paperproto package comment): both
 // converge to legitimate configurations within the Theorem 2 bound; the
@@ -29,38 +31,41 @@ func E11Choreography(sizes []int, seeds int, sched harness.SchedulerKind) *Table
 			"while the literal choreography also breaks the tree mid-exchange (see the closure tests for the isolated comparison)",
 		},
 	}
-	fam := graph.MustFamily("gnp")
-	for _, variant := range []harness.Variant{harness.VariantCore, harness.VariantLiteral} {
-		for _, n := range sizes {
-			sumRounds, sumMsgs := 0.0, 0.0
-			exch, aborts, brokenSum := 0, 0, 0
-			worstDeg := 0
-			allLegit := true
-			for s := 0; s < seeds; s++ {
-				seed := int64(n*11000 + s)
-				rng := rand.New(rand.NewSource(seed))
-				g := fam.Build(n, rng)
-				res := harness.Run(harness.RunSpec{
-					Graph: g, Variant: variant, Scheduler: sched,
-					Start: harness.StartCorrupt, Seed: seed, TrackSafety: true,
-				})
-				sumRounds += float64(res.LastChange)
-				sumMsgs += float64(res.TotalMessages)
-				exch += res.Exchanges
-				aborts += res.Aborts
-				brokenSum += res.BrokenRounds
-				if res.Tree != nil && res.Tree.MaxDegree() > worstDeg {
-					worstDeg = res.Tree.MaxDegree()
-				}
-				if !res.Legit.OK() {
-					allLegit = false
-				}
+	m := mustExecute(scenario.Spec{
+		Families:     []string{"gnp"},
+		Sizes:        sizes,
+		Schedulers:   []harness.SchedulerKind{sched},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		Variants:     []harness.Variant{harness.VariantCore, harness.VariantLiteral},
+		SeedsPerCell: seeds,
+		BaseSeed:     11000,
+		TrackSafety:  true,
+	})
+	// Cells expand in (size, variant) order; the table historically lists
+	// all core rows before all literal rows, so group by variant.
+	for _, variant := range []string{string(harness.VariantCore), string(harness.VariantLiteral)} {
+		for _, c := range m.Cells {
+			if c.Variant != variant {
+				continue
 			}
-			t.Rows = append(t.Rows, []string{string(variant), itoa(n),
-				ftoa(sumRounds / float64(seeds)),
-				fmt.Sprintf("%.0f", sumMsgs/float64(seeds)),
+			exch, aborts, brokenSum := 0, 0, 0
+			for _, rr := range m.Runs {
+				if rr.Cell != c.Cell {
+					continue
+				}
+				exch += rr.Exchanges
+				aborts += rr.Aborts
+				brokenSum += rr.BrokenRounds
+			}
+			deg := c.MaxDegree
+			if deg < 0 {
+				deg = 0
+			}
+			t.Rows = append(t.Rows, []string{c.Variant, itoa(c.N),
+				ftoa(c.RoundsAvg),
+				fmt.Sprintf("%.0f", c.MessagesAvg),
 				itoa(exch), itoa(aborts), itoa(brokenSum),
-				itoa(worstDeg), btos(allLegit)})
+				itoa(deg), btos(c.Legitimate)})
 		}
 	}
 	return t

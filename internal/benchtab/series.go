@@ -75,7 +75,7 @@ func E2Fit(famName string, sizes []int, seeds int, sched harness.SchedulerKind) 
 			seed := int64(n*9000 + s)
 			rng := rand.New(rand.NewSource(seed))
 			g := fam.Build(n, rng)
-			res := harness.Run(harness.RunSpec{
+			res := harness.MustRun(harness.RunSpec{
 				Graph: g, Scheduler: sched, Start: harness.StartCorrupt, Seed: seed,
 			})
 			if res.LastChange > 0 {

@@ -17,6 +17,7 @@ package core
 import (
 	"math/rand"
 
+	"mdst/internal/localview"
 	"mdst/internal/sim"
 )
 
@@ -85,18 +86,9 @@ func bitsFor(x int) int {
 	return b
 }
 
-// View is a node's local copy of one neighbor's variables (the
-// send/receive atomicity model): refreshed only by InfoMsg, possibly
-// stale, initially arbitrary.
-type View struct {
-	Root     int
-	Parent   int
-	Distance int
-	Dmax     int
-	Submax   int
-	Deg      int
-	Color    bool
-}
+// View is a node's local copy of one neighbor's variables; the storage
+// is the dense table shared with the literal variant (localview).
+type View = localview.View
 
 // Node is one protocol participant.
 type Node struct {
@@ -112,8 +104,16 @@ type Node struct {
 	submax   int
 	color    bool
 
-	// Local copies of neighbor variables.
-	view map[int]*View
+	// Local copies of neighbor variables, dense by neighbor position.
+	views localview.Table
+
+	// version counts mutations of the protocol-visible state (own
+	// variables and views). The simulator's incremental fingerprint cache
+	// re-hashes a node only when its version moved — the O(1) dirty check
+	// that keeps quiescence detection off the hot path. Every mutation
+	// site below bumps it (no-op writes are skipped so a quiesced node's
+	// version is a fixed point).
+	version uint64
 
 	// Implementation bookkeeping (transient; not protocol state).
 	tick        int
@@ -144,12 +144,12 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 		root:        id,
 		parent:      id,
 		distance:    0,
-		view:        make(map[int]*View, len(neighbors)),
+		views:       localview.NewTable(neighbors),
 		nextSearch:  make(map[int]int),
 		lastDeblock: make(map[int]int),
 	}
-	for _, u := range neighbors {
-		n.view[u] = &View{Root: u, Parent: u}
+	for _, u := range n.nbrs {
+		*n.views.Get(u) = View{Root: u, Parent: u}
 	}
 	return n
 }
@@ -158,11 +158,7 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 // used by the exhaustive model checker to branch executions.
 func (n *Node) Clone() *Node {
 	c := *n
-	c.view = make(map[int]*View, len(n.view))
-	for u, v := range n.view {
-		vv := *v
-		c.view[u] = &vv
-	}
+	c.views = n.views.Clone()
 	c.nextSearch = make(map[int]int, len(n.nextSearch))
 	for k, v := range n.nextSearch {
 		c.nextSearch[k] = v
@@ -214,7 +210,7 @@ func (n *Node) isTreeEdge(u int) bool {
 	if n.parent == u && n.id != n.root {
 		return true
 	}
-	if v, ok := n.view[u]; ok && v.Parent == n.id {
+	if v := n.views.Get(u); v != nil && v.Parent == n.id {
 		return true
 	}
 	return false
@@ -224,14 +220,17 @@ func (n *Node) isTreeEdge(u int) bool {
 func (n *Node) SetState(root, parent, distance, dmax, submax int, color bool) {
 	n.root, n.parent, n.distance = root, parent, distance
 	n.dmax, n.submax, n.color = dmax, submax, color
+	n.version++
 }
 
 // SetView overwrites the local copy of neighbor u (test/fault injection).
 func (n *Node) SetView(u int, v View) {
-	if _, ok := n.view[u]; !ok {
+	p := n.views.Get(u)
+	if p == nil {
 		panic("core: SetView for non-neighbor")
 	}
-	*n.view[u] = v
+	*p = v
+	n.version++
 }
 
 // NodeStats returns the node's protocol event counters.
@@ -241,8 +240,8 @@ func (n *Node) NodeStats() Stats { return n.stats }
 // non-neighbors. Used by the harness to carry state across topology
 // changes (the super-stabilization experiments).
 func (n *Node) ViewOf(u int) (View, bool) {
-	v, ok := n.view[u]
-	if !ok {
+	v := n.views.Get(u)
+	if v == nil {
 		return View{}, false
 	}
 	return *v, true
@@ -270,7 +269,7 @@ func (n *Node) Corrupt(rng *rand.Rand, idSpace int) {
 	n.submax = rng.Intn(idSpace + 2)
 	n.color = rng.Intn(2) == 0
 	for _, u := range n.nbrs {
-		n.view[u] = &View{
+		*n.views.Get(u) = View{
 			Root:     rng.Intn(idSpace),
 			Parent:   rng.Intn(idSpace),
 			Distance: rng.Intn(n.cfg.MaxDist + 2),
@@ -280,6 +279,7 @@ func (n *Node) Corrupt(rng *rand.Rand, idSpace int) {
 			Color:    rng.Intn(2) == 0,
 		}
 	}
+	n.version++
 }
 
 // Init implements sim.Process. Deliberately empty: self-stabilization
@@ -337,14 +337,21 @@ func (n *Node) sendInfo(ctx *sim.Context) {
 }
 
 // handleInfo is the paper's Update_State: refresh the local copy, then
-// re-run the correction rules.
+// re-run the correction rules. The copy is skipped (and the state
+// version left untouched) when the gossip repeats what we already hold —
+// the common case once the neighborhood quiesces.
 func (n *Node) handleInfo(from int, m InfoMsg) {
-	v, ok := n.view[from]
-	if !ok {
+	v := n.views.Get(from)
+	if v == nil {
 		return
 	}
-	v.Root, v.Parent, v.Distance = m.Root, m.Parent, m.Distance
-	v.Dmax, v.Submax, v.Deg, v.Color = m.Dmax, m.Submax, m.Deg, m.Color
+	if v.Root != m.Root || v.Parent != m.Parent || v.Distance != m.Distance ||
+		v.Dmax != m.Dmax || v.Submax != m.Submax || v.Deg != m.Deg ||
+		v.Color != m.Color {
+		v.Root, v.Parent, v.Distance = m.Root, m.Parent, m.Distance
+		v.Dmax, v.Submax, v.Deg, v.Color = m.Dmax, m.Submax, m.Deg, m.Color
+		n.version++
+	}
 	n.runTreeModule()
 }
 
@@ -352,38 +359,13 @@ func (n *Node) handleInfo(from int, m InfoMsg) {
 // and neighbor copies (message traffic excluded), so quiescence means
 // both the tree and all views have stopped changing.
 func (n *Node) Fingerprint() uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(x uint64) {
-		h ^= x
-		h *= prime
-	}
-	mix(uint64(n.root))
-	mix(uint64(n.parent))
-	mix(uint64(n.distance))
-	mix(uint64(n.dmax))
-	mix(uint64(n.submax))
-	if n.color {
-		mix(1)
-	} else {
-		mix(2)
-	}
-	for _, u := range n.nbrs {
-		v := n.view[u]
-		mix(uint64(v.Root))
-		mix(uint64(v.Parent))
-		mix(uint64(v.Distance))
-		mix(uint64(v.Dmax))
-		mix(uint64(v.Submax))
-		mix(uint64(v.Deg))
-		if v.Color {
-			mix(3)
-		} else {
-			mix(4)
-		}
-	}
-	return h
+	return localview.Fingerprint(n.root, n.parent, n.distance, n.dmax,
+		n.submax, n.color, &n.views)
 }
+
+// StateVersion implements sim.StateVersioner: it moves exactly when the
+// fingerprinted state may have changed.
+func (n *Node) StateVersion() uint64 { return n.version }
 
 // StateBits implements sim.StateSizer: the paper's O(δ log n) memory —
 // six own variables plus a seven-word copy per neighbor, WordBits each

@@ -26,8 +26,8 @@ func (n *Node) actionOnCycle(ctx *sim.Context, msg SearchMsg) {
 	n.stats.CyclesClassified++
 	path := msg.Path
 	y := msg.Init.U
-	vy, ok := n.view[y]
-	if !ok {
+	vy := n.views.Get(y)
+	if vy == nil {
 		return
 	}
 	myDeg := n.Deg()
@@ -138,7 +138,7 @@ func (n *Node) broadcastDeblock(ctx *sim.Context, block, ttl, except int) {
 		if u == except || !n.isTreeEdge(u) {
 			continue
 		}
-		if v := n.view[u]; v.Parent == n.id { // children only: subtree flood
+		if v := n.views.Get(u); v.Parent == n.id { // children only: subtree flood
 			ctx.Send(u, DeblockMsg{Block: block, TTL: ttl})
 		}
 	}
@@ -205,9 +205,10 @@ func (n *Node) startReversal(ctx *sim.Context, init graph.Edge, path []PathEntry
 		if n.parent != chain[1] {
 			return // stale orientation
 		}
-		vy := n.view[y]
+		vy := n.views.Get(y)
 		n.parent = y
 		n.distance = vy.Distance + 1
+		n.version++
 		n.stats.ExchangesApplied++
 		if len(chain) == 2 {
 			// Degenerate chain [x, w]: the exchange is complete and this
@@ -262,6 +263,7 @@ func (n *Node) handleReverse(ctx *sim.Context, from int, msg ReverseMsg) {
 	}
 	n.parent = from
 	n.distance = msg.Dist
+	n.version++
 	n.stats.ExchangesApplied++
 	if last {
 		n.stats.ExchangesComplete++
@@ -287,7 +289,7 @@ func (n *Node) notifyChildrenDist(ctx *sim.Context, except int) {
 		if u == except {
 			continue
 		}
-		if v := n.view[u]; v.Parent == n.id {
+		if v := n.views.Get(u); v.Parent == n.id {
 			ctx.Send(u, UpdateDistMsg{Dist: n.distance})
 		}
 	}
@@ -312,8 +314,9 @@ func (n *Node) handleUpdateDist(ctx *sim.Context, from int, msg UpdateDistMsg) {
 		return
 	}
 	n.distance = msg.Dist + 1
+	n.version++
 	for _, u := range n.nbrs {
-		if v := n.view[u]; v.Parent == n.id {
+		if v := n.views.Get(u); v.Parent == n.id {
 			ctx.Send(u, UpdateDistMsg{Dist: n.distance})
 		}
 	}

@@ -11,13 +11,17 @@ package core
 // Distances are bounded by cfg.MaxDist (nodes know an upper bound on n),
 // which terminates the count-to-infinity epidemic of forged root values
 // that the pure rules admit; see DESIGN.md.
+//
+// Every write below goes through a changed-value guard that bumps the
+// node's state version: the simulator's incremental fingerprint cache
+// relies on the version staying put across no-op module runs.
 
 // betterParent is the paper's better_parent(v): some neighbor advertises
 // a strictly smaller root (and would not push us past the distance
 // bound).
 func (n *Node) betterParent() bool {
-	for _, u := range n.nbrs {
-		v := n.view[u]
+	for i := 0; i < n.views.Len(); i++ {
+		v := n.views.At(i)
 		if v.Root < n.root && v.Distance+1 <= n.cfg.MaxDist {
 			return true
 		}
@@ -29,13 +33,15 @@ func (n *Node) betterParent() bool {
 // root, ties broken by minimal ID (the paper's argmin).
 func (n *Node) bestParentCandidate() int {
 	best := -1
-	for _, u := range n.nbrs { // nbrs sorted ascending: first hit wins ties
-		v := n.view[u]
+	var bestRoot int
+	for i := 0; i < n.views.Len(); i++ { // positions sorted by ID: first hit wins ties
+		v := n.views.At(i)
 		if v.Root >= n.root || v.Distance+1 > n.cfg.MaxDist {
 			continue
 		}
-		if best == -1 || v.Root < n.view[best].Root {
-			best = u
+		if best == -1 || v.Root < bestRoot {
+			best = n.views.ID(i)
+			bestRoot = v.Root
 		}
 	}
 	return best
@@ -48,8 +54,8 @@ func (n *Node) coherentParent() bool {
 	if n.parent == n.id {
 		return n.root == n.id
 	}
-	v, ok := n.view[n.parent]
-	return ok && v.Root == n.root
+	v := n.views.Get(n.parent)
+	return v != nil && v.Root == n.root
 }
 
 // coherentDistance is the paper's coherent_distance(v) plus the distance
@@ -58,8 +64,8 @@ func (n *Node) coherentDistance() bool {
 	if n.parent == n.id {
 		return n.distance == 0
 	}
-	v, ok := n.view[n.parent]
-	if !ok {
+	v := n.views.Get(n.parent)
+	if v == nil {
 		return false
 	}
 	return n.distance == v.Distance+1 && n.distance <= n.cfg.MaxDist
@@ -86,8 +92,8 @@ func (n *Node) treeStabilized() bool {
 // degreeStabilized is the paper's degree_stabilized(v): all neighbors
 // agree on dmax.
 func (n *Node) degreeStabilized() bool {
-	for _, u := range n.nbrs {
-		if n.view[u].Dmax != n.dmax {
+	for i := 0; i < n.views.Len(); i++ {
+		if n.views.At(i).Dmax != n.dmax {
 			return false
 		}
 	}
@@ -96,8 +102,8 @@ func (n *Node) degreeStabilized() bool {
 
 // colorStabilized is the paper's color_stabilized(v).
 func (n *Node) colorStabilized() bool {
-	for _, u := range n.nbrs {
-		if n.view[u].Color != n.color {
+	for i := 0; i < n.views.Len(); i++ {
+		if n.views.At(i).Color != n.color {
 			return false
 		}
 	}
@@ -113,17 +119,31 @@ func (n *Node) locallyStabilized() bool {
 
 // createNewRoot is the paper's create_new_root(v).
 func (n *Node) createNewRoot() {
-	n.root = n.id
-	n.parent = n.id
-	n.distance = 0
+	if n.root != n.id || n.parent != n.id || n.distance != 0 {
+		n.root = n.id
+		n.parent = n.id
+		n.distance = 0
+		n.version++
+	}
 }
 
 // changeParentTo is the paper's change_parent_to(v,u).
 func (n *Node) changeParentTo(u int) {
-	v := n.view[u]
-	n.root = v.Root
-	n.parent = u
-	n.distance = v.Distance + 1
+	v := n.views.Get(u)
+	if n.root != v.Root || n.parent != u || n.distance != v.Distance+1 {
+		n.root = v.Root
+		n.parent = u
+		n.distance = v.Distance + 1
+		n.version++
+	}
+}
+
+// setDistance writes the distance variable through the version guard.
+func (n *Node) setDistance(d int) {
+	if n.distance != d {
+		n.distance = d
+		n.version++
+	}
 }
 
 // runTreeModule applies R2 then R1 — the highest-priority module.
@@ -134,12 +154,12 @@ func (n *Node) runTreeModule() {
 			n.createNewRoot()
 		case RepairPatch:
 			if n.root > n.id || n.parent == n.id || !n.coherentParent() ||
-				n.view[n.parent].Distance+1 > n.cfg.MaxDist {
+				n.views.Get(n.parent).Distance+1 > n.cfg.MaxDist {
 				n.createNewRoot()
 			} else {
 				// Parent relation is sound; only the distance drifted
 				// (typically after an edge reversal): re-derive it.
-				n.distance = n.view[n.parent].Distance + 1
+				n.setDistance(n.views.Get(n.parent).Distance + 1)
 			}
 		}
 	}
@@ -158,24 +178,31 @@ func (n *Node) runTreeModule() {
 func (n *Node) runDegreeModule() {
 	deg := n.Deg()
 	sub := deg
-	for _, u := range n.nbrs {
-		v := n.view[u]
-		if v.Parent == n.id && u != n.parent { // u is a child
+	for i := 0; i < n.views.Len(); i++ {
+		v := n.views.At(i)
+		if v.Parent == n.id && n.views.ID(i) != n.parent { // a child
 			if v.Submax > sub {
 				sub = v.Submax
 			}
 		}
 	}
-	n.submax = sub
+	if n.submax != sub {
+		n.submax = sub
+		n.version++
+	}
 	if n.parent == n.id {
 		if n.dmax != sub {
 			n.dmax = sub
 			n.color = !n.color
+			n.version++
 		}
 		return
 	}
-	if v, ok := n.view[n.parent]; ok {
-		n.dmax = v.Dmax
-		n.color = v.Color
+	if v := n.views.Get(n.parent); v != nil {
+		if n.dmax != v.Dmax || n.color != v.Color {
+			n.dmax = v.Dmax
+			n.color = v.Color
+			n.version++
+		}
 	}
 }

@@ -11,7 +11,7 @@ import (
 // fully corrupted configuration and stabilizes to a minimum-degree
 // spanning tree (Δ* = 2 for a wheel, guarantee Δ*+1 = 3).
 func Example() {
-	res := harness.Run(harness.RunSpec{
+	res := harness.MustRun(harness.RunSpec{
 		Graph:     graph.Wheel(10),
 		Scheduler: harness.SchedSync,
 		Start:     harness.StartCorrupt,
@@ -27,7 +27,7 @@ func Example() {
 // Fault recovery (Definition 1): corrupt three nodes of a legitimate
 // configuration and re-stabilize.
 func Example_faultRecovery() {
-	res := harness.Run(harness.RunSpec{
+	res := harness.MustRun(harness.RunSpec{
 		Graph:        graph.Grid(4, 4),
 		Scheduler:    harness.SchedSync,
 		Start:        harness.StartLegitimate,

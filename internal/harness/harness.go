@@ -142,10 +142,32 @@ type Result struct {
 	Aborts    int
 }
 
-// Run executes one experiment run.
-func Run(spec RunSpec) Result {
+// Validate checks the spec invariants that would otherwise blow up deep
+// inside a run (sim.SetDropRate panics on out-of-range rates — a bad
+// rate used to crash the scenario worker that happened to execute it).
+func (s RunSpec) Validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("harness: RunSpec.Graph is nil")
+	}
+	if s.DropRate < 0 || s.DropRate >= 1 {
+		return fmt.Errorf("harness: drop rate %v out of [0,1)", s.DropRate)
+	}
+	switch s.Variant {
+	case "", VariantCore, VariantLiteral:
+	default:
+		return fmt.Errorf("harness: unknown variant %q", s.Variant)
+	}
+	return nil
+}
+
+// Run executes one experiment run. The error reports an invalid spec
+// (see Validate); execution itself cannot fail.
+func Run(spec RunSpec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
 	if spec.Variant == VariantLiteral {
-		return runLiteral(spec)
+		return runLiteral(spec), nil
 	}
 	g := spec.Graph
 	n := g.N()
@@ -167,7 +189,7 @@ func Run(spec RunSpec) Result {
 		}
 	case StartLegitimate:
 		if err := Preload(g, nodes, cfg); err != nil {
-			return Result{Legit: core.Legitimacy{Detail: err.Error()}}
+			return Result{Legit: core.Legitimacy{Detail: err.Error()}}, nil
 		}
 		for _, v := range spec.CorruptTargets {
 			if v >= 0 && v < n {
@@ -229,7 +251,18 @@ func Run(spec RunSpec) Result {
 	if t, err := core.ExtractTree(g, nodes); err == nil {
 		out.Tree = t
 	}
-	return out
+	return out, nil
+}
+
+// MustRun is Run for statically known-good specs (examples, benchmarks,
+// experiment tables with hard-coded parameters): a spec error is a
+// programmer error and panics.
+func MustRun(spec RunSpec) Result {
+	res, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // Preload writes a legitimate configuration into the nodes: the

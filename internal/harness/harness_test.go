@@ -12,7 +12,7 @@ import (
 
 func TestRunCleanStart(t *testing.T) {
 	g := graph.Wheel(8)
-	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartClean, Seed: 1})
+	res := MustRun(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartClean, Seed: 1})
 	if !res.Converged || !res.Legit.OK() {
 		t.Fatalf("clean run failed: %+v", res.Legit)
 	}
@@ -27,7 +27,7 @@ func TestRunCleanStart(t *testing.T) {
 func TestRunCorruptStart(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := graph.RandomGnp(16, 0.3, rng)
-	res := Run(RunSpec{Graph: g, Scheduler: SchedAsync, Start: StartCorrupt, Seed: 2})
+	res := MustRun(RunSpec{Graph: g, Scheduler: SchedAsync, Start: StartCorrupt, Seed: 2})
 	if !res.Converged || !res.Legit.OK() {
 		t.Fatalf("corrupt run failed: %+v", res.Legit)
 	}
@@ -36,7 +36,7 @@ func TestRunCorruptStart(t *testing.T) {
 func TestRunLegitimateStartIsStableTree(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := graph.RandomGnp(14, 0.3, rng)
-	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate, Seed: 3})
+	res := MustRun(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate, Seed: 3})
 	if !res.Converged {
 		t.Fatal("no convergence")
 	}
@@ -48,7 +48,7 @@ func TestRunLegitimateStartIsStableTree(t *testing.T) {
 func TestRunFaultRecovery(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := graph.RandomGeometric(20, 0.35, rng)
-	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate,
+	res := MustRun(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate,
 		CorruptNodes: 5, Seed: 4})
 	if !res.Converged || !res.Legit.OK() {
 		t.Fatalf("fault recovery failed: %+v", res.Legit)
@@ -95,7 +95,7 @@ func TestNewScheduler(t *testing.T) {
 func TestTrackSafety(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	g := graph.RandomGnp(14, 0.35, rng)
-	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartCorrupt,
+	res := MustRun(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartCorrupt,
 		Seed: 6, TrackSafety: true})
 	if !res.Legit.OK() {
 		t.Fatalf("run failed: %+v", res.Legit)
@@ -111,7 +111,7 @@ func TestTrackSafety(t *testing.T) {
 	// From a legitimate start the S3 exchange never breaks the tree:
 	// every intermediate configuration of a chain move is a spanning
 	// tree, and no formation churn can be misattributed.
-	res = Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate,
+	res = MustRun(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartLegitimate,
 		Seed: 6, TrackSafety: true})
 	if res.BrokenRounds != 0 {
 		t.Fatalf("S3 exchange broke the tree in %d rounds from a legitimate start", res.BrokenRounds)
@@ -120,7 +120,7 @@ func TestTrackSafety(t *testing.T) {
 
 func TestRunRespectsMaxRounds(t *testing.T) {
 	g := graph.Ring(8)
-	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartCorrupt,
+	res := MustRun(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartCorrupt,
 		Seed: 7, MaxRounds: 3})
 	if res.Converged {
 		t.Fatal("cannot converge in 3 rounds from corruption")
@@ -134,7 +134,7 @@ func TestRunCustomConfig(t *testing.T) {
 	g := graph.Wheel(8)
 	cfg := core.DefaultConfig(8)
 	cfg.DisableReduction = true
-	res := Run(RunSpec{Graph: g, Config: cfg, Scheduler: SchedSync,
+	res := MustRun(RunSpec{Graph: g, Config: cfg, Scheduler: SchedSync,
 		Start: StartClean, Seed: 8})
 	if !res.Converged {
 		t.Fatal("no convergence")

@@ -11,7 +11,7 @@ import (
 func TestRunLiteralVariantConverges(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := graph.RandomGnp(14, 0.35, rng)
-	res := Run(RunSpec{
+	res := MustRun(RunSpec{
 		Graph: g, Variant: VariantLiteral,
 		Scheduler: SchedSync, Start: StartCorrupt, Seed: 5,
 	})
@@ -29,7 +29,7 @@ func TestRunLiteralVariantConverges(t *testing.T) {
 func TestRunLiteralFromLegitimate(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := graph.RandomGnp(12, 0.4, rng)
-	res := Run(RunSpec{
+	res := MustRun(RunSpec{
 		Graph: g, Variant: VariantLiteral,
 		Scheduler: SchedSync, Start: StartLegitimate,
 		CorruptNodes: 2, Seed: 9, TrackSafety: true,
@@ -57,7 +57,7 @@ func TestPreloadLiteralIsLegitimate(t *testing.T) {
 func TestVariantDefaultIsCore(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := graph.RandomGnp(10, 0.4, rng)
-	res := Run(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartClean, Seed: 1})
+	res := MustRun(RunSpec{Graph: g, Scheduler: SchedSync, Start: StartClean, Seed: 1})
 	if !res.Converged || res.Tree == nil {
 		t.Fatal("default (core) variant run failed")
 	}

@@ -1,0 +1,83 @@
+package localview
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTableLookup(t *testing.T) {
+	tab := NewTable([]int{7, 2, 11})
+	if tab.Len() != 3 {
+		t.Fatalf("len=%d", tab.Len())
+	}
+	// Sorted positions.
+	for i, want := range []int{2, 7, 11} {
+		if tab.ID(i) != want {
+			t.Fatalf("ID(%d)=%d, want %d", i, tab.ID(i), want)
+		}
+	}
+	for _, u := range []int{2, 7, 11} {
+		v := tab.Get(u)
+		if v == nil {
+			t.Fatalf("Get(%d)=nil", u)
+		}
+		v.Root = u * 10
+	}
+	for _, u := range []int{0, 1, 3, 12} {
+		if tab.Get(u) != nil {
+			t.Fatalf("Get(%d) found a non-neighbor", u)
+		}
+	}
+	// Get returns stable in-place storage.
+	if tab.Get(7).Root != 70 || tab.At(1).Root != 70 {
+		t.Fatal("mutation through Get not visible")
+	}
+}
+
+func TestTableCloneIsDeep(t *testing.T) {
+	tab := NewTable([]int{1, 2})
+	tab.Get(1).Distance = 5
+	c := tab.Clone()
+	c.Get(1).Distance = 9
+	if tab.Get(1).Distance != 5 {
+		t.Fatal("clone shares view storage")
+	}
+	if c.Get(2) == nil || c.ID(0) != 1 {
+		t.Fatal("clone lost index")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	tab := NewTable([]int{3, 4})
+	base := Fingerprint(0, 1, 2, 3, 4, false, &tab)
+	if Fingerprint(0, 1, 2, 3, 4, true, &tab) == base {
+		t.Fatal("color not hashed")
+	}
+	tab.Get(3).Deg = 7
+	if Fingerprint(0, 1, 2, 3, 4, false, &tab) == base {
+		t.Fatal("view change not hashed")
+	}
+}
+
+func TestLookupMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		seen := map[int]bool{}
+		var ids []int
+		for len(ids) < n {
+			u := rng.Intn(100)
+			if !seen[u] {
+				seen[u] = true
+				ids = append(ids, u)
+			}
+		}
+		tab := NewTable(ids)
+		for u := 0; u < 100; u++ {
+			got := tab.Get(u) != nil
+			if got != seen[u] {
+				t.Fatalf("trial %d: Get(%d)=%v, want %v", trial, u, got, seen[u])
+			}
+		}
+	}
+}

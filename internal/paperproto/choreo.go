@@ -20,8 +20,8 @@ func (n *Node) actionOnCycle(ctx *sim.Context, msg core.SearchMsg) {
 	n.stats.CyclesClassified++
 	path := msg.Path
 	y := msg.Init.U
-	vy, ok := n.view[y]
-	if !ok {
+	vy := n.views.Get(y)
+	if vy == nil {
 		return
 	}
 	myDeg := n.Deg()
@@ -176,10 +176,11 @@ func (n *Node) reverseOrientation(ctx *sim.Context, from int, msg RemoveMsg) {
 		// Figure 5a: the segment ahead (z..x) is the detached side; w
 		// leaves its parent (removing edge {pred, w}) and joins the
 		// reversed chain. The Remove continues forward.
-		vz := n.view[z]
+		vz := n.views.Get(z)
 		n.parent = z
 		n.distance = vz.Distance + 1
 		n.color = !n.color
+		n.version++
 		n.stats.ReorientHops++
 		msg.Pos++
 		msg.Reorient = true
@@ -188,10 +189,11 @@ func (n *Node) reverseOrientation(ctx *sim.Context, from int, msg RemoveMsg) {
 		// Figure 5b: the traversed prefix (y..w) is the detached side; w
 		// leaves z (removing the target edge {w, z}) and re-parents onto
 		// its predecessor; a Back retraces the prefix in reverse.
-		vp := n.view[pred]
+		vp := n.views.Get(pred)
 		n.parent = pred
 		n.distance = vp.Distance + 1
 		n.color = !n.color
+		n.version++
 		n.stats.BacksStarted++
 		rev := make([]int, 0, wi)
 		for i := wi - 1; i >= 0; i-- {
@@ -203,6 +205,7 @@ func (n *Node) reverseOrientation(ctx *sim.Context, from int, msg RemoveMsg) {
 		// edge {w, z} is removed by z's own reorientation hop; w itself
 		// keeps its parent (interpretation I1 in the package comment).
 		n.color = !n.color
+		n.version++
 		msg.Pos++
 		msg.Reorient = true
 		ctx.Send(z, msg)
@@ -237,9 +240,10 @@ func (n *Node) reorientHop(ctx *sim.Context, from int, msg RemoveMsg) {
 			n.stats.ChoreoAborted++
 			return
 		}
-		vy := n.view[y]
+		vy := n.views.Get(y)
 		n.parent = y
 		n.distance = vy.Distance + 1
+		n.version++
 		n.stats.ExchangesComplete++
 		n.floodDist(ctx, -1)
 		return
@@ -249,9 +253,10 @@ func (n *Node) reorientHop(ctx *sim.Context, from int, msg RemoveMsg) {
 		return
 	}
 	next := msg.Path[msg.Pos+1]
-	vn := n.view[next]
+	vn := n.views.Get(next)
 	n.parent = next
 	n.distance = vn.Distance + 1
+	n.version++
 	n.stats.ReorientHops++
 	msg.Pos++
 	ctx.Send(next, msg)
@@ -278,9 +283,10 @@ func (n *Node) handleBack(ctx *sim.Context, from int, msg BackMsg) {
 			n.stats.ChoreoAborted++
 			return
 		}
-		vx := n.view[x]
+		vx := n.views.Get(x)
 		n.parent = x
 		n.distance = vx.Distance + 1
+		n.version++
 		n.stats.ExchangesComplete++
 		n.floodDist(ctx, -1)
 		return
@@ -290,9 +296,10 @@ func (n *Node) handleBack(ctx *sim.Context, from int, msg BackMsg) {
 		return
 	}
 	next := msg.Path[msg.Pos+1]
-	vn := n.view[next]
+	vn := n.views.Get(next)
 	n.parent = next
 	n.distance = vn.Distance + 1
+	n.version++
 	n.stats.ReorientHops++
 	msg.Pos++
 	ctx.Send(next, msg)
@@ -307,9 +314,12 @@ func (n *Node) handleReverseMsg(ctx *sim.Context, from int, msg ReverseMsg) {
 		ctx.Send(n.parent, ReverseMsg{Target: msg.Target})
 		n.stats.ReversesSent++
 	}
-	if v, ok := n.view[from]; ok {
-		n.parent = from
-		n.distance = v.Distance + 1
+	if v := n.views.Get(from); v != nil {
+		if n.parent != from || n.distance != v.Distance+1 {
+			n.parent = from
+			n.distance = v.Distance + 1
+			n.version++
+		}
 	}
 }
 
@@ -346,7 +356,7 @@ func (n *Node) broadcastDeblock(ctx *sim.Context, block, ttl, except int) {
 		if u == except || !n.isTreeEdge(u) {
 			continue
 		}
-		if v := n.view[u]; v.Parent == n.id {
+		if v := n.views.Get(u); v.Parent == n.id {
 			ctx.Send(u, core.DeblockMsg{Block: block, TTL: ttl})
 		}
 	}
@@ -373,7 +383,7 @@ func (n *Node) floodDist(ctx *sim.Context, except int) {
 		if u == except {
 			continue
 		}
-		if v := n.view[u]; v.Parent == n.id {
+		if v := n.views.Get(u); v.Parent == n.id {
 			ctx.Send(u, core.UpdateDistMsg{Dist: n.distance})
 		}
 	}
@@ -395,8 +405,9 @@ func (n *Node) handleUpdateDist(ctx *sim.Context, from int, msg core.UpdateDistM
 		return
 	}
 	n.distance = msg.Dist + 1
+	n.version++
 	for _, u := range n.nbrs {
-		if v := n.view[u]; v.Parent == n.id {
+		if v := n.views.Get(u); v.Parent == n.id {
 			ctx.Send(u, core.UpdateDistMsg{Dist: n.distance})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"mdst/internal/core"
+	"mdst/internal/localview"
 	"mdst/internal/sim"
 )
 
@@ -17,16 +18,9 @@ type Config = core.Config
 func DefaultConfig(n int) Config { return core.DefaultConfig(n) }
 
 // View is a node's local copy of one neighbor's variables (send/receive
-// atomicity), refreshed only by InfoMsg.
-type View struct {
-	Root     int
-	Parent   int
-	Distance int
-	Dmax     int
-	Submax   int
-	Deg      int
-	Color    bool
-}
+// atomicity), refreshed only by InfoMsg. Both protocol variants share
+// the dense localview storage.
+type View = localview.View
 
 // Node is one participant of the literal-choreography protocol variant.
 type Node struct {
@@ -42,7 +36,13 @@ type Node struct {
 	submax   int
 	color    bool
 
-	view map[int]*View
+	// Local copies of neighbor variables, dense by neighbor position.
+	views localview.Table
+
+	// version counts protocol-state mutations; see the matching field in
+	// core.Node — the simulator's incremental fingerprint cache re-hashes
+	// a node only when its version moved.
+	version uint64
 
 	// Implementation bookkeeping (transient; not protocol state).
 	tick        int
@@ -73,12 +73,12 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 		nbrs:        append([]int(nil), neighbors...),
 		root:        id,
 		parent:      id,
-		view:        make(map[int]*View, len(neighbors)),
+		views:       localview.NewTable(neighbors),
 		nextSearch:  make(map[int]int),
 		lastDeblock: make(map[int]int),
 	}
-	for _, u := range neighbors {
-		n.view[u] = &View{Root: u, Parent: u}
+	for _, u := range n.nbrs {
+		*n.views.Get(u) = View{Root: u, Parent: u}
 	}
 	return n
 }
@@ -87,11 +87,7 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 // used by the exhaustive model checker to branch executions.
 func (n *Node) Clone() *Node {
 	c := *n
-	c.view = make(map[int]*View, len(n.view))
-	for u, v := range n.view {
-		vv := *v
-		c.view[u] = &vv
-	}
+	c.views = n.views.Clone()
 	c.nextSearch = make(map[int]int, len(n.nextSearch))
 	for k, v := range n.nextSearch {
 		c.nextSearch[k] = v
@@ -141,7 +137,7 @@ func (n *Node) isTreeEdge(u int) bool {
 	if n.parent == u && n.id != n.root {
 		return true
 	}
-	if v, ok := n.view[u]; ok && v.Parent == n.id {
+	if v := n.views.Get(u); v != nil && v.Parent == n.id {
 		return true
 	}
 	return false
@@ -151,14 +147,17 @@ func (n *Node) isTreeEdge(u int) bool {
 func (n *Node) SetState(root, parent, distance, dmax, submax int, color bool) {
 	n.root, n.parent, n.distance = root, parent, distance
 	n.dmax, n.submax, n.color = dmax, submax, color
+	n.version++
 }
 
 // SetView overwrites the local copy of neighbor u (test/fault injection).
 func (n *Node) SetView(u int, v View) {
-	if _, ok := n.view[u]; !ok {
+	p := n.views.Get(u)
+	if p == nil {
 		panic("paperproto: SetView for non-neighbor")
 	}
-	*n.view[u] = v
+	*p = v
+	n.version++
 }
 
 // Corrupt randomizes every protocol variable and neighbor copy — the
@@ -180,7 +179,7 @@ func (n *Node) Corrupt(rng *rand.Rand, idSpace int) {
 	n.submax = rng.Intn(idSpace + 2)
 	n.color = rng.Intn(2) == 0
 	for _, u := range n.nbrs {
-		n.view[u] = &View{
+		*n.views.Get(u) = View{
 			Root:     rng.Intn(idSpace),
 			Parent:   rng.Intn(idSpace),
 			Distance: rng.Intn(n.cfg.MaxDist + 2),
@@ -190,6 +189,7 @@ func (n *Node) Corrupt(rng *rand.Rand, idSpace int) {
 			Color:    rng.Intn(2) == 0,
 		}
 	}
+	n.version++
 }
 
 // Init implements sim.Process. Deliberately empty: self-stabilization
@@ -254,52 +254,34 @@ func (n *Node) sendInfo(ctx *sim.Context) {
 }
 
 // handleInfo is the paper's Update_State: refresh the local copy, then
-// re-run the correction rules.
+// re-run the correction rules. A gossip that repeats the held copy is
+// skipped so the state version stays put once the neighborhood quiesces.
 func (n *Node) handleInfo(from int, m core.InfoMsg) {
-	v, ok := n.view[from]
-	if !ok {
+	v := n.views.Get(from)
+	if v == nil {
 		return
 	}
-	v.Root, v.Parent, v.Distance = m.Root, m.Parent, m.Distance
-	v.Dmax, v.Submax, v.Deg, v.Color = m.Dmax, m.Submax, m.Deg, m.Color
+	if v.Root != m.Root || v.Parent != m.Parent || v.Distance != m.Distance ||
+		v.Dmax != m.Dmax || v.Submax != m.Submax || v.Deg != m.Deg ||
+		v.Color != m.Color {
+		v.Root, v.Parent, v.Distance = m.Root, m.Parent, m.Distance
+		v.Dmax, v.Submax, v.Deg, v.Color = m.Dmax, m.Submax, m.Deg, m.Color
+		n.version++
+	}
 	n.runTreeModule()
 }
 
 // Fingerprint implements sim.Fingerprinter (protocol variables and
-// neighbor copies; message traffic excluded).
+// neighbor copies; message traffic excluded) via the shared localview
+// implementation.
 func (n *Node) Fingerprint() uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(x uint64) {
-		h ^= x
-		h *= prime
-	}
-	mix(uint64(n.root))
-	mix(uint64(n.parent))
-	mix(uint64(n.distance))
-	mix(uint64(n.dmax))
-	mix(uint64(n.submax))
-	if n.color {
-		mix(1)
-	} else {
-		mix(2)
-	}
-	for _, u := range n.nbrs {
-		v := n.view[u]
-		mix(uint64(v.Root))
-		mix(uint64(v.Parent))
-		mix(uint64(v.Distance))
-		mix(uint64(v.Dmax))
-		mix(uint64(v.Submax))
-		mix(uint64(v.Deg))
-		if v.Color {
-			mix(3)
-		} else {
-			mix(4)
-		}
-	}
-	return h
+	return localview.Fingerprint(n.root, n.parent, n.distance, n.dmax,
+		n.submax, n.color, &n.views)
 }
+
+// StateVersion implements sim.StateVersioner: it moves exactly when the
+// fingerprinted state may have changed.
+func (n *Node) StateVersion() uint64 { return n.version }
 
 // StateBits implements sim.StateSizer: same accounting as the primary
 // variant — the choreography adds no per-node state, only messages.

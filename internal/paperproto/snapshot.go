@@ -130,7 +130,7 @@ func CheckLegitimacy(g *graph.Graph, nodes []*Node) Legitimacy {
 viewCheck:
 	for i, nd := range nodes {
 		for _, u := range g.Neighbors(i) {
-			v := nd.view[u]
+			v := nd.views.Get(u)
 			o := nodes[u]
 			if v.Root != o.root || v.Parent != o.parent || v.Distance != o.distance ||
 				v.Dmax != o.dmax || v.Submax != o.submax || v.Color != o.color ||

@@ -6,12 +6,14 @@ import "mdst/internal/core"
 // These are the same modules as in internal/core — both variants share
 // them verbatim; only the degree-reduction choreography differs. They
 // are re-stated here on this package's Node type so that the variant is
-// a self-contained protocol implementation.
+// a self-contained protocol implementation. As in core, every write
+// goes through a changed-value guard that bumps the node's state
+// version for the simulator's incremental fingerprint cache.
 
 // betterParent is the paper's better_parent(v).
 func (n *Node) betterParent() bool {
-	for _, u := range n.nbrs {
-		v := n.view[u]
+	for i := 0; i < n.views.Len(); i++ {
+		v := n.views.At(i)
 		if v.Root < n.root && v.Distance+1 <= n.cfg.MaxDist {
 			return true
 		}
@@ -23,13 +25,15 @@ func (n *Node) betterParent() bool {
 // root, ties broken by minimal ID (the paper's argmin).
 func (n *Node) bestParentCandidate() int {
 	best := -1
-	for _, u := range n.nbrs {
-		v := n.view[u]
+	var bestRoot int
+	for i := 0; i < n.views.Len(); i++ { // positions sorted by ID: first hit wins ties
+		v := n.views.At(i)
 		if v.Root >= n.root || v.Distance+1 > n.cfg.MaxDist {
 			continue
 		}
-		if best == -1 || v.Root < n.view[best].Root {
-			best = u
+		if best == -1 || v.Root < bestRoot {
+			best = n.views.ID(i)
+			bestRoot = v.Root
 		}
 	}
 	return best
@@ -40,8 +44,8 @@ func (n *Node) coherentParent() bool {
 	if n.parent == n.id {
 		return n.root == n.id
 	}
-	v, ok := n.view[n.parent]
-	return ok && v.Root == n.root
+	v := n.views.Get(n.parent)
+	return v != nil && v.Root == n.root
 }
 
 // coherentDistance is the paper's coherent_distance(v) plus the distance
@@ -50,8 +54,8 @@ func (n *Node) coherentDistance() bool {
 	if n.parent == n.id {
 		return n.distance == 0
 	}
-	v, ok := n.view[n.parent]
-	if !ok {
+	v := n.views.Get(n.parent)
+	if v == nil {
 		return false
 	}
 	return n.distance == v.Distance+1 && n.distance <= n.cfg.MaxDist
@@ -71,8 +75,8 @@ func (n *Node) treeStabilized() bool {
 
 // degreeStabilized is the paper's degree_stabilized(v).
 func (n *Node) degreeStabilized() bool {
-	for _, u := range n.nbrs {
-		if n.view[u].Dmax != n.dmax {
+	for i := 0; i < n.views.Len(); i++ {
+		if n.views.At(i).Dmax != n.dmax {
 			return false
 		}
 	}
@@ -81,8 +85,8 @@ func (n *Node) degreeStabilized() bool {
 
 // colorStabilized is the paper's color_stabilized(v).
 func (n *Node) colorStabilized() bool {
-	for _, u := range n.nbrs {
-		if n.view[u].Color != n.color {
+	for i := 0; i < n.views.Len(); i++ {
+		if n.views.At(i).Color != n.color {
 			return false
 		}
 	}
@@ -97,17 +101,31 @@ func (n *Node) locallyStabilized() bool {
 
 // createNewRoot is the paper's create_new_root(v).
 func (n *Node) createNewRoot() {
-	n.root = n.id
-	n.parent = n.id
-	n.distance = 0
+	if n.root != n.id || n.parent != n.id || n.distance != 0 {
+		n.root = n.id
+		n.parent = n.id
+		n.distance = 0
+		n.version++
+	}
 }
 
 // changeParentTo is the paper's change_parent_to(v,u).
 func (n *Node) changeParentTo(u int) {
-	v := n.view[u]
-	n.root = v.Root
-	n.parent = u
-	n.distance = v.Distance + 1
+	v := n.views.Get(u)
+	if n.root != v.Root || n.parent != u || n.distance != v.Distance+1 {
+		n.root = v.Root
+		n.parent = u
+		n.distance = v.Distance + 1
+		n.version++
+	}
+}
+
+// setDistance writes the distance variable through the version guard.
+func (n *Node) setDistance(d int) {
+	if n.distance != d {
+		n.distance = d
+		n.version++
+	}
 }
 
 // runTreeModule applies R2 then R1 — the highest-priority module.
@@ -118,10 +136,10 @@ func (n *Node) runTreeModule() {
 			n.createNewRoot()
 		case core.RepairPatch:
 			if n.root > n.id || n.parent == n.id || !n.coherentParent() ||
-				n.view[n.parent].Distance+1 > n.cfg.MaxDist {
+				n.views.Get(n.parent).Distance+1 > n.cfg.MaxDist {
 				n.createNewRoot()
 			} else {
-				n.distance = n.view[n.parent].Distance + 1
+				n.setDistance(n.views.Get(n.parent).Distance + 1)
 			}
 		}
 	}
@@ -136,24 +154,31 @@ func (n *Node) runTreeModule() {
 func (n *Node) runDegreeModule() {
 	deg := n.Deg()
 	sub := deg
-	for _, u := range n.nbrs {
-		v := n.view[u]
-		if v.Parent == n.id && u != n.parent {
+	for i := 0; i < n.views.Len(); i++ {
+		v := n.views.At(i)
+		if v.Parent == n.id && n.views.ID(i) != n.parent {
 			if v.Submax > sub {
 				sub = v.Submax
 			}
 		}
 	}
-	n.submax = sub
+	if n.submax != sub {
+		n.submax = sub
+		n.version++
+	}
 	if n.parent == n.id {
 		if n.dmax != sub {
 			n.dmax = sub
 			n.color = !n.color
+			n.version++
 		}
 		return
 	}
-	if v, ok := n.view[n.parent]; ok {
-		n.dmax = v.Dmax
-		n.color = v.Color
+	if v := n.views.Get(n.parent); v != nil {
+		if n.dmax != v.Dmax || n.color != v.Color {
+			n.dmax = v.Dmax
+			n.color = v.Color
+			n.version++
+		}
 	}
 }

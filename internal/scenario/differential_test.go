@@ -46,7 +46,7 @@ func TestDifferentialDeterministicVsLive(t *testing.T) {
 			}
 
 			// Deterministic runtime.
-			det := harness.Run(harness.RunSpec{
+			det := harness.MustRun(harness.RunSpec{
 				Graph: g, Start: harness.StartCorrupt, Seed: tc.seed,
 			})
 			if !det.Legit.OK() {

@@ -63,6 +63,15 @@ type RunResult struct {
 	DegreeBound int `json:"degreeBound"`
 	// WithinBound asserts MaxDegree <= DegreeBound.
 	WithinBound bool `json:"withinBound"`
+
+	// Programmatic fields for table renderers (benchtab E3/E4/E11) and
+	// the scale sweep. Excluded from JSON so the committed matrix output
+	// stays byte-identical with earlier revisions.
+	MaxStateBits          int    `json:"-"` // max per-node state bits (E3)
+	MaxMsgWords           int    `json:"-"` // largest message, in words (E4)
+	MaxMsgKind            string `json:"-"` // kind of that largest message
+	BrokenRounds          int    `json:"-"` // rounds without a valid tree (Spec.TrackSafety)
+	FingerprintRecomputes int64  `json:"-"` // per-node state hashes for quiescence detection
 }
 
 // CellResult aggregates the runs of one cell. Boolean fields hold over
@@ -183,12 +192,13 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 	out.Nodes, out.Edges = g.N(), g.M()
 
 	base := harness.RunSpec{
-		Graph:     g,
-		Scheduler: harness.SchedulerKind(r.Scheduler),
-		Start:     start,
-		Variant:   harness.Variant(r.Variant),
-		Seed:      r.Seed,
-		MaxRounds: spec.MaxRounds,
+		Graph:       g,
+		Scheduler:   harness.SchedulerKind(r.Scheduler),
+		Start:       start,
+		Variant:     harness.Variant(r.Variant),
+		Seed:        r.Seed,
+		MaxRounds:   spec.MaxRounds,
+		TrackSafety: spec.TrackSafety,
 	}
 	if spec.Config != nil {
 		base.Config = spec.Config(g.N())
@@ -229,7 +239,13 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 			corrupted = g.N()
 		}
 		out.Corrupted = corrupted
-		res = harness.Run(base)
+		// An invalid spec (e.g. an out-of-range drop rate) surfaces as the
+		// run's Err instead of panicking inside a worker.
+		res, err = harness.Run(base)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
 	}
 
 	out.Converged = res.Converged
@@ -242,6 +258,13 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 	out.Exchanges = res.Exchanges
 	out.Aborts = res.Aborts
 	out.Dropped = res.Dropped
+	out.MaxStateBits = res.MaxStateBits
+	out.BrokenRounds = res.BrokenRounds
+	if res.Metrics != nil {
+		out.MaxMsgWords = res.Metrics.MaxMsgSize
+		out.MaxMsgKind = res.Metrics.MaxMsgSizeKind
+		out.FingerprintRecomputes = res.Metrics.FingerprintRecomputes
+	}
 	if res.Tree != nil {
 		finalG := res.Tree.Graph() // churn re-stabilizes on a mutated graph
 		out.Nodes, out.Edges = finalG.N(), finalG.M()

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mdst/internal/harness"
+	"mdst/internal/sim"
+)
+
+// Scale sweep: the large-n matrix cells (n > 256) that the incremental
+// simulator hot path unlocks, plus the committed before/after comparison
+// against the full-rehash baseline. Every reported field is a
+// deterministic function of the seeds — no wall-clock numbers — so
+// BENCH_scale.json is byte-identical across machines and reruns; the
+// figure of merit is the count of per-node fingerprint recomputations
+// the quiescence detector performs (sim.Metrics.FingerprintRecomputes),
+// which is exactly the work the incremental cache removes.
+
+// ScaleSpec configures ScaleSweep. The zero value selects the committed
+// defaults: star-of-cliques at n=256/512/1024. The default family is
+// chosen to isolate what this sweep measures — the SIMULATOR's
+// fingerprint/round/quiescence machinery at large n — from the
+// protocol's own convergence schedule: its hub-degree spanning tree is
+// already at the Fürer–Raghavachari fixed point (the hub is an
+// articulation point, so deg(T) cannot drop below the clique count),
+// which keeps the reduction phase short while the long quiescence
+// window (2n+Θ(1) rounds of full gossip at every node) still hammers
+// the round loop. Protocol-active scaling lives in the paired
+// full-vs-incremental baseline and in BenchmarkScaleSweep's
+// ring+chords ladder; families with long reduction schedules (gnp,
+// grid, hypercube) run the same ladder via -families/-sizes at the
+// cost of O(n) extra convergence rounds of search traffic.
+type ScaleSpec struct {
+	Family    string // graph family (default "star-of-cliques")
+	Sizes     []int  // node counts (default 256, 512, 1024)
+	BaselineN int    // size of the full-rehash baseline run (default: smallest size)
+	Seeds     int    // seeds per size (default 1)
+	BaseSeed  int64  // matrix base seed (default 1)
+	Workers   int    // engine parallelism (default GOMAXPROCS)
+}
+
+func (s ScaleSpec) normalized() ScaleSpec {
+	if s.Family == "" {
+		s.Family = "star-of-cliques"
+	}
+	if len(s.Sizes) == 0 {
+		s.Sizes = []int{256, 512, 1024}
+	}
+	if s.BaselineN == 0 {
+		s.BaselineN = s.Sizes[0]
+		for _, n := range s.Sizes {
+			if n < s.BaselineN {
+				s.BaselineN = n
+			}
+		}
+	}
+	if s.Seeds <= 0 {
+		s.Seeds = 1
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	return s
+}
+
+// ScaleCell is one run of the scale sweep.
+type ScaleCell struct {
+	Family                string `json:"family"`
+	N                     int    `json:"n"`
+	Edges                 int    `json:"edges"`
+	Seed                  int64  `json:"seed"`
+	Converged             bool   `json:"converged"`
+	Rounds                int    `json:"rounds"`
+	LastChange            int    `json:"lastChange"`
+	Messages              int64  `json:"messages"`
+	MaxDegree             int    `json:"maxDegree"`
+	DegreeBound           int    `json:"degreeBound"`
+	WithinBound           bool   `json:"withinBound"`
+	FingerprintRecomputes int64  `json:"fingerprintRecomputes"`
+}
+
+// ScaleReport is the deterministic content of BENCH_scale.json.
+type ScaleReport struct {
+	Cells []ScaleCell `json:"cells"`
+
+	// Full-rehash baseline vs the incremental cache on the SAME run
+	// (identical seed, identical rounds/messages/degree outputs): the
+	// recompute counts differ, nothing else may.
+	BaselineN             int   `json:"baselineN"`
+	BaselineRounds        int   `json:"baselineRounds"`
+	FullRehashRecomputes  int64 `json:"fullRehashRecomputes"`
+	IncrementalRecomputes int64 `json:"incrementalRecomputes"`
+	// OverheadReduction = full / incremental; the acceptance bar is >= 5.
+	OverheadReduction float64 `json:"overheadReduction"`
+}
+
+// JSON renders the report as deterministic indented JSON.
+func (r *ScaleReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ScaleSweep executes the scale matrix with the incremental hot path,
+// re-executes the baseline size under the full-rehash reference mode,
+// and cross-checks that both modes produce identical protocol results.
+// It flips the package-wide sim fingerprint mode while the baseline
+// runs, so it must not execute concurrently with other engine use.
+func ScaleSweep(spec ScaleSpec) (*ScaleReport, error) {
+	ns := spec.normalized()
+	matrixSpec := func(sizes []int) Spec {
+		return Spec{
+			Families:     []string{ns.Family},
+			Sizes:        sizes,
+			Schedulers:   []harness.SchedulerKind{harness.SchedSync},
+			Starts:       []harness.StartMode{harness.StartCorrupt},
+			SeedsPerCell: ns.Seeds,
+			BaseSeed:     ns.BaseSeed,
+		}
+	}
+
+	m, err := Engine{Workers: ns.Workers}.Execute(matrixSpec(ns.Sizes))
+	if err != nil {
+		return nil, err
+	}
+	report := &ScaleReport{BaselineN: ns.BaselineN}
+	var incBaseline *RunResult
+	for i := range m.Runs {
+		rr := &m.Runs[i]
+		if rr.Err != "" {
+			return nil, fmt.Errorf("scenario: scale run %s failed: %s", rr.Cell, rr.Err)
+		}
+		report.Cells = append(report.Cells, ScaleCell{
+			Family:                rr.Family,
+			N:                     rr.N,
+			Edges:                 rr.Edges,
+			Seed:                  rr.Seed,
+			Converged:             rr.Converged,
+			Rounds:                rr.Rounds,
+			LastChange:            rr.LastChange,
+			Messages:              rr.Messages,
+			MaxDegree:             rr.MaxDegree,
+			DegreeBound:           rr.DegreeBound,
+			WithinBound:           rr.WithinBound,
+			FingerprintRecomputes: rr.FingerprintRecomputes,
+		})
+		if rr.N == ns.BaselineN && rr.SeedIndex == 0 && incBaseline == nil {
+			incBaseline = rr
+		}
+	}
+	if incBaseline == nil {
+		return nil, fmt.Errorf("scenario: baseline size %d not in sweep sizes %v", ns.BaselineN, ns.Sizes)
+	}
+
+	sim.SetFullFingerprintRehash(true)
+	defer sim.SetFullFingerprintRehash(false)
+	base, err := Engine{Workers: 1}.Execute(Spec{
+		Families:     []string{ns.Family},
+		Sizes:        []int{ns.BaselineN},
+		Schedulers:   []harness.SchedulerKind{harness.SchedSync},
+		Starts:       []harness.StartMode{harness.StartCorrupt},
+		SeedsPerCell: 1,
+		BaseSeed:     ns.BaseSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	full := &base.Runs[0]
+	if full.Err != "" {
+		return nil, fmt.Errorf("scenario: baseline run failed: %s", full.Err)
+	}
+	// The two modes are the same detector at different costs: any drift
+	// in protocol outputs means the incremental cache is wrong.
+	if full.Rounds != incBaseline.Rounds || full.Messages != incBaseline.Messages ||
+		full.MaxDegree != incBaseline.MaxDegree || full.Converged != incBaseline.Converged {
+		return nil, fmt.Errorf(
+			"scenario: full-rehash baseline diverged from incremental run: rounds %d vs %d, messages %d vs %d, deg %d vs %d",
+			full.Rounds, incBaseline.Rounds, full.Messages, incBaseline.Messages,
+			full.MaxDegree, incBaseline.MaxDegree)
+	}
+	report.BaselineRounds = full.Rounds
+	report.FullRehashRecomputes = full.FingerprintRecomputes
+	report.IncrementalRecomputes = incBaseline.FingerprintRecomputes
+	if incBaseline.FingerprintRecomputes > 0 {
+		report.OverheadReduction = float64(full.FingerprintRecomputes) /
+			float64(incBaseline.FingerprintRecomputes)
+	}
+	return report, nil
+}

@@ -52,6 +52,10 @@ type Spec struct {
 	BaseSeed int64
 	// MaxRounds bounds each run (zero: the harness default).
 	MaxRounds int
+	// TrackSafety counts rounds without a valid spanning tree in every
+	// run (harness.RunSpec.TrackSafety; surfaces as RunResult.BrokenRounds).
+	// Costs one tree validation per round — leave off for large matrices.
+	TrackSafety bool
 	// Config, if non-nil, overrides the protocol configuration per node
 	// count (zero Config means the core default).
 	Config func(n int) core.Config `json:"-"`

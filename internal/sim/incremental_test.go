@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdst/internal/graph"
+)
+
+// stepProc counts its own atomic steps (ticks + receives) and gossips
+// like minProc, so rounds carry real traffic. It deliberately does NOT
+// implement StateVersioner: the counters below are the test's oracle for
+// the round definition, and the proc exercises the rehash-on-touch path.
+type stepProc struct {
+	id    int
+	min   int
+	steps int
+}
+
+func (p *stepProc) Init(ctx *Context) {}
+func (p *stepProc) Tick(ctx *Context) {
+	p.steps++
+	for _, nb := range ctx.Neighbors() {
+		ctx.Send(nb, minMsg{p.min})
+	}
+}
+func (p *stepProc) Receive(ctx *Context, from NodeID, m Message) {
+	p.steps++
+	if v := m.(minMsg).val; v < p.min {
+		p.min = v
+	}
+}
+func (p *stepProc) Fingerprint() uint64 { return uint64(p.min) }
+
+// Regression for the lossy-link round-accounting bug: a dropped delivery
+// used to mark the recipient as having stepped, so under loss a node
+// could "complete" a round with zero atomic steps — violating §2's round
+// definition (every node takes at least one step per round) and
+// undercounting rounds in the E9/lossy cells. A drop must settle only
+// the old-message obligation.
+func TestEveryNodeStepsEachRoundUnderLoss(t *testing.T) {
+	g := graph.RandomGnp(12, 0.4, rand.New(rand.NewSource(3)))
+	net := NewNetwork(g, func(id NodeID, _ []NodeID) Process {
+		return &stepProc{id: id, min: id}
+	}, 17)
+	net.SetDropRate(0.5)
+	sched := NewAsyncScheduler()
+	for round := 0; round < 40; round++ {
+		for id := 0; id < g.N(); id++ {
+			net.Process(id).(*stepProc).steps = 0
+		}
+		sched.RunRound(net)
+		for id := 0; id < g.N(); id++ {
+			if s := net.Process(id).(*stepProc).steps; s < 1 {
+				t.Fatalf("round %d: node %d completed the round with %d steps (DropRate=0.5)",
+					round, id, s)
+			}
+		}
+		if net.Dropped() == 0 && round > 10 {
+			t.Fatal("no drops at 50% loss: the regression is not being exercised")
+		}
+	}
+}
+
+// TestDropSettlesOldMessageObligation pins the half of the drop
+// semantics that must keep working: a lost old message still lets the
+// round's delivery obligation complete (the round cannot wait forever
+// on a message that no longer exists).
+func TestDropSettlesOldMessageObligation(t *testing.T) {
+	g := graph.Path(2)
+	net := NewNetwork(g, func(id NodeID, _ []NodeID) Process {
+		return &stepProc{id: id, min: id}
+	}, 5)
+	net.SetDropRate(0.9999) // force drops deterministically enough
+	net.Tick(0)             // sends one message 0->1
+	net.resetRoundSnapshot()
+	if net.pendingOld != 1 {
+		t.Fatalf("pendingOld=%d, want 1", net.pendingOld)
+	}
+	net.Deliver(0)
+	if net.pendingOld != 0 {
+		t.Fatalf("pendingOld=%d after consuming the only old message", net.pendingOld)
+	}
+}
+
+// Differential oracle for the incremental fingerprint cache: two
+// networks run the same seeded execution, one with the per-node cache
+// and one in the full-rehash reference mode; their fingerprints must
+// agree after every scheduler round, and so must the final metrics.
+// Randomized drops exercise the drop path of the accounting.
+func TestIncrementalFingerprintMatchesFullRehash(t *testing.T) {
+	for _, drop := range []float64{0, 0.3} {
+		g := graph.RandomGnp(20, 0.3, rand.New(rand.NewSource(11)))
+		build := func(full bool) *Network {
+			SetFullFingerprintRehash(full)
+			defer SetFullFingerprintRehash(false)
+			net := NewNetwork(g, func(id NodeID, _ []NodeID) Process {
+				return &stepProc{id: id, min: id}
+			}, 23)
+			if drop > 0 {
+				net.SetDropRate(drop)
+			}
+			return net
+		}
+		inc, full := build(false), build(true)
+
+		schedInc, schedFull := NewAsyncScheduler(), NewAsyncScheduler()
+		for round := 0; round < 60; round++ {
+			schedInc.RunRound(inc)
+			schedFull.RunRound(full)
+			fi, ff := inc.Fingerprint(), full.Fingerprint()
+			if fi != ff {
+				t.Fatalf("drop=%v round %d: incremental fingerprint %x != full rehash %x",
+					drop, round, fi, ff)
+			}
+		}
+		if inc.Metrics().Events != full.Metrics().Events ||
+			inc.Metrics().Deliveries != full.Metrics().Deliveries ||
+			inc.Dropped() != full.Dropped() {
+			t.Fatalf("drop=%v: executions diverged: events %d vs %d, deliveries %d vs %d, dropped %d vs %d",
+				drop, inc.Metrics().Events, full.Metrics().Events,
+				inc.Metrics().Deliveries, full.Metrics().Deliveries,
+				inc.Dropped(), full.Dropped())
+		}
+		// The cache must actually be cheaper: touched-but-unchanged nodes
+		// skip nothing for unversioned procs, so only assert <=.
+		if inc.Metrics().FingerprintRecomputes > full.Metrics().FingerprintRecomputes {
+			t.Fatalf("drop=%v: incremental mode hashed more than full rehash (%d > %d)",
+				drop, inc.Metrics().FingerprintRecomputes, full.Metrics().FingerprintRecomputes)
+		}
+	}
+}
+
+// TestInvalidateFingerprintsAfterDirectMutation pins the documented
+// contract for external state mutation outside Tick/Receive.
+func TestInvalidateFingerprintsAfterDirectMutation(t *testing.T) {
+	g := graph.Ring(6)
+	net := newMinNetwork(g, 9)
+	before := net.Fingerprint()
+	net.Process(3).(*minProc).min = -7 // direct mutation, invisible to the cache
+	net.InvalidateFingerprints()
+	if net.Fingerprint() == before {
+		t.Fatal("fingerprint unchanged after invalidation of a mutated node")
+	}
+}
+
+// TestPendingKindCountsStayConsistent cross-checks the O(1) per-kind
+// counters against a direct link scan through sends, deliveries and
+// drops.
+func TestPendingKindCountsStayConsistent(t *testing.T) {
+	g := graph.RandomGnp(10, 0.5, rand.New(rand.NewSource(2)))
+	net := newMinNetwork(g, 31)
+	net.SetDropRate(0.4)
+	sched := NewAsyncScheduler()
+	for round := 0; round < 25; round++ {
+		sched.RunRound(net)
+		scan := 0
+		for _, li := range net.NonEmptyLinks() {
+			scan += net.LinkLen(li)
+		}
+		if got := net.PendingKind("min"); got != scan || got != net.Pending() {
+			t.Fatalf("round %d: PendingKind=%d, scan=%d, Pending=%d", round, got, scan, net.Pending())
+		}
+		if net.PendingKind("nope") != 0 {
+			t.Fatal("unknown kind has pending messages")
+		}
+	}
+}

@@ -10,11 +10,19 @@
 // standard asynchronous round — the minimal execution segment in which
 // every node takes at least one step and every message pending at the
 // segment's start is delivered.
+//
+// The run loop is incremental end to end so that matrices scale past
+// n=256 (the per-round work used to be dominated by quiescence
+// bookkeeping): per-node fingerprints are cached and re-hashed only for
+// nodes whose state version moved since the last round; round accounting
+// is an epoch-stamped step array (no per-round map churn); and pending
+// messages are counted per kind on send/consume so PendingKind is O(1).
 package sim
 
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"mdst/internal/graph"
 )
@@ -33,7 +41,8 @@ type Message interface {
 
 // Process is a node program. Implementations must confine all state to
 // the process itself: the only interaction with the world is through the
-// Context passed to Init, Tick and Receive.
+// Context passed to Init, Tick and Receive. The runner relies on that
+// confinement: a step at node v can only change v's own state.
 type Process interface {
 	// Init is called once before execution starts. It must NOT reset
 	// state: self-stabilization runs start from whatever (possibly
@@ -50,6 +59,18 @@ type Process interface {
 // hash of its protocol-visible state (message traffic excluded).
 type Fingerprinter interface {
 	Fingerprint() uint64
+}
+
+// StateVersioner is an optional fast path for quiescence detection: a
+// process reports a counter that moves whenever its fingerprinted state
+// may have changed (and stays put across no-op steps). The runner then
+// skips re-hashing nodes whose version did not move — at quiescence
+// every node ticks every round but nothing changes, so the per-round
+// fingerprint cost drops from O(Σ degree) to O(n) version compares.
+// Processes that do not implement it are re-hashed after every step
+// that touches them (always correct, just slower).
+type StateVersioner interface {
+	StateVersion() uint64
 }
 
 // StateSizer reports the current size of a process's state in bits, for
@@ -125,11 +146,30 @@ type Metrics struct {
 	MaxMsgSizeKind  string
 	MaxQueueLen     int
 	LastChangeRound int // round index of the most recent fingerprint change
+	// FingerprintRecomputes counts per-node state hashes performed for
+	// quiescence detection. It is deterministic for a seeded run and is
+	// the committed figure of merit for the incremental fingerprint cache
+	// (BENCH_scale.json compares it against the full-rehash baseline).
+	FingerprintRecomputes int64
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{SentByKind: make(map[string]int64)}
 }
+
+// fullRehash is the package-wide reference knob: networks created while
+// it is set re-hash every node on every Fingerprint call instead of
+// using the incremental cache. The combine is identical, so results
+// must match bit for bit — the differential tests and the committed
+// scale benchmark are built on that equivalence. Not a hot-path flag:
+// it is read once per NewNetwork.
+var fullRehash atomic.Bool
+
+// SetFullFingerprintRehash switches networks built AFTER the call to the
+// full-rehash reference mode (true) or the incremental cache (false,
+// the default). It exists for differential tests and the committed
+// baseline benchmark; production paths never touch it.
+func SetFullFingerprintRehash(v bool) { fullRehash.Store(v) }
 
 // Network is the deterministic simulated network.
 type Network struct {
@@ -137,14 +177,14 @@ type Network struct {
 	procs []Process
 	ctxs  []*Context
 
-	links     []*link
-	linkIdx   map[[2]NodeID]int
-	nonEmpty  []int       // indices of non-empty links
-	nePos     map[int]int // link index -> position in nonEmpty
-	nextSeq   uint64
-	delivered uint64 // highest contiguous... (not needed; see pendingOld)
+	links    []*link
+	linkIdx  map[[2]NodeID]int
+	nonEmpty []int // indices of non-empty links
+	nePos    []int // link index -> position in nonEmpty (-1 when empty)
+	nextSeq  uint64
 
-	pendingTotal int // undelivered messages across all links
+	pendingTotal  int            // undelivered messages across all links
+	pendingByKind map[string]int // undelivered messages per message kind
 
 	// Lossy-link fault injection (violates the paper's reliable-links
 	// assumption; used by the robustness extension E9): each delivery is
@@ -152,10 +192,26 @@ type Network struct {
 	dropRate float64
 	dropped  int64
 
-	// Asynchronous round accounting.
+	// Asynchronous round accounting, O(1) per step and per round reset:
+	// a node has stepped in the current round iff stepped[id] == epoch.
 	snapshotSeq uint64 // messages with seq <= snapshotSeq are "old"
 	pendingOld  int    // undelivered old messages
-	needStep    map[NodeID]bool
+	epoch       uint32
+	stepped     []uint32
+	needSteps   int // nodes that still owe a step this round
+
+	// Incremental fingerprint cache: fps holds each node's last known
+	// state hash, combined is their order-independent mix. A step at
+	// node v pushes v onto dirty; the next Fingerprint call re-hashes
+	// only dirty nodes (version-skipped when the process exposes
+	// StateVersion) and patches combined in O(changed).
+	fps        []uint64
+	versions   []uint64
+	versioners []StateVersioner // non-nil where the process supports it
+	dirtyMark  []bool
+	dirty      []NodeID
+	combined   uint64
+	rehashAll  bool // reference mode: ignore the cache entirely
 
 	rng     *rand.Rand
 	metrics *Metrics
@@ -167,14 +223,19 @@ type Network struct {
 func NewNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) Process, seed int64) *Network {
 	n := g.N()
 	net := &Network{
-		g:        g,
-		procs:    make([]Process, n),
-		ctxs:     make([]*Context, n),
-		linkIdx:  make(map[[2]NodeID]int),
-		nePos:    make(map[int]int),
-		needStep: make(map[NodeID]bool, n),
-		rng:      rand.New(rand.NewSource(seed)),
-		metrics:  newMetrics(),
+		g:             g,
+		procs:         make([]Process, n),
+		ctxs:          make([]*Context, n),
+		linkIdx:       make(map[[2]NodeID]int),
+		pendingByKind: make(map[string]int),
+		stepped:       make([]uint32, n),
+		fps:           make([]uint64, n),
+		versions:      make([]uint64, n),
+		versioners:    make([]StateVersioner, n),
+		dirtyMark:     make([]bool, n),
+		rehashAll:     fullRehash.Load(),
+		rng:           rand.New(rand.NewSource(seed)),
+		metrics:       newMetrics(),
 	}
 	for u := 0; u < n; u++ {
 		for _, v := range g.Neighbors(u) {
@@ -182,14 +243,22 @@ func NewNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) Proc
 			net.links = append(net.links, &link{from: u, to: v})
 		}
 	}
+	net.nePos = make([]int, len(net.links))
+	for i := range net.nePos {
+		net.nePos[i] = -1
+	}
 	for id := 0; id < n; id++ {
 		ctx := &Context{id: id, nbrs: g.Neighbors(id), send: net.send}
 		net.ctxs[id] = ctx
 		net.procs[id] = factory(id, ctx.nbrs)
+		if vs, ok := net.procs[id].(StateVersioner); ok {
+			net.versioners[id] = vs
+		}
 	}
 	for id := 0; id < n; id++ {
 		net.procs[id].Init(net.ctxs[id])
 	}
+	net.rehashAllNodes()
 	net.resetRoundSnapshot()
 	return net
 }
@@ -232,18 +301,9 @@ func (n *Network) RandomPendingLink() int {
 }
 
 // PendingKind returns the number of undelivered messages of the given
-// kind (linear scan; used by stop conditions, not hot paths).
+// kind, maintained incrementally on send and consume (O(1)).
 func (n *Network) PendingKind(kind string) int {
-	total := 0
-	for _, li := range n.nonEmpty {
-		l := n.links[li]
-		for i := l.head; i < len(l.buf); i++ {
-			if l.buf[i].msg.Kind() == kind {
-				total++
-			}
-		}
-	}
-	return total
+	return n.pendingByKind[kind]
 }
 
 func (n *Network) send(from, to NodeID, m Message) {
@@ -257,6 +317,8 @@ func (n *Network) send(from, to NodeID, m Message) {
 	n.nextSeq++
 	l.push(envelope{from: from, msg: m, seq: n.nextSeq})
 	n.pendingTotal++
+	kind := m.Kind()
+	n.pendingByKind[kind]++
 	if wasEmpty {
 		n.nePos[li] = len(n.nonEmpty)
 		n.nonEmpty = append(n.nonEmpty, li)
@@ -264,10 +326,10 @@ func (n *Network) send(from, to NodeID, m Message) {
 	if ql := l.len(); ql > n.metrics.MaxQueueLen {
 		n.metrics.MaxQueueLen = ql
 	}
-	n.metrics.SentByKind[m.Kind()]++
+	n.metrics.SentByKind[kind]++
 	if s := m.Size(); s > n.metrics.MaxMsgSize {
 		n.metrics.MaxMsgSize = s
-		n.metrics.MaxMsgSizeKind = m.Kind()
+		n.metrics.MaxMsgSizeKind = kind
 	}
 }
 
@@ -278,12 +340,33 @@ func (n *Network) removeNonEmpty(li int) {
 	n.nonEmpty[pos] = n.nonEmpty[last]
 	n.nePos[n.nonEmpty[pos]] = pos
 	n.nonEmpty = n.nonEmpty[:last]
-	delete(n.nePos, li)
+	n.nePos[li] = -1
+}
+
+// markStepped records an atomic step at node id for round accounting.
+func (n *Network) markStepped(id NodeID) {
+	if n.stepped[id] != n.epoch {
+		n.stepped[id] = n.epoch
+		n.needSteps--
+	}
+}
+
+// touch flags node id's cached fingerprint as possibly stale.
+func (n *Network) touch(id NodeID) {
+	if !n.dirtyMark[id] {
+		n.dirtyMark[id] = true
+		n.dirty = append(n.dirty, id)
+	}
 }
 
 // Deliver pops the head of link li and delivers it: one atomic receive
 // step at the destination. With a configured drop rate the message may
 // be lost instead (it still counts as an event, not as a delivery).
+//
+// A dropped message settles only the old-message obligation of the
+// round: the recipient took no step, so it is NOT marked as stepped —
+// under lossy links every node still owes ≥1 step per round (§2's round
+// definition; this was the lossy round-undercount bug).
 func (n *Network) Deliver(li int) {
 	l := n.links[li]
 	if l.empty() {
@@ -291,6 +374,7 @@ func (n *Network) Deliver(li int) {
 	}
 	env := l.pop()
 	n.pendingTotal--
+	n.pendingByKind[env.msg.Kind()]--
 	if l.empty() {
 		n.removeNonEmpty(li)
 	}
@@ -300,11 +384,11 @@ func (n *Network) Deliver(li int) {
 	n.metrics.Events++
 	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
 		n.dropped++
-		delete(n.needStep, l.to) // the round cannot wait on a lost message
 		return
 	}
 	n.metrics.Deliveries++
-	delete(n.needStep, l.to)
+	n.markStepped(l.to)
+	n.touch(l.to)
 	n.procs[l.to].Receive(n.ctxs[l.to], env.from, env.msg)
 }
 
@@ -325,7 +409,8 @@ func (n *Network) Dropped() int64 { return n.dropped }
 func (n *Network) Tick(id NodeID) {
 	n.metrics.Ticks++
 	n.metrics.Events++
-	delete(n.needStep, id)
+	n.markStepped(id)
+	n.touch(id)
 	n.procs[id].Tick(n.ctxs[id])
 }
 
@@ -344,33 +429,96 @@ func (n *Network) LinkEnds(li int) (NodeID, NodeID) {
 
 func (n *Network) resetRoundSnapshot() {
 	n.snapshotSeq = n.nextSeq
-	n.pendingOld = n.Pending()
-	for id := 0; id < n.g.N(); id++ {
-		n.needStep[id] = true
-	}
+	n.pendingOld = n.pendingTotal
+	n.epoch++
+	n.needSteps = n.g.N()
 }
 
 // roundComplete reports whether the asynchronous round condition holds:
 // every node stepped and all old messages were delivered.
 func (n *Network) roundComplete() bool {
-	return len(n.needStep) == 0 && n.pendingOld == 0
+	return n.needSteps == 0 && n.pendingOld == 0
 }
 
-// Fingerprint hashes all process states (FNV-style combination) for
-// quiescence detection. Processes that do not implement Fingerprinter
-// contribute a constant.
-func (n *Network) Fingerprint() uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	for _, p := range n.procs {
-		var f uint64
-		if fp, ok := p.(Fingerprinter); ok {
-			f = fp.Fingerprint()
-		}
-		h ^= f
-		h *= prime
+// nodeFingerprint hashes one process's state.
+func (n *Network) nodeFingerprint(id NodeID) uint64 {
+	n.metrics.FingerprintRecomputes++
+	if fp, ok := n.procs[id].(Fingerprinter); ok {
+		return fp.Fingerprint()
 	}
-	return h
+	return 0
+}
+
+// mixNode folds one node's fingerprint into the combined hash with a
+// position-dependent bijective finalizer (splitmix64), making the
+// combine commutative — combined is the XOR over nodes of
+// mixNode(id, fps[id]) — and therefore patchable in O(1) per changed
+// node: combined ^= mix(id, old) ^ mix(id, new).
+func mixNode(id NodeID, f uint64) uint64 {
+	x := f + uint64(id+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rehashAllNodes recomputes every cached fingerprint and the combined
+// hash from scratch.
+func (n *Network) rehashAllNodes() {
+	var combined uint64
+	for id := range n.procs {
+		f := n.nodeFingerprint(id)
+		n.fps[id] = f
+		if vs := n.versioners[id]; vs != nil {
+			n.versions[id] = vs.StateVersion()
+		}
+		combined ^= mixNode(id, f)
+	}
+	n.combined = combined
+	for _, id := range n.dirty {
+		n.dirtyMark[id] = false
+	}
+	n.dirty = n.dirty[:0]
+}
+
+// InvalidateFingerprints discards the incremental fingerprint cache.
+// Call it after mutating process state directly (SetState, Corrupt,
+// preloads) outside Tick/Receive when the process does not report state
+// versions; Network.Run invalidates on entry, so harness-style
+// "mutate, then Run" flows need nothing.
+func (n *Network) InvalidateFingerprints() {
+	n.rehashAllNodes()
+}
+
+// Fingerprint combines all process states for quiescence detection
+// (processes that do not implement Fingerprinter contribute a
+// constant). Only nodes touched since the last call are re-hashed, and
+// of those only the ones whose StateVersion moved; the full-rehash
+// reference mode hashes everything and must agree bit for bit.
+func (n *Network) Fingerprint() uint64 {
+	if n.rehashAll {
+		n.rehashAllNodes()
+		return n.combined
+	}
+	for _, id := range n.dirty {
+		n.dirtyMark[id] = false
+		if vs := n.versioners[id]; vs != nil {
+			v := vs.StateVersion()
+			if v == n.versions[id] {
+				continue // state version unmoved: cached hash is current
+			}
+			n.versions[id] = v
+		}
+		f := n.nodeFingerprint(id)
+		if f != n.fps[id] {
+			n.combined ^= mixNode(id, n.fps[id]) ^ mixNode(id, f)
+			n.fps[id] = f
+		}
+	}
+	n.dirty = n.dirty[:0]
+	return n.combined
 }
 
 // MaxStateBits returns the maximum StateBits over all processes, or 0 if
@@ -428,7 +576,10 @@ func (n *Network) Run(cfg RunConfig) RunResult {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 1 << 20
 	}
-	lastFP := n.Fingerprint()
+	// Re-seed the cache: harness flows mutate process state directly
+	// (corruption, preloads) between NewNetwork and Run.
+	n.rehashAllNodes()
+	lastFP := n.combined
 	stable := 0
 	for r := 0; r < cfg.MaxRounds; r++ {
 		cfg.Scheduler.RunRound(n)
