@@ -1,15 +1,15 @@
 # CI entry points. `make ci` is the gate: vet + build + full test suite
 # + a short -race job over the concurrency-bearing packages (the live
 # CSP runtime, the harness, and the scenario engine, whose differential
-# test exercises goroutine-per-node execution).
+# test exercises goroutine-per-node execution) + the backend smoke job.
 
 GO ?= go
 
 RACE_PKGS = ./internal/sim/... ./internal/harness/... ./internal/scenario/...
 
-.PHONY: ci vet build test race bench gobench matrix clean
+.PHONY: ci vet build test race smoke bench gobench matrix clean
 
-ci: vet build test race
+ci: vet build test race smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,14 @@ test:
 # of the engine comes from its smaller concurrency tests).
 race:
 	$(GO) test -race -short $(RACE_PKGS)
+
+# Backend smoke: the live (goroutine/channel) and tcp (loopback socket)
+# execution backends each drive a tiny run end to end through the shared
+# harness orchestration, so backend plumbing cannot silently rot.
+# -short tightens the wall-clock deadlines (see smokeTuning).
+smoke:
+	$(GO) test -short -run 'TestBackend|TestParseBackend' ./internal/harness/
+	$(GO) test -short ./cmd/mdstnet/
 
 # The committed scale benchmark: the n=256/512/1024 ladder on the
 # incremental simulator hot path plus the full-rehash baseline

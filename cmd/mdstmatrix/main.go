@@ -13,6 +13,13 @@
 //	mdstmatrix -scheds sync,async,adversarial -starts clean,corrupt -seeds 5
 //	mdstmatrix -workers 1                 # serial execution (same results)
 //	mdstmatrix -scale                     # n=256/512/1024 scale sweep -> BENCH_scale.json content
+//	mdstmatrix -backend live -sizes 8 -seeds 1   # goroutine-per-node runtime
+//	mdstmatrix -backend sim,live,tcp      # cross-backend comparison matrix
+//
+// The sim backend (default) is bit-reproducible; the live and tcp
+// backends execute on the wall clock, so their rounds/messages columns
+// vary across repeats while the legitimacy and degree-bound claims must
+// not.
 package main
 
 import (
@@ -37,9 +44,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	families := fs.String("families", "ring+chords,gnp,geometric", "comma-separated graph families")
 	sizes := fs.String("sizes", "16,24,32", "comma-separated node counts")
-	scheds := fs.String("scheds", "sync,async", "comma-separated schedulers: sync|async|adversarial")
+	scheds := fs.String("scheds", "sync,async", "comma-separated schedulers: sync|async|adversarial (sim backend only; defaults to sync when a wall-clock backend is requested)")
 	starts := fs.String("starts", "corrupt", "comma-separated start modes: clean|corrupt|legitimate")
 	variants := fs.String("variants", "core", "comma-separated protocol variants: core|literal")
+	backends := fs.String("backend", "sim", "comma-separated execution backends: sim|live|tcp (sim is deterministic; live/tcp are wall-clock)")
+	deadline := fs.Duration("deadline", 0, "per-run wall-clock budget for the live/tcp backends (0: 30s default)")
 	faults := fs.String("faults", "none", "comma-separated fault models: none|lossy:RATE|corrupt:K|targeted:ROLE|churn:OP")
 	seeds := fs.Int("seeds", 6, "seeds (runs) per matrix cell")
 	baseSeed := fs.Int64("baseseed", 1, "base seed perturbing every derived run seed")
@@ -70,6 +79,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		spec.Sizes = append(spec.Sizes, v)
+	}
+	for _, s := range splitList(*backends) {
+		b, err := harness.ParseBackend(s)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdstmatrix:", err)
+			return 2
+		}
+		spec.Backends = append(spec.Backends, b)
+	}
+	if *deadline < 0 {
+		// A negative budget would silently fall back to the harness's 30s
+		// default; reject it like every other bad flag.
+		fmt.Fprintln(stderr, "mdstmatrix: -deadline must be non-negative")
+		return 2
+	}
+	spec.Tuning.Deadline = *deadline
+	// The scheduler axis only exists on the deterministic simulator; when
+	// a wall-clock backend is requested and -scheds was left at its
+	// default, shrink the axis to the sync label instead of expanding
+	// cells the harness would (correctly, loudly) reject.
+	schedsExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "scheds" {
+			schedsExplicit = true
+		}
+	})
+	if !schedsExplicit {
+		for _, b := range spec.Backends {
+			if b != harness.BackendSim {
+				*scheds = "sync"
+				break
+			}
+		}
 	}
 	for _, s := range splitList(*scheds) {
 		spec.Schedulers = append(spec.Schedulers, harness.SchedulerKind(s))

@@ -71,6 +71,43 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// Acceptance: `-backend live` and `-backend tcp` complete a small
+// matrix end to end through the same engine as the sim default.
+func TestRunWallClockBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock backends")
+	}
+	for _, backend := range []string{"live", "tcp"} {
+		var out, errOut bytes.Buffer
+		// No -scheds: the default sync,async axis must shrink to sync for
+		// a wall-clock backend instead of expanding rejected async cells.
+		code := run([]string{"-backend", backend, "-families", "wheel",
+			"-sizes", "8", "-seeds", "1",
+			"-format", "json", "-quiet"}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("backend %s: exit %d: %s", backend, code, errOut.String())
+		}
+		var m struct {
+			Cells []struct {
+				Backend     string `json:"backend"`
+				Converged   bool   `json:"converged"`
+				Legitimate  bool   `json:"legitimate"`
+				WithinBound bool   `json:"withinBound"`
+			} `json:"cells"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+			t.Fatalf("backend %s: bad JSON: %v", backend, err)
+		}
+		if len(m.Cells) != 1 {
+			t.Fatalf("backend %s: %d cells", backend, len(m.Cells))
+		}
+		c := m.Cells[0]
+		if c.Backend != backend || !c.Converged || !c.Legitimate || !c.WithinBound {
+			t.Fatalf("backend %s: cell %+v", backend, c)
+		}
+	}
+}
+
 func TestRunBadFlagsRejected(t *testing.T) {
 	for _, args := range [][]string{
 		{"-faults", "lossy:2"},
@@ -79,6 +116,8 @@ func TestRunBadFlagsRejected(t *testing.T) {
 		{"-sizes", "x"},
 		{"-families", "no-such-family", "-quiet"},
 		{"-format", "bogus", "-families", "gnp", "-sizes", "8", "-seeds", "1"},
+		{"-backend", "quantum"},
+		{"-deadline", "-5s"},
 	} {
 		var out, errOut bytes.Buffer
 		if code := run(args, &out, &errOut); code == 0 {

@@ -3,9 +3,13 @@
 // socket per edge, gob-encoded messages — the paper's asynchronous
 // reliable-FIFO message passing realized by an actual network stack.
 //
+// It is a thin front-end over the harness's tcp execution backend (the
+// same driver the scenario engine uses for `mdstmatrix -backend tcp`),
+// so the CLI carries no cluster plumbing of its own.
+//
 // Usage:
 //
-//	mdstnet -family wheel -n 12 -duration 2s
+//	mdstnet -family wheel -n 12
 //	mdstnet -family gnp -n 24 -variant literal -corrupt
 package main
 
@@ -17,13 +21,9 @@ import (
 	"os"
 	"time"
 
-	"mdst/internal/core"
 	"mdst/internal/graph"
+	"mdst/internal/harness"
 	"mdst/internal/mdstseq"
-	"mdst/internal/netrun"
-	"mdst/internal/paperproto"
-	"mdst/internal/sim"
-	"mdst/internal/spanning"
 )
 
 func main() {
@@ -51,81 +51,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mdstnet: unknown -family", *family)
 		return 2
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	g := fam.Build(*n, rng)
-	fmt.Fprintf(stdout, "graph: n=%d m=%d family=%s\n", g.N(), g.M(), *family)
-
-	var check func() bool
-	var finalTree func() (*spanning.Tree, error)
-	var cluster *netrun.Cluster
 	switch *variant {
-	case "core":
-		cfg := core.DefaultConfig(g.N())
-		cluster = netrun.NewCluster(g, func(id int, nbrs []int) sim.Process {
-			return core.NewNode(id, nbrs, cfg)
-		}, netrun.Config{TickInterval: *tick})
-		nodes := func() []*core.Node {
-			out := make([]*core.Node, g.N())
-			for i := range out {
-				out[i] = cluster.Process(i).(*core.Node)
-			}
-			return out
-		}
-		if *corrupt {
-			for _, nd := range nodes() {
-				nd.Corrupt(rng, g.N())
-			}
-		}
-		check = func() bool { return core.CheckLegitimacy(g, nodes()).OK() }
-		finalTree = func() (*spanning.Tree, error) { return core.ExtractTree(g, nodes()) }
-	case "literal":
-		cfg := paperproto.DefaultConfig(g.N())
-		cluster = netrun.NewCluster(g, func(id int, nbrs []int) sim.Process {
-			return paperproto.NewNode(id, nbrs, cfg)
-		}, netrun.Config{TickInterval: *tick})
-		nodes := func() []*paperproto.Node {
-			out := make([]*paperproto.Node, g.N())
-			for i := range out {
-				out[i] = cluster.Process(i).(*paperproto.Node)
-			}
-			return out
-		}
-		if *corrupt {
-			for _, nd := range nodes() {
-				nd.Corrupt(rng, g.N())
-			}
-		}
-		check = func() bool { return paperproto.CheckLegitimacy(g, nodes()).OK() }
-		finalTree = func() (*spanning.Tree, error) { return paperproto.ExtractTree(g, nodes()) }
+	case "core", "literal":
 	default:
 		fmt.Fprintln(stderr, "mdstnet: unknown -variant", *variant)
 		return 2
 	}
+	if *phases < 1 || *phase <= 0 {
+		// A zero budget used to run zero phases silently; reject it loudly
+		// (the harness driver would otherwise substitute its 30s default).
+		fmt.Fprintln(stderr, "mdstnet: -phases and -phase must be positive")
+		return 2
+	}
+	g := fam.Build(*n, rand.New(rand.NewSource(*seed)))
+	fmt.Fprintf(stdout, "graph: n=%d m=%d family=%s\n", g.N(), g.M(), *family)
 
-	startAt := time.Now()
-	phasesRun := 0
-	ok, err := cluster.RunUntil(*phase, *phases, func() bool {
-		phasesRun++
-		return check()
+	start := harness.StartClean
+	if *corrupt {
+		start = harness.StartCorrupt
+	}
+	res, err := harness.Run(harness.RunSpec{
+		Graph:   g,
+		Variant: harness.Variant(*variant),
+		Start:   start,
+		Seed:    *seed,
+		Backend: harness.BackendTCP,
+		Tuning: harness.BackendTuning{
+			Tick:     *tick,
+			Probe:    *phase,
+			Deadline: time.Duration(*phases) * *phase,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "mdstnet:", err)
 		return 1
 	}
-	elapsed := time.Since(startAt).Round(time.Millisecond)
-	fmt.Fprintf(stdout, "legitimate: %v after %d phase(s), %v wall time\n", ok, phasesRun, elapsed)
+	fmt.Fprintf(stdout, "legitimate: %v after %d phase(s), %v wall time\n",
+		res.Legit.OK(), res.Rounds, res.WallTime.Round(time.Millisecond))
 
-	tree, err := finalTree()
-	if err != nil {
-		fmt.Fprintln(stderr, "mdstnet: no tree:", err)
+	if res.Tree == nil {
+		fmt.Fprintln(stderr, "mdstnet: no tree:", res.Legit.Detail)
 		return 1
 	}
 	lo := mdstseq.LowerBoundDelta(g)
-	fmt.Fprintf(stdout, "tree degree: %d (Δ* >= %d, bound Δ*+1)\n", tree.MaxDegree(), lo)
-	if cluster.Dropped() > 0 {
-		fmt.Fprintf(stdout, "backpressure drops: %d\n", cluster.Dropped())
+	fmt.Fprintf(stdout, "tree degree: %d (Δ* >= %d, bound Δ*+1)\n", res.Tree.MaxDegree(), lo)
+	if res.Dropped > 0 {
+		fmt.Fprintf(stdout, "backpressure drops: %d\n", res.Dropped)
 	}
-	if !ok {
+	if !res.Legit.OK() {
 		return 1
 	}
 	return 0

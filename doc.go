@@ -10,8 +10,19 @@
 // implemented twice — internal/core with the tree-preserving chain
 // exchange and internal/paperproto with the paper's literal Remove/Back
 // choreography, both storing neighbor views in the shared dense
-// localview tables — and runs under three runtimes: the deterministic
-// simulator, a goroutine/channel runtime and real TCP sockets.
+// localview tables — and runs under three pluggable execution backends
+// behind one harness orchestration (harness.RunSpec.Backend): "sim",
+// the deterministic seeded simulator (sim.Network — the default and the
+// only bit-reproducible backend); "live", the goroutine-per-node CSP
+// runtime (sim.LiveNetwork) with quiescence detected by probing the
+// incremental fingerprint concurrently with execution; and "tcp", a
+// loopback-socket cluster (internal/netrun), one TCP connection per
+// edge. The scenario engine exposes the backend as a matrix axis
+// (Spec.Backends, `mdstmatrix -backend sim,live,tcp`), runs draw
+// identical workloads and corruptions across backends, and cmd/mdstnet
+// is a thin front-end over the tcp driver. The live and tcp backends
+// execute on the wall clock: their round/message counts vary across
+// repeats, while the legitimacy and Δ*+1 degree claims must not.
 //
 // The simulator's hot path is incremental end to end, which is what
 // lets scenario matrices scale past n=256 (up to the committed n=1024

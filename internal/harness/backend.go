@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mdst/internal/core"
+	"mdst/internal/netrun"
+	"mdst/internal/sim"
+)
+
+// Backend selects the execution target of a run. All backends execute
+// the same protocol processes over the same workload graph with the
+// same initial configuration (corruptions are drawn from the run seed
+// regardless of backend); they differ in who drives the processes.
+type Backend string
+
+// Execution backends.
+const (
+	// BackendSim is the deterministic seeded simulator (sim.Network) —
+	// the default, and the only backend whose results are bit-reproducible
+	// (rounds, messages and trees depend solely on the spec and seed).
+	BackendSim Backend = "sim"
+	// BackendLive is the goroutine-per-node CSP runtime (sim.LiveNetwork):
+	// real concurrency over Go channels, quiescence detected by probing
+	// the incremental fingerprint concurrently with execution. Wall-clock
+	// nondeterministic; the legitimacy predicate and the Δ*+1 degree
+	// guarantee are the reproducible claims.
+	BackendLive Backend = "live"
+	// BackendTCP runs one process per node over loopback TCP sockets
+	// (internal/netrun), one connection per edge — the paper's
+	// asynchronous reliable-FIFO model on an actual network stack. Also
+	// wall-clock nondeterministic.
+	BackendTCP Backend = "tcp"
+)
+
+// Backends returns all execution backends in display order.
+func Backends() []Backend { return []Backend{BackendSim, BackendLive, BackendTCP} }
+
+// ParseBackend resolves a backend name (sim|live|tcp); the empty string
+// is the sim default.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", string(BackendSim):
+		return BackendSim, nil
+	case string(BackendLive):
+		return BackendLive, nil
+	case string(BackendTCP):
+		return BackendTCP, nil
+	}
+	return "", fmt.Errorf("harness: unknown backend %q (want sim|live|tcp)", s)
+}
+
+// Deterministic reports whether the backend's full result (rounds,
+// messages, tree shape) is a pure function of the spec and seed.
+func (b Backend) Deterministic() bool { return b == BackendSim || b == "" }
+
+// BackendTuning tunes the wall-clock backends (live, tcp); the sim
+// backend ignores it entirely, so it never perturbs deterministic
+// results. Zero values select per-backend defaults.
+type BackendTuning struct {
+	// Tick is the gossip period of each node's "do forever" loop
+	// (live default 200µs, tcp default 2ms).
+	Tick time.Duration
+	// Probe is the live backend's fingerprint probe interval (default
+	// 2ms) and the tcp backend's run-phase length between legitimacy
+	// inspections (default 150ms).
+	Probe time.Duration
+	// Deadline is the total wall-clock budget of the run (default 30s).
+	// A run that is not legitimate at the deadline reports
+	// Converged=false.
+	Deadline time.Duration
+}
+
+func (t BackendTuning) deadline() time.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return 30 * time.Second
+}
+
+// runLive executes the spec on the goroutine-per-node runtime. The
+// driver alternates quiescence-detection bursts (concurrent fingerprint
+// probing, O(changed) per probe) with legitimacy checks on the stopped
+// network, until the configuration is legitimate or the deadline lapses:
+// fingerprint stability is a heuristic — messages buffered in channels
+// are invisible to the probe — so legitimacy on the quiesced state is
+// what declares convergence, mirroring Theorem 1's closure argument.
+func runLive(spec RunSpec, ops variantOps) (Result, error) {
+	g := spec.Graph
+	n := g.N()
+	tick := spec.Tuning.Tick
+	if tick <= 0 {
+		tick = 200 * time.Microsecond
+	}
+	probe := spec.Tuning.Probe
+	if probe <= 0 {
+		probe = 2 * time.Millisecond
+	}
+
+	begin := time.Now()
+	ln := sim.NewLiveNetwork(g, ops.factory, sim.LiveConfig{TickInterval: tick})
+	procs, res0, ok := buildInitial(spec, ops, ln.Process)
+	if !ok {
+		return res0, nil
+	}
+
+	// The stability window mirrors the sim backend's QuiesceRounds
+	// formula, converted from rounds to wall time via the tick period: it
+	// must cover a full jittered search retry period or a slow-searching
+	// configuration is declared quiescent before its reduction fires.
+	window := time.Duration(2*n+40+2*ops.cfg.SearchPeriod) * tick
+	stable := int(window/probe) + 1
+
+	deadline := begin.Add(spec.Tuning.deadline())
+	probes := 0
+	var leg core.Legitimacy
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		p, quiesced := ln.RunUntilQuiescent(sim.QuiesceConfig{
+			ProbeInterval: probe,
+			StableProbes:  stable,
+			MaxWait:       remain,
+		})
+		probes += p
+		leg = ops.legit(g, procs)
+		if quiesced && leg.OK() {
+			break
+		}
+	}
+	if probes == 0 {
+		// Degenerate budget: the loop never ran, so judge the untouched
+		// initial configuration.
+		leg = ops.legit(g, procs)
+	}
+	// Legitimacy at exit decides convergence — same contract as the tcp
+	// driver and the Tuning.Deadline doc. Quiescence only ends the loop
+	// early; a run that turns legitimate right at the deadline, before a
+	// full stability window elapses, still converged.
+	converged := leg.OK()
+
+	exch, aborts := ops.stats(procs)
+	out := Result{
+		Backend:       BackendLive,
+		Converged:     converged,
+		Rounds:        probes,
+		LastChange:    probes,
+		Legit:         leg,
+		TotalMessages: ln.Sent(),
+		MaxStateBits:  sim.MaxStateBitsOf(procs),
+		Exchanges:     exch,
+		Aborts:        aborts,
+		WallTime:      time.Since(begin),
+	}
+	if t, err := ops.tree(g, procs); err == nil {
+		out.Tree = t
+	}
+	return out, nil
+}
+
+// runTCP executes the spec on the loopback TCP cluster. Process state is
+// only inspectable while the cluster is stopped, so the driver uses the
+// restartable run-phase loop: run for a phase, stop, check legitimacy,
+// resume — for a self-stabilizing protocol the restarts are just more
+// asynchrony (in-flight messages are lost and must be tolerated).
+func runTCP(spec RunSpec, ops variantOps) (Result, error) {
+	g := spec.Graph
+	phase := spec.Tuning.Probe
+	if phase <= 0 {
+		phase = 150 * time.Millisecond
+	}
+	maxPhases := int(spec.Tuning.deadline() / phase)
+	if maxPhases < 1 {
+		maxPhases = 1
+	}
+
+	begin := time.Now()
+	c := netrun.NewCluster(g, ops.factory, netrun.Config{TickInterval: spec.Tuning.Tick})
+	procs, res0, ok := buildInitial(spec, ops, c.Process)
+	if !ok {
+		return res0, nil
+	}
+
+	phases := 0
+	var leg core.Legitimacy
+	ok, err := c.RunUntil(phase, maxPhases, func() bool {
+		phases++
+		leg = ops.legit(g, procs)
+		return leg.OK()
+	})
+	if err != nil {
+		// Unlike the in-process backends, TCP execution itself can fail
+		// (listen/dial); surface it as the run's error.
+		return Result{Backend: BackendTCP}, fmt.Errorf("harness: tcp backend: %w", err)
+	}
+
+	exch, aborts := ops.stats(procs)
+	out := Result{
+		Backend:       BackendTCP,
+		Converged:     ok,
+		Rounds:        phases,
+		LastChange:    phases,
+		Legit:         leg,
+		TotalMessages: c.Sent(),
+		MaxStateBits:  sim.MaxStateBitsOf(procs),
+		Dropped:       c.Dropped(),
+		Exchanges:     exch,
+		Aborts:        aborts,
+		WallTime:      time.Since(begin),
+	}
+	if t, err := ops.tree(g, procs); err == nil {
+		out.Tree = t
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"mdst/internal/graph"
+)
+
+// smokeTuning keeps the wall-clock backends snappy; under -short the
+// deadline tightens further (these tests are the `make smoke` gate, so
+// they must stay cheap in CI's short-mode race job too).
+func smokeTuning(t *testing.T) BackendTuning {
+	t.Helper()
+	deadline := 30 * time.Second
+	if testing.Short() {
+		deadline = 10 * time.Second
+	}
+	return BackendTuning{Deadline: deadline}
+}
+
+// smokeCheck asserts the common post-conditions of a converged run.
+func smokeCheck(t *testing.T, res Result, wantBackend Backend) {
+	t.Helper()
+	if res.Backend != wantBackend {
+		t.Fatalf("Result.Backend = %q, want %q", res.Backend, wantBackend)
+	}
+	if !res.Converged || !res.Legit.OK() {
+		t.Fatalf("backend %s did not converge: converged=%v legit=%+v",
+			wantBackend, res.Converged, res.Legit)
+	}
+	if res.Tree == nil {
+		t.Fatalf("backend %s: no tree extracted", wantBackend)
+	}
+	if res.WallTime <= 0 {
+		t.Fatalf("backend %s: WallTime not recorded", wantBackend)
+	}
+	if res.Rounds <= 0 || res.LastChange != res.Rounds {
+		t.Fatalf("backend %s: rounds=%d lastChange=%d (wall-clock backends mirror Rounds)",
+			wantBackend, res.Rounds, res.LastChange)
+	}
+	if res.TotalMessages <= 0 {
+		t.Fatalf("backend %s: no message accounting", wantBackend)
+	}
+}
+
+// TestBackendLiveSmoke drives the goroutine-per-node runtime through the
+// shared orchestration: corrupted start, quiescence by concurrent
+// fingerprint probing, Δ*+1 degree check.
+func TestBackendLiveSmoke(t *testing.T) {
+	g := graph.Wheel(8)
+	res, err := Run(RunSpec{
+		Graph:   g,
+		Start:   StartCorrupt,
+		Seed:    11,
+		Backend: BackendLive,
+		Tuning:  smokeTuning(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smokeCheck(t, res, BackendLive)
+}
+
+// TestBackendTCPSmoke drives the loopback TCP cluster through the same
+// orchestration, on the literal variant for cross-product coverage.
+func TestBackendTCPSmoke(t *testing.T) {
+	g := graph.Wheel(8)
+	res, err := Run(RunSpec{
+		Graph:   g,
+		Variant: VariantLiteral,
+		Start:   StartClean,
+		Seed:    7,
+		Backend: BackendTCP,
+		Tuning:  smokeTuning(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smokeCheck(t, res, BackendTCP)
+}
+
+// TestBackendLegitimatePreload: the wall-clock backends share initStart,
+// so a preloaded legitimate configuration must hold immediately (closure
+// under the live runtime).
+func TestBackendLivePreloadedStaysLegitimate(t *testing.T) {
+	g := graph.Wheel(8)
+	res, err := Run(RunSpec{
+		Graph:   g,
+		Start:   StartLegitimate,
+		Seed:    3,
+		Backend: BackendLive,
+		Tuning:  smokeTuning(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smokeCheck(t, res, BackendLive)
+}
+
+func TestBackendValidation(t *testing.T) {
+	g := graph.Ring(6)
+	cases := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{"unknown", RunSpec{Graph: g, Backend: "quantum"}, "unknown backend"},
+		{"lossy-live", RunSpec{Graph: g, Backend: BackendLive, DropRate: 0.1}, "DropRate requires"},
+		{"safety-tcp", RunSpec{Graph: g, Backend: BackendTCP, TrackSafety: true}, "TrackSafety requires"},
+		{"sched-live", RunSpec{Graph: g, Backend: BackendLive, Scheduler: SchedAsync}, "scheduler \"async\" requires"},
+		{"rounds-tcp", RunSpec{Graph: g, Backend: BackendTCP, MaxRounds: 100}, "MaxRounds requires"},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err=%v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// The sim default still accepts every feature; the wall-clock
+	// backends accept the canonical sync/default scheduler label.
+	if err := (RunSpec{Graph: g, DropRate: 0.1, TrackSafety: true,
+		Scheduler: SchedAdversarial, MaxRounds: 10}).Validate(); err != nil {
+		t.Fatalf("sim spec rejected: %v", err)
+	}
+	if err := (RunSpec{Graph: g, Backend: BackendLive, Scheduler: SchedSync}).Validate(); err != nil {
+		t.Fatalf("live+sync rejected: %v", err)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, b := range Backends() {
+		got, err := ParseBackend(string(b))
+		if err != nil || got != b {
+			t.Fatalf("ParseBackend(%q) = %q, %v", b, got, err)
+		}
+	}
+	if b, err := ParseBackend(""); err != nil || b != BackendSim {
+		t.Fatalf("empty backend = %q, %v (want sim default)", b, err)
+	}
+	if _, err := ParseBackend("udp"); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+	if !BackendSim.Deterministic() || BackendLive.Deterministic() || BackendTCP.Deterministic() {
+		t.Fatal("determinism flags wrong")
+	}
+}
+
+// Satellite: Result records its backend and serializes deterministically —
+// wall time (the only cross-run-varying field) is json:"-", so two
+// identical sim runs must produce byte-identical JSON even though their
+// WallTime differs.
+func TestResultJSONDeterministicModuloWallTime(t *testing.T) {
+	g := graph.Wheel(8)
+	spec := RunSpec{Graph: g, Start: StartCorrupt, Seed: 5}
+	a := MustRun(spec)
+	b := MustRun(spec)
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("sim Result JSON differs between identical runs:\n%s\n%s", aj, bj)
+	}
+	if !strings.Contains(string(aj), `"backend":"sim"`) {
+		t.Fatalf("Result JSON does not record the backend: %s", aj)
+	}
+	if strings.Contains(strings.ToLower(string(aj)), "walltime") {
+		t.Fatalf("WallTime leaked into Result JSON: %s", aj)
+	}
+	if a.WallTime <= 0 {
+		t.Fatal("WallTime not recorded on the struct")
+	}
+}

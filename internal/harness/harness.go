@@ -1,13 +1,22 @@
 // Package harness glues the substrates together for experiments: it
 // builds a protocol network over a workload graph, optionally corrupts
-// the initial configuration, runs a scheduler to stabilization, verifies
-// the legitimacy predicate and collects the metrics every experiment
-// table is built from.
+// the initial configuration, runs the protocol to stabilization,
+// verifies the legitimacy predicate and collects the metrics every
+// experiment table is built from.
+//
+// Execution is layered: Run is backend-agnostic orchestration (graph,
+// variant resolution, initial configuration, result collection) over
+// three interchangeable execution backends — the deterministic seeded
+// simulator (BackendSim, the default), the goroutine-per-node CSP
+// runtime (BackendLive) and a loopback TCP cluster (BackendTCP). The
+// variant axis (core vs the paper-literal choreography) is equally
+// pluggable via variantOps, so every (variant × backend) pair shares
+// this one orchestration path.
 package harness
 
 import (
 	"fmt"
-	"math/rand"
+	"time"
 
 	"mdst/internal/core"
 	"mdst/internal/graph"
@@ -107,7 +116,8 @@ type RunSpec struct {
 	CorruptTargets []int
 	// DropRate enables lossy links: every delivery is independently lost
 	// with this probability (the E9 fault model; zero keeps the paper's
-	// reliable-link assumption).
+	// reliable-link assumption). Sim backend only: the wall-clock
+	// backends have no delivery hook to drop at.
 	DropRate  float64
 	Seed      int64
 	MaxRounds int
@@ -115,31 +125,65 @@ type RunSpec struct {
 	// a single spanning tree (transient breakage under concurrent
 	// exchanges; see DESIGN.md S3). Counting starts at the first round
 	// with a valid tree, so the initial formation phase of a corrupted
-	// start is excluded. Costs one validation per round.
+	// start is excluded. Costs one validation per round. Sim backend
+	// only: the wall-clock backends have no round hook.
 	TrackSafety bool
+	// Backend selects the execution target (empty means BackendSim, the
+	// deterministic default). See the Backend constants.
+	Backend Backend
+	// Tuning adjusts the wall-clock backends; ignored by sim.
+	Tuning BackendTuning
 }
 
-// Result is the outcome of one run.
+// backend returns the normalized backend (empty means sim).
+func (s RunSpec) backend() Backend {
+	if s.Backend == "" {
+		return BackendSim
+	}
+	return s.Backend
+}
+
+// Result is the outcome of one run. The JSON rendering is deterministic
+// for the sim backend: wall time — the only field that varies across
+// repeats of an identical spec — is excluded via `json:"-"`, as are the
+// unserializable Tree and Metrics pointers.
 type Result struct {
-	Converged  bool
-	Rounds     int // rounds until quiescence was declared
-	LastChange int // rounds until the last state change (the figure of merit)
-	Legit      core.Legitimacy
-	Tree       *spanning.Tree // nil unless a valid tree was extracted
-	Metrics    *sim.Metrics
-	// TotalMessages is the sum over all kinds.
-	TotalMessages int64
-	MaxStateBits  int
+	// Backend records which execution backend produced the result.
+	Backend   Backend `json:"backend"`
+	Converged bool    `json:"converged"`
+	// Rounds: sim counts asynchronous rounds until quiescence was
+	// declared; the wall-clock backends count fingerprint probes (live)
+	// or run phases (tcp) — the driver's unit of observation.
+	Rounds int `json:"rounds"`
+	// LastChange is the round of the last state change (the sim
+	// backend's figure of merit). The wall-clock backends have no round
+	// clock to stamp changes with, so they mirror Rounds here — cell
+	// aggregates then show the driver's observation count instead of a
+	// misleading constant zero.
+	LastChange int             `json:"lastChange"`
+	Legit      core.Legitimacy `json:"legit"`
+	Tree       *spanning.Tree  `json:"-"` // nil unless a valid tree was extracted
+	Metrics    *sim.Metrics    `json:"-"` // sim backend only
+	// TotalMessages is the sum over all kinds. For the wall-clock
+	// backends it counts messages accepted by the runtime's send path —
+	// live counts inbox accepts, tcp counts outbox accepts (its Dropped
+	// counts outbox back-pressure losses).
+	TotalMessages int64 `json:"messages"`
+	MaxStateBits  int   `json:"maxStateBits"`
 	// BrokenRounds counts rounds without a valid spanning tree (only
 	// populated when RunSpec.TrackSafety is set).
-	BrokenRounds int
-	// Dropped is the number of deliveries lost to RunSpec.DropRate.
-	Dropped int64
+	BrokenRounds int `json:"brokenRounds,omitempty"`
+	// Dropped is the number of deliveries lost to RunSpec.DropRate (sim)
+	// or to outbox back-pressure (tcp).
+	Dropped int64 `json:"dropped,omitempty"`
 	// Exchanges and Aborts are the protocol's completed edge exchanges
 	// and staleness-aborted choreography hops (ablation E11 compares
 	// them across variants).
-	Exchanges int
-	Aborts    int
+	Exchanges int `json:"exchanges"`
+	Aborts    int `json:"aborts"`
+	// WallTime is the run's wall-clock duration — excluded from JSON so
+	// serialized results stay byte-identical across machines and reruns.
+	WallTime time.Duration `json:"-"`
 }
 
 // Validate checks the spec invariants that would otherwise blow up deep
@@ -157,49 +201,68 @@ func (s RunSpec) Validate() error {
 	default:
 		return fmt.Errorf("harness: unknown variant %q", s.Variant)
 	}
+	switch s.Backend {
+	case "", BackendSim, BackendLive, BackendTCP:
+	default:
+		return fmt.Errorf("harness: unknown backend %q", s.Backend)
+	}
+	if s.backend() != BackendSim {
+		// Fail loud instead of silently running a different experiment
+		// than the spec (or a matrix cell label) claims: the wall-clock
+		// backends have no delivery hook for lossy links, no round hook
+		// for safety tracking, no seeded scheduler to vary, and no round
+		// bound (Tuning.Deadline is their budget).
+		if s.DropRate > 0 {
+			return fmt.Errorf("harness: DropRate requires the sim backend (got %q)", s.backend())
+		}
+		if s.TrackSafety {
+			return fmt.Errorf("harness: TrackSafety requires the sim backend (got %q)", s.backend())
+		}
+		if s.Scheduler != "" && s.Scheduler != SchedSync {
+			return fmt.Errorf("harness: scheduler %q requires the sim backend (got %q)", s.Scheduler, s.backend())
+		}
+		if s.MaxRounds > 0 {
+			return fmt.Errorf("harness: MaxRounds requires the sim backend (got %q); bound wall-clock runs with Tuning.Deadline", s.backend())
+		}
+	}
 	return nil
 }
 
-// Run executes one experiment run. The error reports an invalid spec
-// (see Validate); execution itself cannot fail.
+// Run executes one experiment run on the spec's backend. The error
+// reports an invalid spec (see Validate) or — for the TCP backend only —
+// a failure of the network substrate itself; protocol execution cannot
+// fail.
 func Run(spec RunSpec) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
-	if spec.Variant == VariantLiteral {
-		return runLiteral(spec), nil
+	ops := variantFor(spec)
+	switch spec.backend() {
+	case BackendLive:
+		return runLive(spec, ops)
+	case BackendTCP:
+		return runTCP(spec, ops)
+	default:
+		return runSim(spec, ops)
 	}
+}
+
+// runSim executes the spec on the deterministic seeded simulator. Every
+// step below replays the pre-backend harness exactly — network build,
+// corruption RNG, quiescence window, result collection — so sim results
+// are byte-identical to the pre-refactor harness (regression-locked by
+// the committed default-matrix baseline in internal/scenario/testdata).
+func runSim(spec RunSpec, ops variantOps) (Result, error) {
 	g := spec.Graph
 	n := g.N()
-	cfg := spec.Config
-	if cfg.MaxDist == 0 {
-		cfg = core.DefaultConfig(n)
-	}
-	net := core.BuildNetwork(g, cfg, spec.Seed)
+	begin := time.Now()
+	net := sim.NewNetwork(g, ops.factory, spec.Seed)
 	if spec.DropRate > 0 {
 		net.SetDropRate(spec.DropRate)
 	}
-	nodes := core.NodesOf(net)
-	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
-
-	switch spec.Start {
-	case StartCorrupt:
-		for _, nd := range nodes {
-			nd.Corrupt(rng, n)
-		}
-	case StartLegitimate:
-		if err := Preload(g, nodes, cfg); err != nil {
-			return Result{Legit: core.Legitimacy{Detail: err.Error()}}, nil
-		}
-		for _, v := range spec.CorruptTargets {
-			if v >= 0 && v < n {
-				nodes[v].Corrupt(rng, n)
-			}
-		}
-		perm := rng.Perm(n)
-		for i := 0; i < spec.CorruptNodes && i < n; i++ {
-			nodes[perm[i]].Corrupt(rng, n)
-		}
+	procs, res0, ok := buildInitial(spec, ops, net.Process)
+	if !ok {
+		return res0, nil
 	}
 
 	maxRounds := spec.MaxRounds
@@ -211,7 +274,7 @@ func Run(spec RunSpec) (Result, error) {
 	if spec.TrackSafety {
 		formed := false
 		onRound = func(int) bool {
-			if _, err := core.ExtractTree(g, nodes); err != nil {
+			if _, err := ops.tree(g, procs); err != nil {
 				if formed {
 					broken++
 				}
@@ -227,28 +290,30 @@ func Run(spec RunSpec) (Result, error) {
 		// The stability window must cover a full (jittered) search retry
 		// period, or a slow-searching configuration can be declared
 		// quiescent before its reduction ever fires.
-		QuiesceRounds: 2*n + 40 + 2*cfg.SearchPeriod,
-		ActiveKinds:   core.ReductionKinds(),
+		QuiesceRounds: 2*n + 40 + 2*ops.cfg.SearchPeriod,
+		ActiveKinds:   ops.kinds,
 		OnRound:       onRound,
 	})
 
-	st := core.AggregateStats(nodes)
+	exch, aborts := ops.stats(procs)
 	out := Result{
+		Backend:      BackendSim,
 		Converged:    res.Converged,
 		Rounds:       res.Rounds,
 		LastChange:   res.LastChangeRound,
-		Legit:        core.CheckLegitimacy(g, nodes),
+		Legit:        ops.legit(g, procs),
 		Metrics:      net.Metrics(),
 		MaxStateBits: net.MaxStateBits(),
 		BrokenRounds: broken,
 		Dropped:      net.Dropped(),
-		Exchanges:    st.ExchangesComplete,
-		Aborts:       st.ChainsAborted,
+		Exchanges:    exch,
+		Aborts:       aborts,
+		WallTime:     time.Since(begin),
 	}
 	for _, c := range out.Metrics.SentByKind {
 		out.TotalMessages += c
 	}
-	if t, err := core.ExtractTree(g, nodes); err == nil {
+	if t, err := ops.tree(g, procs); err == nil {
 		out.Tree = t
 	}
 	return out, nil

@@ -1,110 +1,14 @@
 package harness
 
 import (
-	"math/rand"
-
 	"mdst/internal/core"
 	"mdst/internal/graph"
 	"mdst/internal/paperproto"
-	"mdst/internal/sim"
 )
 
-// runLiteral executes one run of the literal-choreography variant
-// (internal/paperproto) with the same spec semantics as the primary
-// implementation; results are reported in the same Result shape so
-// experiment tables can compare the two side by side (ablation E11).
-func runLiteral(spec RunSpec) Result {
-	g := spec.Graph
-	n := g.N()
-	cfg := spec.Config
-	if cfg.MaxDist == 0 {
-		cfg = paperproto.DefaultConfig(n)
-	}
-	net := paperproto.BuildNetwork(g, cfg, spec.Seed)
-	if spec.DropRate > 0 {
-		net.SetDropRate(spec.DropRate)
-	}
-	nodes := paperproto.NodesOf(net)
-	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
-
-	switch spec.Start {
-	case StartCorrupt:
-		for _, nd := range nodes {
-			nd.Corrupt(rng, n)
-		}
-	case StartLegitimate:
-		if err := PreloadLiteral(g, nodes, cfg); err != nil {
-			return Result{Legit: core.Legitimacy{Detail: err.Error()}}
-		}
-		for _, v := range spec.CorruptTargets {
-			if v >= 0 && v < n {
-				nodes[v].Corrupt(rng, n)
-			}
-		}
-		perm := rng.Perm(n)
-		for i := 0; i < spec.CorruptNodes && i < n; i++ {
-			nodes[perm[i]].Corrupt(rng, n)
-		}
-	}
-
-	maxRounds := spec.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = 200*n + 20000
-	}
-	broken := 0
-	var onRound func(int) bool
-	if spec.TrackSafety {
-		formed := false
-		onRound = func(int) bool {
-			if _, err := paperproto.ExtractTree(g, nodes); err != nil {
-				if formed {
-					broken++
-				}
-			} else {
-				formed = true
-			}
-			return true
-		}
-	}
-	res := net.Run(sim.RunConfig{
-		Scheduler:     NewScheduler(spec.Scheduler),
-		MaxRounds:     maxRounds,
-		QuiesceRounds: 2*n + 40 + 2*cfg.SearchPeriod,
-		ActiveKinds:   paperproto.ReductionKinds(),
-		OnRound:       onRound,
-	})
-
-	leg := paperproto.CheckLegitimacy(g, nodes)
-	out := Result{
-		Converged:  res.Converged,
-		Rounds:     res.Rounds,
-		LastChange: res.LastChangeRound,
-		Legit: core.Legitimacy{
-			TreeValid:   leg.TreeValid,
-			RootIsMin:   leg.RootIsMin,
-			DistancesOK: leg.DistancesOK,
-			ViewsOK:     leg.ViewsOK,
-			DmaxOK:      leg.DmaxOK,
-			FixedPoint:  leg.FixedPoint,
-			MaxDegree:   leg.MaxDegree,
-			Detail:      leg.Detail,
-		},
-		Metrics:      net.Metrics(),
-		MaxStateBits: net.MaxStateBits(),
-		BrokenRounds: broken,
-		Dropped:      net.Dropped(),
-	}
-	st := paperproto.AggregateStats(nodes)
-	out.Exchanges = st.ExchangesComplete
-	out.Aborts = st.ChoreoAborted
-	for _, c := range out.Metrics.SentByKind {
-		out.TotalMessages += c
-	}
-	if t, err := paperproto.ExtractTree(g, nodes); err == nil {
-		out.Tree = t
-	}
-	return out
-}
+// The literal-choreography variant (internal/paperproto) executes
+// through the same orchestration as the primary implementation — see
+// variantOps in variant.go; only its preload helper lives here.
 
 // PreloadLiteral writes a legitimate configuration into literal-variant
 // nodes (the counterpart of Preload).

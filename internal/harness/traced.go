@@ -17,7 +17,15 @@ import (
 // roots (number of self-parented nodes), dmaxAgree (nodes whose dmax
 // equals the true tree degree), pending (undelivered messages),
 // reversals (cumulative Reverse messages sent).
+//
+// Per-round sampling only exists on the deterministic simulator, so
+// RunTraced always executes there; a spec naming another backend is a
+// programmer error and panics (it must not silently run a different
+// experiment than it claims).
 func RunTraced(spec RunSpec, every int) (Result, *trace.Series) {
+	if spec.backend() != BackendSim {
+		panic("harness: RunTraced requires the sim backend")
+	}
 	if every <= 0 {
 		every = 1
 	}
@@ -89,6 +97,7 @@ func RunTraced(spec RunSpec, every int) (Result, *trace.Series) {
 	})
 
 	out := Result{
+		Backend:      BackendSim,
 		Converged:    res.Converged,
 		Rounds:       res.Rounds,
 		LastChange:   res.LastChangeRound,

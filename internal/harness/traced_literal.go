@@ -15,6 +15,9 @@ import (
 // Reverse chain messages, so the two variants' figure series can be
 // plotted side by side (figure F-conv, E11's time-resolved view).
 func RunTracedLiteral(spec RunSpec, every int) (Result, *trace.Series) {
+	if spec.backend() != BackendSim {
+		panic("harness: RunTracedLiteral requires the sim backend")
+	}
 	if every <= 0 {
 		every = 1
 	}
@@ -88,6 +91,7 @@ func RunTracedLiteral(spec RunSpec, every int) (Result, *trace.Series) {
 
 	leg := paperproto.CheckLegitimacy(g, nodes)
 	out := Result{
+		Backend:    BackendSim,
 		Converged:  res.Converged,
 		Rounds:     res.Rounds,
 		LastChange: res.LastChangeRound,

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"math/rand"
+
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/paperproto"
+	"mdst/internal/sim"
+	"mdst/internal/spanning"
+)
+
+// variantOps is the per-protocol-implementation surface the backend
+// drivers execute against. Every backend (deterministic simulator, live
+// goroutine runtime, TCP cluster) constructs processes through factory
+// and then manipulates them only through these closures, so run
+// orchestration is written once for both internal/core and
+// internal/paperproto instead of per-variant (the old harness.Run /
+// runLiteral duplication).
+type variantOps struct {
+	cfg     core.Config
+	factory func(id sim.NodeID, nbrs []sim.NodeID) sim.Process
+	corrupt func(procs []sim.Process, id int, rng *rand.Rand, idSpace int)
+	preload func(g *graph.Graph, procs []sim.Process) error
+	legit   func(g *graph.Graph, procs []sim.Process) core.Legitimacy
+	tree    func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error)
+	stats   func(procs []sim.Process) (exchanges, aborts int)
+	kinds   []string // reduction message kinds that must drain at quiescence
+}
+
+// variantFor resolves the spec's protocol variant to its operation set,
+// defaulting the configuration exactly as the per-variant runners did
+// (zero Config means the variant's DefaultConfig).
+func variantFor(spec RunSpec) variantOps {
+	n := spec.Graph.N()
+	cfg := spec.Config
+	if spec.Variant == VariantLiteral {
+		if cfg.MaxDist == 0 {
+			cfg = paperproto.DefaultConfig(n)
+		}
+		return literalOps(cfg)
+	}
+	if cfg.MaxDist == 0 {
+		cfg = core.DefaultConfig(n)
+	}
+	return coreOps(cfg)
+}
+
+func coreNodes(procs []sim.Process) []*core.Node {
+	out := make([]*core.Node, len(procs))
+	for i, p := range procs {
+		out[i] = p.(*core.Node)
+	}
+	return out
+}
+
+func coreOps(cfg core.Config) variantOps {
+	return variantOps{
+		cfg: cfg,
+		factory: func(id sim.NodeID, nbrs []sim.NodeID) sim.Process {
+			return core.NewNode(id, nbrs, cfg)
+		},
+		corrupt: func(procs []sim.Process, id int, rng *rand.Rand, idSpace int) {
+			procs[id].(*core.Node).Corrupt(rng, idSpace)
+		},
+		preload: func(g *graph.Graph, procs []sim.Process) error {
+			return Preload(g, coreNodes(procs), cfg)
+		},
+		legit: func(g *graph.Graph, procs []sim.Process) core.Legitimacy {
+			return core.CheckLegitimacy(g, coreNodes(procs))
+		},
+		tree: func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error) {
+			return core.ExtractTree(g, coreNodes(procs))
+		},
+		stats: func(procs []sim.Process) (int, int) {
+			st := core.AggregateStats(coreNodes(procs))
+			return st.ExchangesComplete, st.ChainsAborted
+		},
+		kinds: core.ReductionKinds(),
+	}
+}
+
+func literalNodes(procs []sim.Process) []*paperproto.Node {
+	out := make([]*paperproto.Node, len(procs))
+	for i, p := range procs {
+		out[i] = p.(*paperproto.Node)
+	}
+	return out
+}
+
+func literalOps(cfg core.Config) variantOps {
+	return variantOps{
+		cfg: cfg,
+		factory: func(id sim.NodeID, nbrs []sim.NodeID) sim.Process {
+			return paperproto.NewNode(id, nbrs, cfg)
+		},
+		corrupt: func(procs []sim.Process, id int, rng *rand.Rand, idSpace int) {
+			procs[id].(*paperproto.Node).Corrupt(rng, idSpace)
+		},
+		preload: func(g *graph.Graph, procs []sim.Process) error {
+			return PreloadLiteral(g, literalNodes(procs), cfg)
+		},
+		legit: func(g *graph.Graph, procs []sim.Process) core.Legitimacy {
+			leg := paperproto.CheckLegitimacy(g, literalNodes(procs))
+			// Report in the core Legitimacy shape so experiment tables can
+			// compare the two implementations side by side (ablation E11).
+			return core.Legitimacy{
+				TreeValid:   leg.TreeValid,
+				RootIsMin:   leg.RootIsMin,
+				DistancesOK: leg.DistancesOK,
+				ViewsOK:     leg.ViewsOK,
+				DmaxOK:      leg.DmaxOK,
+				FixedPoint:  leg.FixedPoint,
+				MaxDegree:   leg.MaxDegree,
+				Detail:      leg.Detail,
+			}
+		},
+		tree: func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error) {
+			return paperproto.ExtractTree(g, literalNodes(procs))
+		},
+		stats: func(procs []sim.Process) (int, int) {
+			st := paperproto.AggregateStats(literalNodes(procs))
+			return st.ExchangesComplete, st.ChoreoAborted
+		},
+		kinds: paperproto.ReductionKinds(),
+	}
+}
+
+// buildInitial collects a backend's processes and writes the spec's
+// initial configuration into them. Keeping the corruption-RNG derivation
+// (seed^0x5eed) and the initStart call in one place is what guarantees
+// every backend draws identical initial configurations for the same
+// spec. The bool is initStart's preload-failure contract.
+func buildInitial(spec RunSpec, ops variantOps, procAt func(sim.NodeID) sim.Process) ([]sim.Process, Result, bool) {
+	procs := make([]sim.Process, spec.Graph.N())
+	for i := range procs {
+		procs[i] = procAt(i)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+	res, ok := initStart(spec, ops, procs, rng)
+	return procs, res, ok
+}
+
+// initStart writes the spec's initial configuration into the processes:
+// nothing for a clean start, per-node randomization for a corrupt one,
+// and the legitimate preload (plus targeted/random corruptions) for
+// StartLegitimate. rng must be the run's corruption RNG (seed^0x5eed) so
+// every backend draws the identical initial configuration for the same
+// spec. The bool is false when the preload failed; the Result carries
+// the detail (same contract as the pre-refactor runners: a preload
+// failure is a reported illegitimacy, not an execution error).
+func initStart(spec RunSpec, ops variantOps, procs []sim.Process, rng *rand.Rand) (Result, bool) {
+	n := spec.Graph.N()
+	switch spec.Start {
+	case StartCorrupt:
+		for id := range procs {
+			ops.corrupt(procs, id, rng, n)
+		}
+	case StartLegitimate:
+		if err := ops.preload(spec.Graph, procs); err != nil {
+			return Result{Backend: spec.backend(), Legit: core.Legitimacy{Detail: err.Error()}}, false
+		}
+		for _, v := range spec.CorruptTargets {
+			if v >= 0 && v < n {
+				ops.corrupt(procs, v, rng, n)
+			}
+		}
+		perm := rng.Perm(n)
+		for i := 0; i < spec.CorruptNodes && i < n; i++ {
+			ops.corrupt(procs, perm[i], rng, n)
+		}
+	}
+	return Result{}, true
+}

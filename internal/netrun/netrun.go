@@ -63,10 +63,14 @@ type Cluster struct {
 	lns     []net.Listener
 	conns   []net.Conn
 	dropped atomic.Int64
+	sent    atomic.Int64
 }
 
 // Dropped returns the number of messages dropped by full outboxes.
 func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
+
+// Sent returns the number of messages accepted onto outboxes so far.
+func (c *Cluster) Sent() int64 { return c.sent.Load() }
 
 // NewCluster builds the cluster. The factory contract matches
 // sim.NewNetwork: called once per node in ID order.
@@ -267,6 +271,7 @@ func (c *Cluster) send(from, to int, m sim.Message) {
 	}
 	select {
 	case q <- m:
+		c.sent.Add(1)
 	default:
 		c.dropped.Add(1)
 	}

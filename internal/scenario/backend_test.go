@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"mdst/internal/harness"
+)
+
+// Satellite: the sim backend's default 108-run matrix JSON must stay
+// byte-identical to the committed PR-2 baseline — the refactor onto
+// pluggable backends (and the backend axis itself, via its omitempty
+// label) must be invisible to the deterministic simulator's output.
+func TestSimMatrixByteIdenticalToCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 108-run matrix")
+	}
+	want, err := os.ReadFile("testdata/default_matrix_pr2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Engine{}.Execute(defaultMatrixSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("default matrix JSON diverged from the committed PR-2 baseline (len %d vs %d)",
+			len(got), len(want))
+	}
+}
+
+// Satellite: cross-backend differential. One declarative spec expands
+// over the backend axis; the deterministic simulator, the goroutine
+// runtime and the loopback TCP cluster all run the SAME drawn instances
+// (run seeds exclude the backend axis) with the SAME corrupted initial
+// configurations, and every backend must converge to a legitimate
+// spanning tree within the assertable Δ*+1 bracket. Tie-breaking (and
+// hence the exact tree) may differ across backends; the guarantee may
+// not.
+func TestCrossBackendDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock live/tcp backends")
+	}
+	spec := Spec{
+		Families:     []string{"ring+chords", "wheel"},
+		Sizes:        []int{8},
+		Backends:     []harness.Backend{harness.BackendSim, harness.BackendLive, harness.BackendTCP},
+		SeedsPerCell: 2,
+		BaseSeed:     5,
+		Tuning:       harness.BackendTuning{Deadline: 60 * time.Second},
+	}
+	m, err := Engine{}.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalRuns != 2*3*2 {
+		t.Fatalf("expanded to %d runs, want 12", m.TotalRuns)
+	}
+
+	// Paired workloads: the same (family, seed index) run draws the same
+	// seed — and therefore the same graph and corruptions — on every
+	// backend.
+	seeds := map[[2]string]map[int]int64{}
+	for _, rr := range m.Runs {
+		if rr.Err != "" {
+			t.Fatalf("%s seed[%d]: %s", rr.Cell, rr.SeedIndex, rr.Err)
+		}
+		if !rr.Converged || !rr.Legitimate || !rr.TreeValid {
+			t.Fatalf("%s seed[%d] backend %q: converged=%v legit=%v tree=%v",
+				rr.Cell, rr.SeedIndex, rr.BackendName(), rr.Converged, rr.Legitimate, rr.TreeValid)
+		}
+		if !rr.WithinBound {
+			t.Fatalf("%s seed[%d] backend %q: degree %d violates bound %d",
+				rr.Cell, rr.SeedIndex, rr.BackendName(), rr.MaxDegree, rr.DegreeBound)
+		}
+		key := [2]string{rr.Family, rr.Start}
+		if seeds[key] == nil {
+			seeds[key] = map[int]int64{}
+		}
+		if prev, ok := seeds[key][rr.SeedIndex]; ok && prev != rr.Seed {
+			t.Fatalf("backend axis changed the run seed: %s idx %d: %d vs %d",
+				rr.Family, rr.SeedIndex, prev, rr.Seed)
+		}
+		seeds[key][rr.SeedIndex] = rr.Seed
+	}
+
+	// Every backend's wall-clock cells must aggregate separately and the
+	// degree guarantee must hold per cell.
+	if len(m.Cells) != 6 {
+		t.Fatalf("aggregated to %d cells, want 6 (2 families x 3 backends)", len(m.Cells))
+	}
+	for _, c := range m.Cells {
+		if !c.WithinBound {
+			t.Fatalf("cell %s (backend %s): outside the Δ*+1 bracket", c.Cell, c.BackendName())
+		}
+	}
+}
+
+// The wall-clock backends reject sim-only features loudly instead of
+// silently running a different experiment than the cell label claims.
+func TestBackendSimOnlyFeaturesSurfaceAsRunErrors(t *testing.T) {
+	m, err := Engine{}.Execute(Spec{
+		Families:     []string{"wheel"},
+		Sizes:        []int{8},
+		Backends:     []harness.Backend{harness.BackendLive},
+		Faults:       []FaultModel{Lossy{Rate: 0.1}},
+		SeedsPerCell: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range m.Runs {
+		if rr.Err == "" {
+			t.Fatalf("lossy fault executed on the live backend: %+v", rr)
+		}
+	}
+	m, err = Engine{}.Execute(Spec{
+		Families:     []string{"wheel"},
+		Sizes:        []int{8},
+		Backends:     []harness.Backend{harness.BackendTCP},
+		Faults:       []FaultModel{Churn{Op: harness.ChurnOps()[0]}},
+		SeedsPerCell: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range m.Runs {
+		if rr.Err == "" && !rr.Skipped {
+			t.Fatalf("churn executed on the tcp backend: %+v", rr)
+		}
+	}
+}
+
+// The backend axis itself is validated at expansion time.
+func TestSpecRejectsBadBackends(t *testing.T) {
+	if _, err := (Spec{Families: []string{"wheel"}, Sizes: []int{8},
+		Backends: []harness.Backend{"quantum"}}).Expand(); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := (Spec{Families: []string{"wheel"}, Sizes: []int{8},
+		Backends: []harness.Backend{harness.BackendSim, harness.BackendSim}}).Expand(); err == nil {
+		t.Fatal("duplicate backend accepted")
+	}
+}

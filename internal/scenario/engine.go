@@ -72,6 +72,10 @@ type RunResult struct {
 	MaxMsgKind            string `json:"-"` // kind of that largest message
 	BrokenRounds          int    `json:"-"` // rounds without a valid tree (Spec.TrackSafety)
 	FingerprintRecomputes int64  `json:"-"` // per-node state hashes for quiescence detection
+	// Wall is the run's wall-clock duration — excluded from JSON (the
+	// harness.Result json:"-" pattern) so output stays byte-identical
+	// across machines; only the wall-clock backends make it meaningful.
+	Wall time.Duration `json:"-"`
 }
 
 // CellResult aggregates the runs of one cell. Boolean fields hold over
@@ -187,6 +191,11 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 		out.Err = err.Error()
 		return out
 	}
+	backend, err := harness.ParseBackend(r.Backend)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
 	rng := rand.New(rand.NewSource(r.Seed))
 	g := fam.Build(r.N, rng)
 	out.Nodes, out.Edges = g.N(), g.M()
@@ -199,6 +208,8 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 		Seed:        r.Seed,
 		MaxRounds:   spec.MaxRounds,
 		TrackSafety: spec.TrackSafety,
+		Backend:     backend,
+		Tuning:      spec.Tuning,
 	}
 	if spec.Config != nil {
 		base.Config = spec.Config(g.N())
@@ -260,6 +271,7 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 	out.Dropped = res.Dropped
 	out.MaxStateBits = res.MaxStateBits
 	out.BrokenRounds = res.BrokenRounds
+	out.Wall = res.WallTime
 	if res.Metrics != nil {
 		out.MaxMsgWords = res.Metrics.MaxMsgSize
 		out.MaxMsgKind = res.Metrics.MaxMsgSizeKind
@@ -354,14 +366,14 @@ func aggregate(results []RunResult) *Matrix {
 
 // RenderTable returns an aligned plain-text rendering of the cell table.
 func (m *Matrix) RenderTable() string {
-	cols := []string{"family", "n", "sched", "start", "variant", "fault",
-		"runs", "conv", "legit", "rounds(avg)", "rounds(max)", "msgs(avg)",
-		"deg", "bound", "within"}
+	cols := []string{"family", "n", "sched", "start", "variant", "backend",
+		"fault", "runs", "conv", "legit", "rounds(avg)", "rounds(max)",
+		"msgs(avg)", "deg", "bound", "within"}
 	rows := make([][]string, 0, len(m.Cells))
 	for _, c := range m.Cells {
 		rows = append(rows, []string{
 			c.Family, fmt.Sprintf("%d", c.Nodes), c.Scheduler, c.Start,
-			c.Variant, c.Fault, fmt.Sprintf("%d", c.Runs),
+			c.Variant, c.BackendName(), c.Fault, fmt.Sprintf("%d", c.Runs),
 			fmt.Sprintf("%v", c.Converged), fmt.Sprintf("%v", c.Legitimate),
 			fmt.Sprintf("%.1f", c.RoundsAvg), fmt.Sprintf("%d", c.RoundsMax),
 			fmt.Sprintf("%.0f", c.MessagesAvg), fmt.Sprintf("%d", c.MaxDegree),
@@ -406,12 +418,13 @@ func (m *Matrix) RenderTable() string {
 // CSV returns a comma-separated rendering of the cell table.
 func (m *Matrix) CSV() string {
 	var b strings.Builder
-	b.WriteString("family,n,scheduler,start,variant,fault,runs,converged,legitimate,roundsAvg,roundsMax,messagesAvg,maxDegree,degreeBound,withinBound\n")
+	b.WriteString("family,n,scheduler,start,variant,backend,fault,runs,converged,legitimate,roundsAvg,roundsMax,messagesAvg,maxDegree,degreeBound,withinBound\n")
 	for _, c := range m.Cells {
-		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%d,%v,%v,%.2f,%d,%.0f,%d,%d,%v\n",
-			c.Family, c.Nodes, c.Scheduler, c.Start, c.Variant, c.Fault,
-			c.Runs, c.Converged, c.Legitimate, c.RoundsAvg, c.RoundsMax,
-			c.MessagesAvg, c.MaxDegree, c.DegreeBound, c.WithinBound)
+		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s,%d,%v,%v,%.2f,%d,%.0f,%d,%d,%v\n",
+			c.Family, c.Nodes, c.Scheduler, c.Start, c.Variant,
+			c.BackendName(), c.Fault, c.Runs, c.Converged, c.Legitimate,
+			c.RoundsAvg, c.RoundsMax, c.MessagesAvg, c.MaxDegree,
+			c.DegreeBound, c.WithinBound)
 	}
 	return b.String()
 }

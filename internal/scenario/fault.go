@@ -187,6 +187,12 @@ func (f Churn) Execute(spec harness.RunSpec, rng *rand.Rand) (harness.Result, er
 	if spec.Variant == harness.VariantLiteral {
 		return harness.Result{}, fmt.Errorf("scenario: churn supports only the core variant")
 	}
+	if spec.Backend != "" && spec.Backend != harness.BackendSim {
+		// The stabilize→mutate→migrate→re-run cycle drives sim.Network
+		// directly; running it under a wall-clock backend would silently
+		// execute a different experiment than the cell label claims.
+		return harness.Result{}, fmt.Errorf("scenario: churn requires the sim backend (got %q)", spec.Backend)
+	}
 	g := spec.Graph
 	n := g.N()
 	cfg := spec.Config
@@ -228,6 +234,7 @@ func (f Churn) Execute(spec harness.RunSpec, rng *rand.Rand) (harness.Result, er
 	nodes := core.NodesOf(newNet)
 	st := core.AggregateStats(nodes)
 	out := harness.Result{
+		Backend:      harness.BackendSim,
 		Converged:    res.Converged,
 		Rounds:       res.Rounds,
 		LastChange:   res.LastChangeRound,

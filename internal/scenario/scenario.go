@@ -43,6 +43,11 @@ type Spec struct {
 	Starts []harness.StartMode
 	// Variants defaults to [VariantCore].
 	Variants []harness.Variant
+	// Backends defaults to [BackendSim]. Only the sim backend is
+	// deterministic; live and tcp cells execute on the wall clock, so
+	// their rounds/messages vary across repeats (the legitimacy and
+	// degree-bound claims are what a cross-backend matrix compares).
+	Backends []harness.Backend
 	// Faults defaults to [NoFault]. Names must be unique.
 	Faults []FaultModel
 	// SeedsPerCell defaults to 1.
@@ -59,6 +64,9 @@ type Spec struct {
 	// Config, if non-nil, overrides the protocol configuration per node
 	// count (zero Config means the core default).
 	Config func(n int) core.Config `json:"-"`
+	// Tuning adjusts the wall-clock backends (live probe interval, tcp
+	// phase length, per-run deadline); the sim backend ignores it.
+	Tuning harness.BackendTuning `json:"-"`
 }
 
 // Cell identifies one aggregation cell of the matrix: every axis except
@@ -69,12 +77,30 @@ type Cell struct {
 	Scheduler string `json:"scheduler"`
 	Start     string `json:"start"`
 	Variant   string `json:"variant"`
-	Fault     string `json:"fault"`
+	// Backend is the execution backend label. The sim default is the
+	// empty string (omitted from JSON) so matrices that never leave the
+	// simulator serialize exactly as they did before the backend axis
+	// existed — the committed PR-2 baseline stays byte-identical.
+	Backend string `json:"backend,omitempty"`
+	Fault   string `json:"fault"`
+}
+
+// BackendName returns the display name of the cell's backend ("sim" for
+// the empty default label).
+func (c Cell) BackendName() string {
+	if c.Backend == "" {
+		return string(harness.BackendSim)
+	}
+	return c.Backend
 }
 
 func (c Cell) String() string {
-	return fmt.Sprintf("%s/n=%d/%s/%s/%s/%s",
+	s := fmt.Sprintf("%s/n=%d/%s/%s/%s/%s",
 		c.Family, c.N, c.Scheduler, c.Start, c.Variant, c.Fault)
+	if c.Backend != "" {
+		s += "/" + c.Backend
+	}
+	return s
 }
 
 // Run is one executable element of the matrix.
@@ -94,6 +120,9 @@ func (s Spec) normalized() Spec {
 	}
 	if len(s.Variants) == 0 {
 		s.Variants = []harness.Variant{harness.VariantCore}
+	}
+	if len(s.Backends) == 0 {
+		s.Backends = []harness.Backend{harness.BackendSim}
 	}
 	if len(s.Faults) == 0 {
 		s.Faults = []FaultModel{NoFault{}}
@@ -136,6 +165,17 @@ func (s Spec) validate() error {
 			return fmt.Errorf("scenario: unknown variant %q", v)
 		}
 	}
+	seenBackend := map[harness.Backend]bool{}
+	for _, b := range s.Backends {
+		nb, err := harness.ParseBackend(string(b))
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if seenBackend[nb] {
+			return fmt.Errorf("scenario: duplicate backend %q", nb)
+		}
+		seenBackend[nb] = true
+	}
 	seen := map[string]bool{}
 	for _, fm := range s.Faults {
 		if fm == nil {
@@ -151,7 +191,7 @@ func (s Spec) validate() error {
 
 // runSeed derives the per-run seed from the instance identity (family,
 // size, seed index, base seed) — deliberately NOT from the scheduler,
-// start, variant or fault axes. Cells that differ only in those axes
+// start, variant, backend or fault axes. Cells that differ only in those axes
 // therefore draw the SAME graph instances, so sweeps like "rounds vs
 // drop rate" or "recovery cost by fault role" are paired comparisons
 // on identical workloads rather than cross-instance noise. The hash —
@@ -165,7 +205,7 @@ func runSeed(base int64, c Cell, idx int) int64 {
 }
 
 // Expand enumerates the full run matrix in deterministic order (family,
-// size, scheduler, start, variant, fault, seed).
+// size, scheduler, start, variant, backend, fault, seed).
 func (s Spec) Expand() ([]Run, error) {
 	ns := s.normalized()
 	if err := ns.validate(); err != nil {
@@ -180,21 +220,30 @@ func (s Spec) Expand() ([]Run, error) {
 						if variant == "" {
 							variant = harness.VariantCore
 						}
-						for _, fm := range ns.Faults {
-							cell := Cell{
-								Family:    fam,
-								N:         n,
-								Scheduler: string(sched),
-								Start:     start.String(),
-								Variant:   string(variant),
-								Fault:     fm.Name(),
+						for _, backend := range ns.Backends {
+							// The sim default keeps the empty label so
+							// sim-only matrices serialize unchanged.
+							label := string(backend)
+							if backend == harness.BackendSim {
+								label = ""
 							}
-							for idx := 0; idx < ns.SeedsPerCell; idx++ {
-								runs = append(runs, Run{
-									Cell:      cell,
-									SeedIndex: idx,
-									Seed:      runSeed(ns.BaseSeed, cell, idx),
-								})
+							for _, fm := range ns.Faults {
+								cell := Cell{
+									Family:    fam,
+									N:         n,
+									Scheduler: string(sched),
+									Start:     start.String(),
+									Variant:   string(variant),
+									Backend:   label,
+									Fault:     fm.Name(),
+								}
+								for idx := 0; idx < ns.SeedsPerCell; idx++ {
+									runs = append(runs, Run{
+										Cell:      cell,
+										SeedIndex: idx,
+										Seed:      runSeed(ns.BaseSeed, cell, idx),
+									})
+								}
 							}
 						}
 					}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdst/internal/graph"
@@ -17,6 +18,15 @@ import (
 // LiveNetwork trades determinism for real concurrency; the deterministic
 // Network is used for experiments, the live runtime for validating the
 // protocol under true parallelism (run with -race in tests).
+//
+// Quiescence detection mirrors the deterministic simulator's incremental
+// scheme: every node step sets a per-node touched flag, Fingerprint
+// re-hashes only touched nodes (and of those only the ones whose
+// StateVersion moved), and the combined hash is the same
+// order-independent splitmix mix, patched in O(changed) per probe.
+// Fingerprint snapshots each node under its per-node step lock, so it is
+// safe to call concurrently with a running network — RunUntilQuiescent
+// is built on that.
 type LiveNetwork struct {
 	g      *graph.Graph
 	procs  []Process
@@ -36,6 +46,27 @@ type LiveNetwork struct {
 	stop      chan struct{}
 	inited    bool
 	running   bool
+
+	// Per-node step locks: node id's goroutine holds nodeMu[id] around
+	// every Tick/Receive, and Fingerprint holds it while hashing id — the
+	// only cross-goroutine access to process state while running.
+	// Fingerprint never blocks on a channel while holding a node lock, so
+	// probing cannot extend a send-cycle into a deadlock.
+	nodeMu  []sync.Mutex
+	touched []atomic.Bool // node stepped since its last re-hash
+
+	// Incremental fingerprint cache (probeMu serializes probers): fps
+	// holds each node's last known state hash, combined their
+	// order-independent mix, versions the StateVersion observed at the
+	// last re-hash for processes that support the fast path.
+	probeMu    sync.Mutex
+	fps        []uint64
+	versions   []uint64
+	versioners []StateVersioner // non-nil where the process supports it
+	combined   uint64
+	fpValid    bool
+	recomputes atomic.Int64
+	sent       atomic.Int64
 }
 
 type liveEnvelope struct {
@@ -64,17 +95,25 @@ func NewLiveNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) 
 	}
 	n := g.N()
 	ln := &LiveNetwork{
-		g:      g,
-		procs:  make([]Process, n),
-		inbox:  make([]chan liveEnvelope, n),
-		tick:   cfg.TickInterval,
-		inboxN: cfg.InboxSize,
+		g:          g,
+		procs:      make([]Process, n),
+		inbox:      make([]chan liveEnvelope, n),
+		tick:       cfg.TickInterval,
+		inboxN:     cfg.InboxSize,
+		nodeMu:     make([]sync.Mutex, n),
+		touched:    make([]atomic.Bool, n),
+		fps:        make([]uint64, n),
+		versions:   make([]uint64, n),
+		versioners: make([]StateVersioner, n),
 	}
 	for id := 0; id < n; id++ {
 		ln.inbox[id] = make(chan liveEnvelope, cfg.InboxSize)
 	}
 	for id := 0; id < n; id++ {
 		ln.procs[id] = factory(id, g.Neighbors(id))
+		if vs, ok := ln.procs[id].(StateVersioner); ok {
+			ln.versioners[id] = vs
+		}
 	}
 	return ln
 }
@@ -118,9 +157,15 @@ func (ln *LiveNetwork) Start() {
 				case <-stop:
 					return
 				case env := <-ln.inbox[id]:
+					ln.nodeMu[id].Lock()
 					ln.procs[id].Receive(ctx, env.from, env.msg)
+					ln.touched[id].Store(true)
+					ln.nodeMu[id].Unlock()
 				case <-ticker.C:
+					ln.nodeMu[id].Lock()
 					ln.procs[id].Tick(ctx)
+					ln.touched[id].Store(true)
+					ln.nodeMu[id].Unlock()
 				}
 			}
 		}()
@@ -136,6 +181,7 @@ func (ln *LiveNetwork) send(from, to NodeID, m Message) {
 	ln.mu.RUnlock()
 	select {
 	case ln.inbox[to] <- liveEnvelope{from: from, msg: m}:
+		ln.sent.Add(1)
 	case <-stop:
 		// Shutting down: drop the message (links are being torn down).
 	}
@@ -167,17 +213,145 @@ func (ln *LiveNetwork) RunFor(d time.Duration) {
 // or after Stop.
 func (ln *LiveNetwork) Process(id NodeID) Process { return ln.procs[id] }
 
-// Fingerprint combines process fingerprints; only safe after Stop.
-func (ln *LiveNetwork) Fingerprint() uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	for _, p := range ln.procs {
-		var f uint64
-		if fp, ok := p.(Fingerprinter); ok {
-			f = fp.Fingerprint()
-		}
-		h ^= f
-		h *= prime
+// Sent returns the number of messages accepted onto inboxes so far. It
+// is maintained atomically and safe to read at any time.
+func (ln *LiveNetwork) Sent() int64 { return ln.sent.Load() }
+
+// FingerprintRecomputes counts per-node state hashes performed by
+// Fingerprint — the live counterpart of the simulator's
+// Metrics.FingerprintRecomputes figure of merit.
+func (ln *LiveNetwork) FingerprintRecomputes() int64 { return ln.recomputes.Load() }
+
+// InvalidateFingerprints discards the incremental fingerprint cache.
+// Call it after mutating process state directly (SetState, Corrupt,
+// preloads) while the network is stopped, when the process does not
+// report state versions; the next Fingerprint re-hashes everything.
+func (ln *LiveNetwork) InvalidateFingerprints() {
+	ln.probeMu.Lock()
+	ln.fpValid = false
+	ln.probeMu.Unlock()
+}
+
+// nodeFingerprint hashes one process's state. Caller holds the node's
+// step lock.
+func (ln *LiveNetwork) nodeFingerprint(id NodeID) uint64 {
+	ln.recomputes.Add(1)
+	if fp, ok := ln.procs[id].(Fingerprinter); ok {
+		return fp.Fingerprint()
 	}
-	return h
+	return 0
+}
+
+// Fingerprint combines all process states for quiescence detection
+// (processes that do not implement Fingerprinter contribute a
+// constant). It is safe to call concurrently with a running network:
+// each node is snapshotted under its per-node step lock, so a probe
+// sees only whole atomic steps. Only nodes touched since the last probe
+// are re-hashed, and of those only the ones whose StateVersion moved —
+// at quiescence every node still ticks, so the per-probe cost is O(n)
+// version compares and O(changed) hashes, not a full rehash.
+func (ln *LiveNetwork) Fingerprint() uint64 {
+	ln.probeMu.Lock()
+	defer ln.probeMu.Unlock()
+	if !ln.fpValid {
+		var combined uint64
+		for id := range ln.procs {
+			ln.nodeMu[id].Lock()
+			ln.touched[id].Store(false)
+			f := ln.nodeFingerprint(id)
+			if vs := ln.versioners[id]; vs != nil {
+				ln.versions[id] = vs.StateVersion()
+			}
+			ln.nodeMu[id].Unlock()
+			ln.fps[id] = f
+			combined ^= mixNode(id, f)
+		}
+		ln.combined = combined
+		ln.fpValid = true
+		return combined
+	}
+	for id := range ln.procs {
+		// Lock-free fast path: an untouched node took no step since its
+		// last re-hash, so the cached hash is current. A step landing
+		// right after the load is caught by the next probe — exactly the
+		// snapshot semantics quiescence detection needs.
+		if !ln.touched[id].Load() {
+			continue
+		}
+		ln.nodeMu[id].Lock()
+		ln.touched[id].Store(false)
+		if vs := ln.versioners[id]; vs != nil {
+			v := vs.StateVersion()
+			if v == ln.versions[id] {
+				// Touched but version unmoved: the steps were no-ops
+				// (the fixed-point case once the node quiesces).
+				ln.nodeMu[id].Unlock()
+				continue
+			}
+			ln.versions[id] = v
+		}
+		f := ln.nodeFingerprint(id)
+		ln.nodeMu[id].Unlock()
+		if f != ln.fps[id] {
+			ln.combined ^= mixNode(id, ln.fps[id]) ^ mixNode(id, f)
+			ln.fps[id] = f
+		}
+	}
+	return ln.combined
+}
+
+// QuiesceConfig controls RunUntilQuiescent.
+type QuiesceConfig struct {
+	// ProbeInterval is the fingerprint sampling period (default 2ms).
+	ProbeInterval time.Duration
+	// StableProbes is the number of consecutive unchanged fingerprints
+	// required to declare quiescence (default 25). The covered wall-time
+	// window (StableProbes × ProbeInterval) must exceed the protocol's
+	// longest internal timer — for the MDST protocol a full jittered
+	// search retry period — or a slow phase is mistaken for a fixed point.
+	StableProbes int
+	// MaxWait bounds the whole call (default 30s).
+	MaxWait time.Duration
+}
+
+// RunUntilQuiescent starts the network, probes the incremental
+// fingerprint until it is unchanged for StableProbes consecutive probes
+// or MaxWait elapses, then stops the network. It returns the number of
+// probes taken and whether quiescence was observed. Like the
+// deterministic runner's detection it is a heuristic — messages still
+// buffered in channels are invisible to the probe — so callers verify
+// the actual predicate (legitimacy) on the stopped network afterwards.
+func (ln *LiveNetwork) RunUntilQuiescent(cfg QuiesceConfig) (probes int, quiesced bool) {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Millisecond
+	}
+	if cfg.StableProbes <= 0 {
+		cfg.StableProbes = 25
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 30 * time.Second
+	}
+	ln.Start()
+	defer ln.Stop()
+	deadline := time.Now().Add(cfg.MaxWait)
+	ticker := time.NewTicker(cfg.ProbeInterval)
+	defer ticker.Stop()
+	last := ln.Fingerprint()
+	probes = 1
+	stable := 0
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		fp := ln.Fingerprint()
+		probes++
+		if fp == last {
+			stable++
+			if stable >= cfg.StableProbes {
+				return probes, true
+			}
+		} else {
+			last = fp
+			stable = 0
+		}
+	}
+	return probes, false
 }

@@ -523,9 +523,13 @@ func (n *Network) Fingerprint() uint64 {
 
 // MaxStateBits returns the maximum StateBits over all processes, or 0 if
 // unsupported.
-func (n *Network) MaxStateBits() int {
+func (n *Network) MaxStateBits() int { return MaxStateBitsOf(n.procs) }
+
+// MaxStateBitsOf returns the maximum StateBits over the processes, or 0
+// if unsupported — shared by every backend's result collection.
+func MaxStateBitsOf(procs []Process) int {
 	max := 0
-	for _, p := range n.procs {
+	for _, p := range procs {
 		if s, ok := p.(StateSizer); ok {
 			if b := s.StateBits(); b > max {
 				max = b
