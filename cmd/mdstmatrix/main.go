@@ -48,7 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	starts := fs.String("starts", "corrupt", "comma-separated start modes: clean|corrupt|legitimate")
 	variants := fs.String("variants", "core", "comma-separated protocol variants: core|literal")
 	backends := fs.String("backend", "sim", "comma-separated execution backends: sim|live|tcp (sim is deterministic; live/tcp are wall-clock)")
-	deadline := fs.Duration("deadline", 0, "per-run wall-clock budget for the live/tcp backends (0: 30s default)")
+	deadline := fs.Duration("deadline", 0, "per-run wall-clock budget for the live/tcp backends (0: 30s default, or -budget)")
+	budget := fs.Float64("budget", 0, "convergence-aware deadlines for the live/tcp backends: scale each cell's deadline from the paired sim run's observed rounds × tick × this factor (0: fixed -deadline)")
 	faults := fs.String("faults", "none", "comma-separated fault models: none|lossy:RATE|corrupt:K|targeted:ROLE|churn:OP")
 	seeds := fs.Int("seeds", 6, "seeds (runs) per matrix cell")
 	baseSeed := fs.Int64("baseseed", 1, "base seed perturbing every derived run seed")
@@ -89,12 +90,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		spec.Backends = append(spec.Backends, b)
 	}
 	if *deadline < 0 {
-		// A negative budget would silently fall back to the harness's 30s
-		// default; reject it like every other bad flag.
+		// A negative deadline would silently fall back to the harness's
+		// 30s default; reject it like every other bad flag.
 		fmt.Fprintln(stderr, "mdstmatrix: -deadline must be non-negative")
 		return 2
 	}
 	spec.Tuning.Deadline = *deadline
+	spec.Tuning.Budget = *budget
+	if err := spec.Tuning.Validate(); err != nil {
+		fmt.Fprintln(stderr, "mdstmatrix:", err)
+		return 2
+	}
 	// The scheduler axis only exists on the deterministic simulator; when
 	// a wall-clock backend is requested and -scheds was left at its
 	// default, shrink the axis to the sync label instead of expanding

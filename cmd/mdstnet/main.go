@@ -5,12 +5,17 @@
 //
 // It is a thin front-end over the harness's tcp execution backend (the
 // same driver the scenario engine uses for `mdstmatrix -backend tcp`),
-// so the CLI carries no cluster plumbing of its own.
+// so the CLI carries no cluster plumbing of its own. Convergence is
+// detected in-band: the driver polls the cluster's side-channel control
+// connection and stops it only once internal/detect issues a quiescence
+// certificate, which the command reports alongside the restart count
+// (zero on converging runs — the cluster is never stopped just to look).
 //
 // Usage:
 //
 //	mdstnet -family wheel -n 12
 //	mdstnet -family gnp -n 24 -variant literal -corrupt
+//	mdstnet -family wheel -n 12 -budget 8      # deadline scaled from the paired sim run
 package main
 
 import (
@@ -39,8 +44,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "seed for generation and corruption")
 	variant := fs.String("variant", "core", "protocol implementation: core|literal")
 	corrupt := fs.Bool("corrupt", false, "randomize every node state before starting")
-	phase := fs.Duration("phase", 250*time.Millisecond, "length of one run phase between inspections")
-	phases := fs.Int("phases", 40, "maximum number of run phases")
+	probe := fs.Duration("probe", 0, "convergence-detection sampling interval over the control connection (0 = driver default)")
+	deadline := fs.Duration("deadline", 10*time.Second, "total wall-clock budget (ignored when -budget is set)")
+	budget := fs.Float64("budget", 0, "convergence-aware deadline: scale the paired sim run's observed rounds × tick by this factor (0 = fixed -deadline)")
 	tick := fs.Duration("tick", 0, "gossip period (0 = runtime default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,11 +63,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mdstnet: unknown -variant", *variant)
 		return 2
 	}
-	if *phases < 1 || *phase <= 0 {
+	if *probe < 0 || *tick < 0 || *budget < 0 {
+		fmt.Fprintln(stderr, "mdstnet: -probe, -tick and -budget must be non-negative")
+		return 2
+	}
+	if *deadline <= 0 && *budget == 0 {
 		// A zero budget used to run zero phases silently; reject it loudly
 		// (the harness driver would otherwise substitute its 30s default).
-		fmt.Fprintln(stderr, "mdstnet: -phases and -phase must be positive")
+		fmt.Fprintln(stderr, "mdstnet: -deadline must be positive (or set -budget)")
 		return 2
+	}
+	if *budget > 0 {
+		*deadline = 0 // let the budget mode size the deadline
 	}
 	g := fam.Build(*n, rand.New(rand.NewSource(*seed)))
 	fmt.Fprintf(stdout, "graph: n=%d m=%d family=%s\n", g.N(), g.M(), *family)
@@ -78,16 +91,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Backend: harness.BackendTCP,
 		Tuning: harness.BackendTuning{
 			Tick:     *tick,
-			Probe:    *phase,
-			Deadline: time.Duration(*phases) * *phase,
+			Probe:    *probe,
+			Deadline: *deadline,
+			Budget:   *budget,
 		},
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "mdstnet:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "legitimate: %v after %d phase(s), %v wall time\n",
-		res.Legit.OK(), res.Rounds, res.WallTime.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "legitimate: %v after %d probe(s), %v wall time (deadline %v)\n",
+		res.Legit.OK(), res.Rounds, res.WallTime.Round(time.Millisecond),
+		res.Deadline.Round(time.Millisecond))
+	if res.Cert != nil {
+		fmt.Fprintf(stdout, "%s\n", res.Cert)
+		fmt.Fprintf(stdout, "cluster restarts: %d\n", res.Restarts)
+	} else {
+		fmt.Fprintln(stdout, "no quiescence certificate (deadline reached)")
+	}
 
 	if res.Tree == nil {
 		fmt.Fprintln(stderr, "mdstnet: no tree:", res.Legit.Detail)

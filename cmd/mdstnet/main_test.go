@@ -12,9 +12,23 @@ func TestRunCoreOverTCP(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d: %s%s", code, out.String(), errOut.String())
 	}
-	for _, want := range []string{"graph: n=8", "legitimate: true", "tree degree:"} {
+	for _, want := range []string{"graph: n=8", "legitimate: true", "tree degree:",
+		"quiescence certificate:", "cluster restarts: 0"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadTuningFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-probe", "-1ms"},
+		{"-deadline", "0"},
+		{"-budget", "-2"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr: %s)", args, code, errOut.String())
 		}
 	}
 }

@@ -5,24 +5,37 @@
 // The public surface lives in the commands (cmd/mdstsim, cmd/mdstbench,
 // cmd/mdstmatrix, cmd/mdstnet, cmd/mdstviz, cmd/graphgen) and the
 // examples; the library packages are under internal/ (graph, spanning,
-// mdstseq, sim, pif, core, paperproto, localview, netrun, harness,
-// scenario, benchtab, trace, analysis, viz, mc). The protocol is
-// implemented twice — internal/core with the tree-preserving chain
+// mdstseq, sim, pif, core, paperproto, localview, detect, netrun,
+// harness, scenario, benchtab, trace, analysis, viz, mc). The protocol
+// is implemented twice — internal/core with the tree-preserving chain
 // exchange and internal/paperproto with the paper's literal Remove/Back
 // choreography, both storing neighbor views in the shared dense
 // localview tables — and runs under three pluggable execution backends
 // behind one harness orchestration (harness.RunSpec.Backend): "sim",
 // the deterministic seeded simulator (sim.Network — the default and the
 // only bit-reproducible backend); "live", the goroutine-per-node CSP
-// runtime (sim.LiveNetwork) with quiescence detected by probing the
-// incremental fingerprint concurrently with execution; and "tcp", a
-// loopback-socket cluster (internal/netrun), one TCP connection per
-// edge. The scenario engine exposes the backend as a matrix axis
-// (Spec.Backends, `mdstmatrix -backend sim,live,tcp`), runs draw
-// identical workloads and corruptions across backends, and cmd/mdstnet
-// is a thin front-end over the tcp driver. The live and tcp backends
-// execute on the wall clock: their round/message counts vary across
-// repeats, while the legitimacy and Δ*+1 degree claims must not.
+// runtime (sim.LiveNetwork); and "tcp", a loopback-socket cluster
+// (internal/netrun), one TCP connection per edge. The scenario engine
+// exposes the backend as a matrix axis (Spec.Backends, `mdstmatrix
+// -backend sim,live,tcp`), runs draw identical workloads and
+// corruptions across backends, and cmd/mdstnet is a thin front-end over
+// the tcp driver. The live and tcp backends execute on the wall clock:
+// their round/message counts vary across repeats, while the legitimacy
+// and Δ*+1 degree claims must not.
+//
+// Convergence detection is in-band (internal/detect): the composed
+// protocol is silent, so quiescence is its own observable property. A
+// deterministic Dijkstra–Scholten-style detector — per-node state
+// versions as quiescence epochs, the combined state fingerprint, and a
+// zero message deficit over the protocol's reduction kinds, all frozen
+// for a stability window — issues quiescence certificates that both
+// wall-clock drivers use to decide when a stop is worth taking: the
+// live driver feeds it concurrent in-process probes, the tcp driver
+// polls a side-channel control connection (netrun.ProbeConn) so the
+// cluster is never stopped just to look, and converging tcp runs take
+// zero restarts. harness.BackendTuning.Budget additionally scales each
+// wall-clock run's deadline from its paired deterministic sim run
+// (`mdstmatrix -budget`), replacing one-size-fits-all deadlines.
 //
 // The simulator's hot path is incremental end to end, which is what
 // lets scenario matrices scale past n=256 (up to the committed n=1024

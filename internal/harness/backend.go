@@ -1,10 +1,17 @@
 package harness
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
 	"time"
 
 	"mdst/internal/core"
+	"mdst/internal/detect"
+	"mdst/internal/graph"
 	"mdst/internal/netrun"
 	"mdst/internal/sim"
 )
@@ -22,15 +29,18 @@ const (
 	// (rounds, messages and trees depend solely on the spec and seed).
 	BackendSim Backend = "sim"
 	// BackendLive is the goroutine-per-node CSP runtime (sim.LiveNetwork):
-	// real concurrency over Go channels, quiescence detected by probing
-	// the incremental fingerprint concurrently with execution. Wall-clock
+	// real concurrency over Go channels, convergence detected in-band by
+	// feeding concurrent fingerprint/version probes to internal/detect
+	// until a quiescence certificate is issued. Wall-clock
 	// nondeterministic; the legitimacy predicate and the Δ*+1 degree
 	// guarantee are the reproducible claims.
 	BackendLive Backend = "live"
 	// BackendTCP runs one process per node over loopback TCP sockets
 	// (internal/netrun), one connection per edge — the paper's
-	// asynchronous reliable-FIFO model on an actual network stack. Also
-	// wall-clock nondeterministic.
+	// asynchronous reliable-FIFO model on an actual network stack.
+	// Convergence is detected over a side-channel control connection
+	// (netrun.ProbeConn), so the driver never stops the cluster just to
+	// look for quiescence. Also wall-clock nondeterministic.
 	BackendTCP Backend = "tcp"
 )
 
@@ -55,21 +65,57 @@ func ParseBackend(s string) (Backend, error) {
 // messages, tree shape) is a pure function of the spec and seed.
 func (b Backend) Deterministic() bool { return b == BackendSim || b == "" }
 
+// ErrTuning is the named error wrapped by every BackendTuning
+// validation failure (errors.Is-matchable).
+var ErrTuning = errors.New("invalid backend tuning")
+
 // BackendTuning tunes the wall-clock backends (live, tcp); the sim
 // backend ignores it entirely, so it never perturbs deterministic
-// results. Zero values select per-backend defaults.
+// results. Zero durations select per-backend defaults; negative values
+// are invalid and fail Validate loudly (they used to be silently
+// replaced by defaults, or to hang a ticker).
 type BackendTuning struct {
 	// Tick is the gossip period of each node's "do forever" loop
 	// (live default 200µs, tcp default 2ms).
 	Tick time.Duration
-	// Probe is the live backend's fingerprint probe interval (default
-	// 2ms) and the tcp backend's run-phase length between legitimacy
-	// inspections (default 150ms).
+	// Probe is the convergence-detection sampling interval: how often
+	// the driver takes one detect.Sample (live default 2ms over the
+	// in-process probe, tcp default 25ms over the control connection).
 	Probe time.Duration
 	// Deadline is the total wall-clock budget of the run (default 30s).
 	// A run that is not legitimate at the deadline reports
-	// Converged=false.
+	// Converged=false. A positive Deadline takes precedence over
+	// Budget.
 	Deadline time.Duration
+	// Budget switches the deadline to convergence-aware mode: when
+	// positive (and Deadline is zero), the driver first executes the
+	// paired deterministic sim run — same spec, same seed, so the
+	// identical workload and corruptions — and scales its observed
+	// convergence rounds into this run's wall-clock deadline:
+	// Budget × rounds × tick, floored at twice the certificate
+	// stability window plus startup slack. This is what lets wall-clock
+	// matrix cells grow past toy sizes without a one-size-fits-all 30s
+	// budget. If the paired sim run does not converge, the driver falls
+	// back to the 30s default.
+	Budget float64
+}
+
+// Validate checks the tuning for values that would otherwise hang,
+// spin, or be silently replaced. Every failure wraps ErrTuning.
+func (t BackendTuning) Validate() error {
+	if t.Tick < 0 {
+		return fmt.Errorf("harness: %w: negative Tick %v", ErrTuning, t.Tick)
+	}
+	if t.Probe < 0 {
+		return fmt.Errorf("harness: %w: negative Probe %v", ErrTuning, t.Probe)
+	}
+	if t.Deadline < 0 {
+		return fmt.Errorf("harness: %w: negative Deadline %v", ErrTuning, t.Deadline)
+	}
+	if t.Budget < 0 || math.IsNaN(t.Budget) || math.IsInf(t.Budget, 0) {
+		return fmt.Errorf("harness: %w: Budget %v out of range", ErrTuning, t.Budget)
+	}
+	return nil
 }
 
 func (t BackendTuning) deadline() time.Duration {
@@ -79,80 +125,212 @@ func (t BackendTuning) deadline() time.Duration {
 	return 30 * time.Second
 }
 
+// wallParams are a wall-clock driver's resolved knobs.
+type wallParams struct {
+	tick     time.Duration // gossip period
+	probe    time.Duration // detection sampling interval
+	window   time.Duration // stability window the certificate must cover
+	stable   int           // consecutive stable probes = window/probe
+	deadline time.Duration // total wall-clock budget
+}
+
+// resolveWall turns the spec's tuning into driver parameters. The
+// stability window mirrors the sim backend's QuiesceRounds formula,
+// converted from rounds to wall time via the tick period: it must cover
+// a full jittered search retry period or a slow-searching configuration
+// is declared quiescent before its reduction fires. With Budget set
+// (and no explicit Deadline) it executes the paired sim run to size the
+// deadline.
+func resolveWall(spec RunSpec, ops variantOps, tickDefault, probeDefault time.Duration) (wallParams, error) {
+	p := wallParams{tick: spec.Tuning.Tick, probe: spec.Tuning.Probe}
+	if p.tick <= 0 {
+		p.tick = tickDefault
+	}
+	if p.probe <= 0 {
+		p.probe = probeDefault
+	}
+	p.window = time.Duration(QuiesceWindowRounds(spec.Graph.N(), ops.cfg.SearchPeriod)) * p.tick
+	p.stable = int(p.window/p.probe) + 1
+	p.deadline = spec.Tuning.Deadline
+	if p.deadline == 0 && spec.Tuning.Budget > 0 {
+		d, err := budgetDeadline(spec, ops, p)
+		if err != nil {
+			return p, err
+		}
+		p.deadline = d
+	}
+	if p.deadline <= 0 {
+		p.deadline = spec.Tuning.deadline()
+	}
+	return p, nil
+}
+
+// budgetKey identifies a paired sim instance for the budget cache: it
+// captures every input the deterministic sim result depends on for a
+// wall-clock spec (DropRate/TrackSafety/MaxRounds are rejected on
+// wall-clock backends, so they are always zero here).
+type budgetKey struct {
+	seed         int64
+	start        StartMode
+	variant      Variant
+	corruptNodes int
+	targets      string
+	cfg          core.Config
+	graph        uint64
+}
+
+// budgetRounds caches pairedSimRounds results so a matrix running both
+// wall-clock backends (and possibly the sim backend itself) over the
+// same paired instance pays for the sim pairing once per process, not
+// once per wall-clock cell. One small entry per distinct instance.
+var budgetRounds sync.Map // budgetKey -> int (rounds; -1: did not converge)
+
+// graphHash folds the exact topology into the budget key.
+func graphHash(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	write(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			write(v)
+		}
+		write(-1)
+	}
+	return h.Sum64()
+}
+
+// pairedSimRounds executes (or recalls) the paired deterministic sim
+// instance — same spec and seed, so the same graph and corruptions; run
+// seeds already exclude the backend axis — and reports its observed
+// convergence rounds, -1 when it did not converge. Deterministic, so a
+// cache hit returns exactly what a re-run would.
+func pairedSimRounds(spec RunSpec, ops variantOps) (int, error) {
+	key := budgetKey{
+		seed:         spec.Seed,
+		start:        spec.Start,
+		variant:      spec.Variant,
+		corruptNodes: spec.CorruptNodes,
+		targets:      fmt.Sprint(spec.CorruptTargets),
+		cfg:          ops.cfg,
+		graph:        graphHash(spec.Graph),
+	}
+	if v, ok := budgetRounds.Load(key); ok {
+		return v.(int), nil
+	}
+	simSpec := spec
+	simSpec.Backend = BackendSim
+	simSpec.Tuning = BackendTuning{}
+	res, err := Run(simSpec)
+	if err != nil {
+		return 0, fmt.Errorf("harness: budget pairing: %w", err)
+	}
+	rounds := -1
+	if res.Converged {
+		rounds = res.Rounds
+	}
+	budgetRounds.Store(key, rounds)
+	return rounds, nil
+}
+
+// budgetDeadline scales the paired sim run's convergence rounds into a
+// wall-clock budget. Returns zero (caller defaults) when the sim run
+// does not converge.
+func budgetDeadline(spec RunSpec, ops variantOps, p wallParams) (time.Duration, error) {
+	rounds, err := pairedSimRounds(spec, ops)
+	if err != nil {
+		return 0, err
+	}
+	if rounds < 0 {
+		return 0, nil
+	}
+	d := time.Duration(spec.Tuning.Budget * float64(rounds) * float64(p.tick))
+	if min := 2*p.window + 250*time.Millisecond; d < min {
+		d = min
+	}
+	return d, nil
+}
+
 // runLive executes the spec on the goroutine-per-node runtime. The
-// driver alternates quiescence-detection bursts (concurrent fingerprint
-// probing, O(changed) per probe) with legitimacy checks on the stopped
-// network, until the configuration is legitimate or the deadline lapses:
-// fingerprint stability is a heuristic — messages buffered in channels
-// are invisible to the probe — so legitimacy on the quiesced state is
-// what declares convergence, mirroring Theorem 1's closure argument.
+// driver samples the network in-band (concurrent fingerprint + version
+// probes, O(changed) per probe) and feeds a detect.Detector; once a
+// quiescence certificate is issued it stops the network and verifies
+// the legitimacy predicate — the certificate attests observed
+// stability, legitimacy on the quiesced state is what declares
+// convergence, mirroring Theorem 1's closure argument. A failed check
+// resumes the run (counted in Result.Restarts) until the deadline.
 func runLive(spec RunSpec, ops variantOps) (Result, error) {
 	g := spec.Graph
-	n := g.N()
-	tick := spec.Tuning.Tick
-	if tick <= 0 {
-		tick = 200 * time.Microsecond
-	}
-	probe := spec.Tuning.Probe
-	if probe <= 0 {
-		probe = 2 * time.Millisecond
+	p, err := resolveWall(spec, ops, 200*time.Microsecond, 2*time.Millisecond)
+	if err != nil {
+		return Result{Backend: BackendLive}, err
 	}
 
 	begin := time.Now()
-	ln := sim.NewLiveNetwork(g, ops.factory, sim.LiveConfig{TickInterval: tick})
+	ln := sim.NewLiveNetwork(g, ops.factory, sim.LiveConfig{
+		TickInterval: p.tick,
+		ActiveKinds:  ops.kinds,
+	})
 	procs, res0, ok := buildInitial(spec, ops, ln.Process)
 	if !ok {
 		return res0, nil
 	}
 
-	// The stability window mirrors the sim backend's QuiesceRounds
-	// formula, converted from rounds to wall time via the tick period: it
-	// must cover a full jittered search retry period or a slow-searching
-	// configuration is declared quiescent before its reduction fires.
-	window := time.Duration(2*n+40+2*ops.cfg.SearchPeriod) * tick
-	stable := int(window/probe) + 1
+	det := detect.New(detect.Config{Window: p.stable, Backend: string(BackendLive)})
+	deadline := begin.Add(p.deadline)
+	var cert *detect.Certificate
+	restarts := 0
 
-	deadline := begin.Add(spec.Tuning.deadline())
-	probes := 0
-	var leg core.Legitimacy
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
+	ln.Start()
+	running := true
+	ticker := time.NewTicker(p.probe)
+	defer ticker.Stop()
+	for cert == nil && time.Now().Before(deadline) {
+		<-ticker.C
+		c, issued := det.Observe(ln.ProbeSample())
+		if !issued {
+			continue
+		}
+		ln.Stop()
+		running = false
+		if ops.legit(g, procs).OK() {
+			cert = &c
 			break
 		}
-		p, quiesced := ln.RunUntilQuiescent(sim.QuiesceConfig{
-			ProbeInterval: probe,
-			StableProbes:  stable,
-			MaxWait:       remain,
-		})
-		probes += p
-		leg = ops.legit(g, procs)
-		if quiesced && leg.OK() {
-			break
-		}
+		// Certified stability but not legitimacy (a pseudo-fixed point
+		// outlasted the window): resume and re-establish stability.
+		det.Reset()
+		restarts++
+		ln.Start()
+		running = true
 	}
-	if probes == 0 {
-		// Degenerate budget: the loop never ran, so judge the untouched
-		// initial configuration.
-		leg = ops.legit(g, procs)
+	if running {
+		ln.Stop()
 	}
-	// Legitimacy at exit decides convergence — same contract as the tcp
-	// driver and the Tuning.Deadline doc. Quiescence only ends the loop
-	// early; a run that turns legitimate right at the deadline, before a
-	// full stability window elapses, still converged.
+	// Legitimacy at exit decides convergence together with the
+	// certificate — a certificate alone is stability, not correctness,
+	// and legitimacy without certified quiescence (e.g. reached right at
+	// the deadline) still counts, same contract as before the rebase.
+	leg := ops.legit(g, procs)
 	converged := leg.OK()
 
 	exch, aborts := ops.stats(procs)
 	out := Result{
 		Backend:       BackendLive,
 		Converged:     converged,
-		Rounds:        probes,
-		LastChange:    probes,
+		Rounds:        int(det.Epoch()),
+		LastChange:    int(det.Epoch()),
 		Legit:         leg,
 		TotalMessages: ln.Sent(),
 		MaxStateBits:  sim.MaxStateBitsOf(procs),
 		Exchanges:     exch,
 		Aborts:        aborts,
+		Cert:          cert,
+		Restarts:      restarts,
+		Deadline:      p.deadline,
 		WallTime:      time.Since(begin),
 	}
 	if t, err := ops.tree(g, procs); err == nil {
@@ -161,54 +339,101 @@ func runLive(spec RunSpec, ops variantOps) (Result, error) {
 	return out, nil
 }
 
-// runTCP executes the spec on the loopback TCP cluster. Process state is
-// only inspectable while the cluster is stopped, so the driver uses the
-// restartable run-phase loop: run for a phase, stop, check legitimacy,
-// resume — for a self-stabilizing protocol the restarts are just more
-// asynchrony (in-flight messages are lost and must be tolerated).
+// runTCP executes the spec on the loopback TCP cluster. The driver
+// watches for quiescence entirely in-band: it dials the cluster's
+// side-channel control connection and feeds the probe samples (per-node
+// quiescence epochs, combined fingerprint, active-kind deficit) to a
+// detect.Detector, stopping the cluster only once — after a stable
+// certificate — to verify legitimacy. On converging runs the cluster is
+// therefore never restarted (Cluster.Restarts stays zero), replacing
+// the old stop-the-world run-phase loop; a failed legitimacy check
+// resumes the cluster, which for a self-stabilizing protocol is just
+// more asynchrony.
 func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 	g := spec.Graph
-	phase := spec.Tuning.Probe
-	if phase <= 0 {
-		phase = 150 * time.Millisecond
-	}
-	maxPhases := int(spec.Tuning.deadline() / phase)
-	if maxPhases < 1 {
-		maxPhases = 1
+	p, err := resolveWall(spec, ops, 2*time.Millisecond, 25*time.Millisecond)
+	if err != nil {
+		return Result{Backend: BackendTCP}, err
 	}
 
 	begin := time.Now()
-	c := netrun.NewCluster(g, ops.factory, netrun.Config{TickInterval: spec.Tuning.Tick})
+	c := netrun.NewCluster(g, ops.factory, netrun.Config{
+		TickInterval: p.tick,
+		ActiveKinds:  ops.kinds,
+	})
 	procs, res0, ok := buildInitial(spec, ops, c.Process)
 	if !ok {
 		return res0, nil
 	}
 
-	phases := 0
-	var leg core.Legitimacy
-	ok, err := c.RunUntil(phase, maxPhases, func() bool {
-		phases++
-		leg = ops.legit(g, procs)
-		return leg.OK()
-	})
-	if err != nil {
-		// Unlike the in-process backends, TCP execution itself can fail
-		// (listen/dial); surface it as the run's error.
+	// Unlike the in-process backends, TCP execution itself can fail
+	// (listen/dial); surface it as the run's error.
+	if err := c.Start(); err != nil {
 		return Result{Backend: BackendTCP}, fmt.Errorf("harness: tcp backend: %w", err)
 	}
+	probe, err := netrun.DialProbe(c.ControlAddr())
+	if err != nil {
+		c.Stop()
+		return Result{Backend: BackendTCP}, fmt.Errorf("harness: tcp backend: %w", err)
+	}
+
+	det := detect.New(detect.Config{Window: p.stable, Backend: string(BackendTCP)})
+	deadline := begin.Add(p.deadline)
+	var cert *detect.Certificate
+
+	running := true
+	ticker := time.NewTicker(p.probe)
+	defer ticker.Stop()
+	for cert == nil && time.Now().Before(deadline) {
+		<-ticker.C
+		s, err := probe.Sample()
+		if err != nil {
+			probe.Close()
+			c.Stop()
+			return Result{Backend: BackendTCP}, fmt.Errorf("harness: tcp backend: %w", err)
+		}
+		crt, issued := det.Observe(s)
+		if !issued {
+			continue
+		}
+		probe.Close()
+		c.Stop()
+		running = false
+		if ops.legit(g, procs).OK() {
+			cert = &crt
+			break
+		}
+		det.Reset()
+		if err := c.Start(); err != nil {
+			return Result{Backend: BackendTCP}, fmt.Errorf("harness: tcp backend: restart: %w", err)
+		}
+		running = true
+		if probe, err = netrun.DialProbe(c.ControlAddr()); err != nil {
+			c.Stop()
+			return Result{Backend: BackendTCP}, fmt.Errorf("harness: tcp backend: %w", err)
+		}
+	}
+	if running {
+		probe.Close()
+		c.Stop()
+	}
+	leg := ops.legit(g, procs)
 
 	exch, aborts := ops.stats(procs)
 	out := Result{
 		Backend:       BackendTCP,
-		Converged:     ok,
-		Rounds:        phases,
-		LastChange:    phases,
+		Converged:     leg.OK(),
+		Rounds:        int(det.Epoch()),
+		LastChange:    int(det.Epoch()),
 		Legit:         leg,
 		TotalMessages: c.Sent(),
 		MaxStateBits:  sim.MaxStateBitsOf(procs),
 		Dropped:       c.Dropped(),
 		Exchanges:     exch,
 		Aborts:        aborts,
+		Cert:          cert,
+		Restarts:      c.Restarts(),
+		Deadline:      p.deadline,
 		WallTime:      time.Since(begin),
 	}
 	if t, err := ops.tree(g, procs); err == nil {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -43,6 +44,25 @@ func smokeCheck(t *testing.T, res Result, wantBackend Backend) {
 	}
 	if res.TotalMessages <= 0 {
 		t.Fatalf("backend %s: no message accounting", wantBackend)
+	}
+	// Convergence is decided by internal/detect certificates on the
+	// wall-clock backends (and attested on sim): a converged run must
+	// carry one, with the frozen active-kind counters balanced.
+	if res.Cert == nil {
+		t.Fatalf("backend %s: converged without a quiescence certificate", wantBackend)
+	}
+	if res.Cert.Backend != string(wantBackend) {
+		t.Fatalf("certificate backend %q, want %q", res.Cert.Backend, wantBackend)
+	}
+	if res.Cert.Sent != res.Cert.Received {
+		t.Fatalf("backend %s: certificate deficit %d", wantBackend, res.Cert.Sent-res.Cert.Received)
+	}
+	if res.Restarts != 0 {
+		t.Fatalf("backend %s: %d restarts on a converging run (in-band detection should need none)",
+			wantBackend, res.Restarts)
+	}
+	if wantBackend != BackendSim && res.Deadline <= 0 {
+		t.Fatalf("backend %s: effective deadline not recorded", wantBackend)
 	}
 }
 
@@ -126,6 +146,104 @@ func TestBackendValidation(t *testing.T) {
 	}
 	if err := (RunSpec{Graph: g, Backend: BackendLive, Scheduler: SchedSync}).Validate(); err != nil {
 		t.Fatalf("live+sync rejected: %v", err)
+	}
+}
+
+// Acceptance: on a converging run the tcp driver performs ZERO cluster
+// restarts for legitimacy probing — quiescence is watched over the
+// side-channel control connection and the cluster is stopped exactly
+// once, after a stable certificate. The restart counter is maintained
+// by netrun.Cluster itself, so a driver regression (e.g. falling back
+// to the old restart-per-inspection loop) cannot hide.
+func TestBackendTCPZeroRestartsOnConvergence(t *testing.T) {
+	g := graph.Wheel(8)
+	res, err := Run(RunSpec{
+		Graph:   g,
+		Start:   StartCorrupt,
+		Seed:    19,
+		Backend: BackendTCP,
+		Tuning:  smokeTuning(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smokeCheck(t, res, BackendTCP)
+	if res.Restarts != 0 {
+		t.Fatalf("tcp driver restarted the cluster %d times on a converging run", res.Restarts)
+	}
+	if res.Cert == nil || res.Cert.Epoch == 0 {
+		t.Fatalf("tcp convergence without a probe-derived certificate: %+v", res.Cert)
+	}
+}
+
+// Satellite: Tuning fields are validated loudly with a named error
+// instead of hanging a ticker or silently substituting defaults for
+// negative values.
+func TestTuningValidation(t *testing.T) {
+	g := graph.Ring(6)
+	bad := []BackendTuning{
+		{Tick: -time.Millisecond},
+		{Probe: -time.Millisecond},
+		{Deadline: -time.Second},
+		{Budget: -1},
+	}
+	for _, backend := range []Backend{BackendLive, BackendTCP} {
+		for i, tn := range bad {
+			_, err := Run(RunSpec{Graph: g, Backend: backend, Tuning: tn})
+			if err == nil {
+				t.Fatalf("%s case %d: bad tuning %+v accepted", backend, i, tn)
+			}
+			if !errors.Is(err, ErrTuning) {
+				t.Fatalf("%s case %d: error %v does not wrap ErrTuning", backend, i, err)
+			}
+		}
+	}
+	// Zero values stay the documented "use the per-backend default".
+	if err := (BackendTuning{}).Validate(); err != nil {
+		t.Fatalf("zero tuning rejected: %v", err)
+	}
+	// The sim backend ignores tuning entirely, so it is not validated
+	// there — a deterministic spec cannot start failing because of a
+	// field the backend never reads.
+	if err := (RunSpec{Graph: g, Tuning: BackendTuning{Tick: -1}}).Validate(); err != nil {
+		t.Fatalf("sim spec rejected over ignored tuning: %v", err)
+	}
+}
+
+// Tuning.Budget sizes the wall-clock deadline from the paired
+// deterministic sim run instead of the one-size-fits-all 30s default.
+func TestBackendBudgetDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock budget run")
+	}
+	g := graph.Wheel(8)
+	res, err := Run(RunSpec{
+		Graph:   g,
+		Start:   StartCorrupt,
+		Seed:    11,
+		Backend: BackendLive,
+		Tuning:  BackendTuning{Budget: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smokeCheck(t, res, BackendLive)
+	if res.Deadline <= 0 || res.Deadline >= 30*time.Second {
+		t.Fatalf("budget deadline %v not derived from the paired sim run", res.Deadline)
+	}
+	// An explicit deadline takes precedence over the budget.
+	res2, err := Run(RunSpec{
+		Graph:   g,
+		Start:   StartCorrupt,
+		Seed:    11,
+		Backend: BackendLive,
+		Tuning:  BackendTuning{Budget: 200, Deadline: 17 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Deadline != 17*time.Second {
+		t.Fatalf("explicit deadline overridden by budget: %v", res2.Deadline)
 	}
 }
 

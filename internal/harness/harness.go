@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mdst/internal/core"
+	"mdst/internal/detect"
 	"mdst/internal/graph"
 	"mdst/internal/mdstseq"
 	"mdst/internal/sim"
@@ -184,6 +185,19 @@ type Result struct {
 	// WallTime is the run's wall-clock duration — excluded from JSON so
 	// serialized results stay byte-identical across machines and reruns.
 	WallTime time.Duration `json:"-"`
+	// Cert is the quiescence certificate that decided convergence
+	// (internal/detect): nil when the run never certified (deadline, or
+	// a sim run that hit MaxRounds). Excluded from JSON — the wall-clock
+	// backends' certificates vary across repeats, and the committed sim
+	// matrix baseline predates certificates.
+	Cert *detect.Certificate `json:"-"`
+	// Restarts counts how many times a wall-clock driver had to resume
+	// execution after a certified-but-not-legitimate stop. Zero on
+	// converging runs — the acceptance claim of in-band detection.
+	Restarts int `json:"-"`
+	// Deadline is the effective wall-clock budget the driver ran under
+	// (after Tuning.Budget resolution); zero for the sim backend.
+	Deadline time.Duration `json:"-"`
 }
 
 // Validate checks the spec invariants that would otherwise blow up deep
@@ -224,8 +238,25 @@ func (s RunSpec) Validate() error {
 		if s.MaxRounds > 0 {
 			return fmt.Errorf("harness: MaxRounds requires the sim backend (got %q); bound wall-clock runs with Tuning.Deadline", s.backend())
 		}
+		// A malformed tuning would otherwise hang a ticker or silently
+		// substitute defaults for negative values deep inside a driver.
+		if err := s.Tuning.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// QuiesceWindowRounds is the stability window (in asynchronous rounds)
+// that quiescence must hold before it is believed: it must cover a full
+// jittered search retry period, or a slow-searching configuration is
+// declared quiescent before its reduction ever fires. Every detection
+// path derives its window from this one formula — the sim run loop, the
+// wall-clock drivers (converted to wall time via the tick period), and
+// the churn executor's re-stabilization run — so they cannot drift
+// apart.
+func QuiesceWindowRounds(n, searchPeriod int) int {
+	return 2*n + 40 + 2*searchPeriod
 }
 
 // Run executes one experiment run on the spec's backend. The error
@@ -284,13 +315,11 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 			return true
 		}
 	}
+	quiesceRounds := QuiesceWindowRounds(n, ops.cfg.SearchPeriod)
 	res := net.Run(sim.RunConfig{
-		Scheduler: NewScheduler(spec.Scheduler),
-		MaxRounds: maxRounds,
-		// The stability window must cover a full (jittered) search retry
-		// period, or a slow-searching configuration can be declared
-		// quiescent before its reduction ever fires.
-		QuiesceRounds: 2*n + 40 + 2*ops.cfg.SearchPeriod,
+		Scheduler:     NewScheduler(spec.Scheduler),
+		MaxRounds:     maxRounds,
+		QuiesceRounds: quiesceRounds,
 		ActiveKinds:   ops.kinds,
 		OnRound:       onRound,
 	})
@@ -312,6 +341,27 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 	}
 	for _, c := range out.Metrics.SentByKind {
 		out.TotalMessages += c
+	}
+	if res.Converged {
+		// The sim backend's certificate, assembled from the quiesced
+		// state the run loop already computed: no extra hashing, so the
+		// deterministic FingerprintRecomputes figure of merit (and every
+		// serialized result) is unchanged by certification. Active-kind
+		// counters are equal by construction — Run only declares
+		// quiescence once the active kinds drained.
+		var activeSent int64
+		for _, k := range ops.kinds {
+			activeSent += out.Metrics.SentByKind[k]
+		}
+		out.Cert = &detect.Certificate{
+			Backend:     string(BackendSim),
+			Epoch:       uint64(res.Rounds),
+			Window:      quiesceRounds,
+			Versions:    net.StateVersions(),
+			Fingerprint: net.LastFingerprint(),
+			Sent:        activeSent,
+			Received:    activeSent,
+		}
 	}
 	if t, err := ops.tree(g, procs); err == nil {
 		out.Tree = t

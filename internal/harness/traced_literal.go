@@ -79,7 +79,7 @@ func RunTracedLiteral(spec RunSpec, every int) (Result, *trace.Series) {
 	res := net.Run(sim.RunConfig{
 		Scheduler:     NewScheduler(spec.Scheduler),
 		MaxRounds:     maxRounds,
-		QuiesceRounds: 2*n + 40 + 2*cfg.SearchPeriod,
+		QuiesceRounds: QuiesceWindowRounds(n, cfg.SearchPeriod),
 		ActiveKinds:   paperproto.ReductionKinds(),
 		OnRound: func(r int) bool {
 			if (r+1)%every == 0 {

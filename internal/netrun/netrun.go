@@ -11,6 +11,16 @@
 // (messages in flight at Stop are lost, which the protocol must — and
 // does — tolerate), so tests can alternate run phases with safe
 // state inspections until the configuration is legitimate.
+//
+// Convergence is detectable in-band, without stopping anything: every
+// node loop publishes its process's quiescence epoch (StateVersion) and
+// state hash after each step, and Start opens a side-channel control
+// listener serving those observations over a dedicated TCP connection
+// (DialProbe / ProbeConn.Sample). A driver feeds the samples to a
+// detect.Detector and only stops the cluster once a quiescence
+// certificate is issued — which is how the harness's tcp driver avoids
+// the stop-the-world restart-per-inspection loop entirely on converging
+// runs (Restarts counts the re-starts it did need).
 package netrun
 
 import (
@@ -21,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mdst/internal/detect"
 	"mdst/internal/graph"
 	"mdst/internal/sim"
 )
@@ -46,6 +57,13 @@ type Config struct {
 	// protocol's periodic gossip refreshes any lost state, and dropping
 	// beats deadlocking the node loop.
 	OutboxSize int
+	// ActiveKinds names the message kinds whose sent/received counters
+	// feed the control channel's quiescence samples (the protocol's
+	// reduction kinds: they must both drain and stop flowing at the
+	// fixed point, while periodic gossip keeps going forever). Empty
+	// disables the accounting; probes then report a zero deficit and
+	// detection rests on version-vector and fingerprint stability.
+	ActiveKinds []string
 }
 
 // Cluster runs one process per node of g over loopback TCP.
@@ -56,6 +74,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	running bool
+	starts  int // Start calls so far; starts-1 is the restart count
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	inbox   []chan envelope
@@ -64,13 +83,55 @@ type Cluster struct {
 	conns   []net.Conn
 	dropped atomic.Int64
 	sent    atomic.Int64
+
+	// In-band quiescence observation. Each node loop publishes its
+	// process's state version and state hash into these after every
+	// step (single-writer: the node's own goroutine), and the control
+	// channel reads them — no locks, no stopping the cluster.
+	versioners []sim.StateVersioner
+	fpers      []sim.Fingerprinter
+	versions   []atomic.Uint64
+	fps        []atomic.Uint64
+
+	// Active-kind accounting for the Dijkstra–Scholten deficit.
+	// activeLost absorbs active messages lost to a Stop (in-flight
+	// messages die with the connections): Start re-baselines it so the
+	// published deficit counts only messages genuinely in flight since
+	// the current phase began. Lost messages are counted as settled —
+	// the self-stabilizing protocol re-issues any work they carried.
+	active     map[string]struct{}
+	activeSent atomic.Int64
+	activeRecv atomic.Int64
+	activeLost atomic.Int64
+
+	// Control channel: one listener per running cluster, any number of
+	// probe connections. ctlMu guards the connection list (handlers
+	// register concurrently with Stop closing them).
+	ctlLn    net.Listener
+	ctlMu    sync.Mutex
+	ctlConns []net.Conn
 }
 
 // Dropped returns the number of messages dropped by full outboxes.
 func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
 
 // Sent returns the number of messages accepted onto outboxes so far.
+// The counter accumulates across Stop/Start cycles — a restart never
+// resets it, so drivers can report whole-run traffic.
 func (c *Cluster) Sent() int64 { return c.sent.Load() }
+
+// Restarts returns how many times the cluster has been re-started after
+// its first Start. The harness's tcp driver asserts this stays zero on
+// converging runs: certificate-gated probing needs no stop-the-world
+// inspections.
+func (c *Cluster) Restarts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.starts > 1 {
+		return c.starts - 1
+	}
+	return 0
+}
 
 // NewCluster builds the cluster. The factory contract matches
 // sim.NewNetwork: called once per node in ID order.
@@ -81,9 +142,29 @@ func NewCluster(g *graph.Graph, factory func(id int, neighbors []int) sim.Proces
 	if cfg.OutboxSize <= 0 {
 		cfg.OutboxSize = 1024
 	}
-	c := &Cluster{g: g, cfg: cfg, procs: make([]sim.Process, g.N())}
-	for id := 0; id < g.N(); id++ {
+	n := g.N()
+	c := &Cluster{
+		g: g, cfg: cfg,
+		procs:      make([]sim.Process, n),
+		versioners: make([]sim.StateVersioner, n),
+		fpers:      make([]sim.Fingerprinter, n),
+		versions:   make([]atomic.Uint64, n),
+		fps:        make([]atomic.Uint64, n),
+	}
+	if len(cfg.ActiveKinds) > 0 {
+		c.active = make(map[string]struct{}, len(cfg.ActiveKinds))
+		for _, k := range cfg.ActiveKinds {
+			c.active[k] = struct{}{}
+		}
+	}
+	for id := 0; id < n; id++ {
 		c.procs[id] = factory(id, g.Neighbors(id))
+		if vs, ok := c.procs[id].(sim.StateVersioner); ok {
+			c.versioners[id] = vs
+		}
+		if fp, ok := c.procs[id].(sim.Fingerprinter); ok {
+			c.fpers[id] = fp
+		}
 	}
 	return c
 }
@@ -105,6 +186,12 @@ func (c *Cluster) Start() error {
 	}
 	n := c.g.N()
 	c.stop = make(chan struct{})
+	c.starts++
+	// Re-baseline the in-flight accounting: whatever active messages the
+	// previous phase left undelivered died with its connections, so they
+	// are settled (lost), not in flight. Counters are frozen while
+	// stopped, so this read-modify-write is race-free.
+	c.activeLost.Store(c.activeSent.Load() - c.activeRecv.Load())
 	c.inbox = make([]chan envelope, n)
 	c.outbox = make([]map[int]chan sim.Message, n)
 	c.lns = make([]net.Listener, n)
@@ -127,6 +214,20 @@ func (c *Cluster) Start() error {
 		c.lns[id] = ln
 		addrs[id] = ln.Addr().String()
 	}
+
+	// Side-channel control listener: probe clients query the cluster's
+	// quiescence observations here while it runs.
+	ctl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.teardownLocked()
+		return fmt.Errorf("netrun: control listen: %w", err)
+	}
+	c.ctlLn = ctl
+	c.ctlMu.Lock()
+	c.ctlConns = nil
+	c.ctlMu.Unlock()
+	c.wg.Add(1)
+	go c.serveControl(ctl, c.stop)
 
 	// Accept side: each node expects one connection per lower-ID
 	// neighbor; the dialer sends a hello naming itself.
@@ -206,6 +307,37 @@ func (c *Cluster) Start() error {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
+			// Publish this node's quiescence epoch (state version) and
+			// state hash for the control channel after every step. The
+			// node's own goroutine is the single writer; the StateVersion
+			// fast path skips re-hashing when the version did not move,
+			// so a quiesced node's ticks publish nothing.
+			vs, fper := c.versioners[id], c.fpers[id]
+			var lastV uint64
+			published := false
+			publish := func() {
+				if vs != nil {
+					v := vs.StateVersion()
+					if published && v == lastV {
+						return
+					}
+					lastV = v
+				}
+				var f uint64
+				if fper != nil {
+					f = fper.Fingerprint()
+				}
+				c.fps[id].Store(f)
+				if vs != nil {
+					c.versions[id].Store(lastV)
+				} else {
+					// No version to report: the state hash doubles as the
+					// quiescence epoch (it moves exactly when state does).
+					c.versions[id].Store(f)
+				}
+				published = true
+			}
+			publish()
 			ticker := time.NewTicker(c.cfg.TickInterval)
 			defer ticker.Stop()
 			for {
@@ -214,8 +346,15 @@ func (c *Cluster) Start() error {
 					return
 				case env := <-c.inbox[id]:
 					c.procs[id].Receive(ctx, env.From, env.Msg)
+					if c.active != nil {
+						if _, ok := c.active[env.Msg.Kind()]; ok {
+							c.activeRecv.Add(1)
+						}
+					}
+					publish()
 				case <-ticker.C:
 					c.procs[id].Tick(ctx)
+					publish()
 				}
 			}
 		}()
@@ -272,9 +411,166 @@ func (c *Cluster) send(from, to int, m sim.Message) {
 	select {
 	case q <- m:
 		c.sent.Add(1)
+		if c.active != nil {
+			if _, ok := c.active[m.Kind()]; ok {
+				c.activeSent.Add(1)
+			}
+		}
 	default:
+		// Dropped before entering any queue: never counted as sent, so
+		// the active-kind deficit stays balanced.
 		c.dropped.Add(1)
 	}
+}
+
+// probeRequest and probeReply are the control channel's wire format. A
+// client sends a sequenced request and gets the cluster's current
+// quiescence observation back.
+type probeRequest struct {
+	Seq uint64
+}
+
+type probeReply struct {
+	Seq uint64
+	// Versions is the per-node quiescence-epoch vector (state versions,
+	// or state hashes for processes that report none).
+	Versions []uint64
+	// Fingerprint is the combined state fingerprint (detect.Combine of
+	// the published per-node hashes).
+	Fingerprint uint64
+	// ActiveSent and ActiveReceived are the active-kind message
+	// counters; received includes messages settled as lost by restarts,
+	// so the difference is the genuine in-flight deficit.
+	ActiveSent     int64
+	ActiveReceived int64
+}
+
+// probeReply builds one observation. The counter ordering is
+// conservative: received is loaded before the per-node scan and sent
+// after it, so the reported deficit can only overestimate the number of
+// active messages in flight — a skewed sample delays a certificate,
+// never forges one.
+func (c *Cluster) probeReply(seq uint64) probeReply {
+	n := len(c.procs)
+	r := probeReply{Seq: seq, Versions: make([]uint64, n)}
+	r.ActiveReceived = c.activeRecv.Load() + c.activeLost.Load()
+	var combined uint64
+	for id := 0; id < n; id++ {
+		r.Versions[id] = c.versions[id].Load()
+		combined ^= detect.MixNode(id, c.fps[id].Load())
+	}
+	r.Fingerprint = combined
+	r.ActiveSent = c.activeSent.Load()
+	return r
+}
+
+// serveControl accepts probe connections until the listener closes and
+// answers each request with the current observation.
+func (c *Cluster) serveControl(ln net.Listener, stop chan struct{}) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Stop/teardown
+		}
+		c.ctlMu.Lock()
+		select {
+		case <-stop:
+			// Stop already ran (or is closing conns): don't register a
+			// connection nobody will close.
+			c.ctlMu.Unlock()
+			conn.Close()
+			continue
+		default:
+		}
+		c.ctlConns = append(c.ctlConns, conn)
+		c.ctlMu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req probeRequest
+				if err := dec.Decode(&req); err != nil {
+					return // client gone or teardown
+				}
+				if err := enc.Encode(c.probeReply(req.Seq)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// ControlAddr returns the control listener's address. Only meaningful
+// while the cluster is running; empty otherwise.
+func (c *Cluster) ControlAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.running || c.ctlLn == nil {
+		return ""
+	}
+	return c.ctlLn.Addr().String()
+}
+
+// ProbeConn is a client of a running cluster's control channel. It is
+// the side channel the harness's tcp driver uses to watch for
+// quiescence without stopping the cluster; one request/reply round trip
+// per Sample. Not safe for concurrent use.
+type ProbeConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	seq  uint64
+}
+
+// DialProbe connects to a cluster's control channel (ControlAddr).
+func DialProbe(addr string) (*ProbeConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: dial control: %w", err)
+	}
+	return &ProbeConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Sample fetches one quiescence observation, shaped for detect.Detector.
+func (p *ProbeConn) Sample() (detect.Sample, error) {
+	p.seq++
+	if err := p.enc.Encode(probeRequest{Seq: p.seq}); err != nil {
+		return detect.Sample{}, fmt.Errorf("netrun: probe request: %w", err)
+	}
+	var r probeReply
+	if err := p.dec.Decode(&r); err != nil {
+		return detect.Sample{}, fmt.Errorf("netrun: probe reply: %w", err)
+	}
+	if r.Seq != p.seq {
+		return detect.Sample{}, fmt.Errorf("netrun: probe reply out of sequence: got %d want %d", r.Seq, p.seq)
+	}
+	return detect.Sample{
+		Versions:       r.Versions,
+		Fingerprint:    r.Fingerprint,
+		ActiveSent:     r.ActiveSent,
+		ActiveReceived: r.ActiveReceived,
+	}, nil
+}
+
+// Close closes the control connection.
+func (p *ProbeConn) Close() error { return p.conn.Close() }
+
+// closeControlLocked shuts the control listener and every registered
+// probe connection. Caller holds mu; close(stop) must already have
+// happened so late registrations see the closed channel.
+func (c *Cluster) closeControlLocked() {
+	if c.ctlLn != nil {
+		c.ctlLn.Close()
+	}
+	c.ctlMu.Lock()
+	for _, conn := range c.ctlConns {
+		conn.Close()
+	}
+	c.ctlConns = nil
+	c.ctlMu.Unlock()
 }
 
 // Stop tears down connections and listeners and waits for every
@@ -286,6 +582,7 @@ func (c *Cluster) Stop() {
 		return
 	}
 	close(c.stop)
+	c.closeControlLocked()
 	for _, ln := range c.lns {
 		if ln != nil {
 			ln.Close()
@@ -308,6 +605,7 @@ func (c *Cluster) teardownLocked() {
 			close(c.stop)
 		}
 	}
+	c.closeControlLocked()
 	for _, ln := range c.lns {
 		if ln != nil {
 			ln.Close()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mdst/internal/core"
+	"mdst/internal/detect"
 	"mdst/internal/graph"
 	"mdst/internal/paperproto"
 	"mdst/internal/sim"
@@ -118,6 +119,94 @@ func TestStartStopIdempotence(t *testing.T) {
 		t.Fatalf("restart failed: %v", err)
 	}
 	c.Stop()
+}
+
+// Satellite regression: the Sent counter accumulates across phase
+// restarts — a Stop/Start cycle must never reset it. This pins the
+// whole-run traffic semantics the certificate-gated driver reports (and
+// that the old restart-per-inspection loop relied on implicitly).
+func TestSentAccumulatesAcrossRestarts(t *testing.T) {
+	g := graph.Wheel(6)
+	c := buildCore(g)
+	if err := c.RunFor(150 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Sent()
+	if first <= 0 {
+		t.Fatalf("no messages accepted in the first phase (Sent=%d)", first)
+	}
+	if c.Restarts() != 0 {
+		t.Fatalf("Restarts=%d after one Start", c.Restarts())
+	}
+	if err := c.RunFor(150 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if second := c.Sent(); second <= first {
+		t.Fatalf("Sent reset across restart: %d after restart, %d before", second, first)
+	}
+	if c.Restarts() != 1 {
+		t.Fatalf("Restarts=%d after two Starts, want 1", c.Restarts())
+	}
+}
+
+// End-to-end in-band detection: watch a running cluster over the
+// side-channel control connection only — no Stop, no state inspection —
+// until a detect certificate is issued, then stop once and verify the
+// cluster really is legitimate and the certificate's fingerprint equals
+// the combine of the stopped processes' state hashes.
+func TestControlChannelCertifiesQuiescence(t *testing.T) {
+	g := graph.Wheel(8)
+	cfg := core.DefaultConfig(g.N())
+	c := NewCluster(g, func(id int, nbrs []int) sim.Process {
+		return core.NewNode(id, nbrs, cfg)
+	}, Config{ActiveKinds: core.ReductionKinds()})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := DialProbe(c.ControlAddr())
+	if err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	// Window sized like the harness driver: cover a full search retry
+	// period in ticks (harness.QuiesceWindowRounds; restated here to
+	// avoid a netrun->harness test import cycle), converted to probes.
+	window := time.Duration(2*g.N()+40+2*cfg.SearchPeriod) * 2 * time.Millisecond
+	det := detect.New(detect.Config{Window: int(window/(5*time.Millisecond)) + 1, Backend: "tcp"})
+	deadline := time.Now().Add(60 * time.Second)
+	var cert detect.Certificate
+	certified := false
+	for !certified && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		s, err := probe.Sample()
+		if err != nil {
+			probe.Close()
+			c.Stop()
+			t.Fatal(err)
+		}
+		cert, certified = det.Observe(s)
+	}
+	probe.Close()
+	c.Stop()
+	if !certified {
+		t.Fatalf("no certificate within the deadline (epoch %d, streak %d)", det.Epoch(), det.Stable())
+	}
+	if !core.CheckLegitimacy(g, coreNodes(c)).OK() {
+		t.Fatalf("certified but not legitimate: %+v", core.CheckLegitimacy(g, coreNodes(c)))
+	}
+	fps := make([]uint64, g.N())
+	for id := range fps {
+		fps[id] = c.Process(id).(*core.Node).Fingerprint()
+	}
+	if want := detect.Combine(fps); cert.Fingerprint != want {
+		t.Fatalf("certificate fingerprint %x != combine of stopped state %x", cert.Fingerprint, want)
+	}
+	if cert.Sent != cert.Received {
+		t.Fatalf("certificate deficit %d", cert.Sent-cert.Received)
+	}
+	if c.Restarts() != 0 {
+		t.Fatalf("in-band detection restarted the cluster %d times", c.Restarts())
+	}
 }
 
 // TestSendToNonNeighborPanics: locality is enforced over TCP too.

@@ -102,6 +102,73 @@ func TestCrossBackendDifferential(t *testing.T) {
 	}
 }
 
+// Satellite: cross-backend certificate agreement. From a preloaded
+// legitimate start the protocol is silent — no register ever changes —
+// so all three backends quiesce on the IDENTICAL configuration (paired
+// instances: run seeds exclude the backend axis, and the preload is
+// deterministic). The quiescence certificates issued by the live
+// in-process probe and the tcp control-channel probe must therefore
+// carry exactly the sim backend's quiesced fingerprint: one shared
+// combine over one shared per-node state hash, end to end through
+// three completely different observation paths.
+func TestCrossBackendCertificateAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock live/tcp backends")
+	}
+	spec := Spec{
+		Families:     []string{"wheel", "ring+chords"},
+		Sizes:        []int{8},
+		Starts:       []harness.StartMode{harness.StartLegitimate},
+		Backends:     []harness.Backend{harness.BackendSim, harness.BackendLive, harness.BackendTCP},
+		SeedsPerCell: 2,
+		BaseSeed:     13,
+		Tuning:       harness.BackendTuning{Deadline: 60 * time.Second},
+	}
+	m, err := Engine{}.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index the sim certificates by paired instance.
+	type inst struct {
+		family string
+		idx    int
+	}
+	simFP := map[inst]uint64{}
+	for _, rr := range m.Runs {
+		if rr.Err != "" {
+			t.Fatalf("%s seed[%d]: %s", rr.Cell, rr.SeedIndex, rr.Err)
+		}
+		if rr.Cert == nil {
+			t.Fatalf("%s seed[%d] backend %q: converged=%v without a certificate",
+				rr.Cell, rr.SeedIndex, rr.BackendName(), rr.Converged)
+		}
+		if rr.BackendName() == string(harness.BackendSim) {
+			simFP[inst{rr.Family, rr.SeedIndex}] = rr.Cert.Fingerprint
+		}
+	}
+	for _, rr := range m.Runs {
+		if rr.BackendName() == string(harness.BackendSim) {
+			continue
+		}
+		want, ok := simFP[inst{rr.Family, rr.SeedIndex}]
+		if !ok {
+			t.Fatalf("no paired sim run for %s seed[%d]", rr.Cell, rr.SeedIndex)
+		}
+		if rr.Cert.Fingerprint != want {
+			t.Fatalf("%s seed[%d] backend %q: certificate fingerprint %x != sim quiesced fingerprint %x",
+				rr.Cell, rr.SeedIndex, rr.BackendName(), rr.Cert.Fingerprint, want)
+		}
+		if rr.Cert.Backend != rr.BackendName() {
+			t.Fatalf("certificate backend %q on a %q run", rr.Cert.Backend, rr.BackendName())
+		}
+		if rr.Restarts != 0 {
+			t.Fatalf("%s seed[%d] backend %q: %d restarts from a legitimate start",
+				rr.Cell, rr.SeedIndex, rr.BackendName(), rr.Restarts)
+		}
+	}
+}
+
 // The wall-clock backends reject sim-only features loudly instead of
 // silently running a different experiment than the cell label claims.
 func TestBackendSimOnlyFeaturesSurfaceAsRunErrors(t *testing.T) {

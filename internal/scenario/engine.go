@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mdst/internal/detect"
 	"mdst/internal/graph"
 	"mdst/internal/harness"
 	"mdst/internal/mdstseq"
@@ -76,6 +77,14 @@ type RunResult struct {
 	// harness.Result json:"-" pattern) so output stays byte-identical
 	// across machines; only the wall-clock backends make it meaningful.
 	Wall time.Duration `json:"-"`
+	// Cert is the quiescence certificate that decided convergence
+	// (internal/detect; nil when the run never certified). Excluded from
+	// JSON like every cross-run-varying field, so the committed sim
+	// matrix baseline stays byte-identical.
+	Cert *detect.Certificate `json:"-"`
+	// Restarts counts wall-clock driver resumptions after a certified
+	// stop that was not legitimate (zero on converging runs).
+	Restarts int `json:"-"`
 }
 
 // CellResult aggregates the runs of one cell. Boolean fields hold over
@@ -272,6 +281,8 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 	out.MaxStateBits = res.MaxStateBits
 	out.BrokenRounds = res.BrokenRounds
 	out.Wall = res.WallTime
+	out.Cert = res.Cert
+	out.Restarts = res.Restarts
 	if res.Metrics != nil {
 		out.MaxMsgWords = res.Metrics.MaxMsgSize
 		out.MaxMsgKind = res.Metrics.MaxMsgSizeKind

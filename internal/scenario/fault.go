@@ -223,12 +223,9 @@ func (f Churn) Execute(spec harness.RunSpec, rng *rand.Rand) (harness.Result, er
 		maxRounds = 200*n + 20000
 	}
 	res := newNet.Run(sim.RunConfig{
-		Scheduler: harness.NewScheduler(spec.Scheduler),
-		MaxRounds: maxRounds,
-		// Same stability window as harness.Run: it must cover a full
-		// jittered search retry period, or a slow-searching post-churn
-		// configuration is declared quiescent before its reduction fires.
-		QuiesceRounds: 2*n + 40 + 2*cfg.SearchPeriod,
+		Scheduler:     harness.NewScheduler(spec.Scheduler),
+		MaxRounds:     maxRounds,
+		QuiesceRounds: harness.QuiesceWindowRounds(n, cfg.SearchPeriod),
 		ActiveKinds:   core.ReductionKinds(),
 	})
 	nodes := core.NodesOf(newNet)

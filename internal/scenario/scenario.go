@@ -64,8 +64,11 @@ type Spec struct {
 	// Config, if non-nil, overrides the protocol configuration per node
 	// count (zero Config means the core default).
 	Config func(n int) core.Config `json:"-"`
-	// Tuning adjusts the wall-clock backends (live probe interval, tcp
-	// phase length, per-run deadline); the sim backend ignores it.
+	// Tuning adjusts the wall-clock backends (tick, probe interval,
+	// per-run deadline, convergence-aware Budget mode — with Budget set
+	// each wall-clock cell's deadline is scaled from the paired sim
+	// run's observed rounds, since run seeds exclude the backend axis);
+	// the sim backend ignores it.
 	Tuning harness.BackendTuning `json:"-"`
 }
 

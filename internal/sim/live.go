@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mdst/internal/detect"
 	"mdst/internal/graph"
 )
 
@@ -67,6 +68,15 @@ type LiveNetwork struct {
 	fpValid    bool
 	recomputes atomic.Int64
 	sent       atomic.Int64
+
+	// Active-kind accounting for convergence detection (internal/detect):
+	// the Dijkstra–Scholten deficit activeSent-activeRecv counts the
+	// reduction messages still in flight — periodic gossip is excluded,
+	// since a silent protocol keeps gossiping at its fixed point. Both
+	// counters only move on messages whose Kind is in active.
+	active     map[string]struct{}
+	activeSent atomic.Int64
+	activeRecv atomic.Int64
 }
 
 type liveEnvelope struct {
@@ -82,6 +92,13 @@ type LiveConfig struct {
 	// InboxSize is each node's channel buffer (default 4096). A full
 	// inbox blocks the sender, which models link back-pressure.
 	InboxSize int
+	// ActiveKinds names the message kinds whose sent/received counters
+	// feed convergence detection (ProbeSample's Dijkstra–Scholten
+	// deficit) — the protocol's reduction kinds, which must both drain
+	// and stop flowing at quiescence. Empty disables the accounting
+	// (ProbeSample then reports a zero deficit and detection rests on
+	// version-vector and fingerprint stability alone).
+	ActiveKinds []string
 }
 
 // NewLiveNetwork builds the live runtime over g. The factory contract is
@@ -105,6 +122,12 @@ func NewLiveNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) 
 		fps:        make([]uint64, n),
 		versions:   make([]uint64, n),
 		versioners: make([]StateVersioner, n),
+	}
+	if len(cfg.ActiveKinds) > 0 {
+		ln.active = make(map[string]struct{}, len(cfg.ActiveKinds))
+		for _, k := range cfg.ActiveKinds {
+			ln.active[k] = struct{}{}
+		}
 	}
 	for id := 0; id < n; id++ {
 		ln.inbox[id] = make(chan liveEnvelope, cfg.InboxSize)
@@ -161,6 +184,11 @@ func (ln *LiveNetwork) Start() {
 					ln.procs[id].Receive(ctx, env.from, env.msg)
 					ln.touched[id].Store(true)
 					ln.nodeMu[id].Unlock()
+					if ln.active != nil {
+						if _, ok := ln.active[env.msg.Kind()]; ok {
+							ln.activeRecv.Add(1)
+						}
+					}
 				case <-ticker.C:
 					ln.nodeMu[id].Lock()
 					ln.procs[id].Tick(ctx)
@@ -182,8 +210,16 @@ func (ln *LiveNetwork) send(from, to NodeID, m Message) {
 	select {
 	case ln.inbox[to] <- liveEnvelope{from: from, msg: m}:
 		ln.sent.Add(1)
+		if ln.active != nil {
+			if _, ok := ln.active[m.Kind()]; ok {
+				ln.activeSent.Add(1)
+			}
+		}
 	case <-stop:
 		// Shutting down: drop the message (links are being torn down).
+		// Messages already accepted onto inboxes survive a Stop/Start
+		// cycle (the channels persist), so the active-kind counters stay
+		// balanced across restarts.
 	}
 }
 
@@ -250,7 +286,14 @@ func (ln *LiveNetwork) nodeFingerprint(id NodeID) uint64 {
 // are re-hashed, and of those only the ones whose StateVersion moved —
 // at quiescence every node still ticks, so the per-probe cost is O(n)
 // version compares and O(changed) hashes, not a full rehash.
-func (ln *LiveNetwork) Fingerprint() uint64 {
+func (ln *LiveNetwork) Fingerprint() uint64 { return ln.probe(nil) }
+
+// probe is Fingerprint's implementation; when versions is non-nil it
+// additionally copies out the per-node quiescence-epoch vector (the
+// StateVersion observed at each node's last re-hash — current for
+// untouched and version-stable nodes — or the node's state hash where
+// the process reports no versions).
+func (ln *LiveNetwork) probe(versions []uint64) uint64 {
 	ln.probeMu.Lock()
 	defer ln.probeMu.Unlock()
 	if !ln.fpValid {
@@ -268,36 +311,61 @@ func (ln *LiveNetwork) Fingerprint() uint64 {
 		}
 		ln.combined = combined
 		ln.fpValid = true
-		return combined
-	}
-	for id := range ln.procs {
-		// Lock-free fast path: an untouched node took no step since its
-		// last re-hash, so the cached hash is current. A step landing
-		// right after the load is caught by the next probe — exactly the
-		// snapshot semantics quiescence detection needs.
-		if !ln.touched[id].Load() {
-			continue
-		}
-		ln.nodeMu[id].Lock()
-		ln.touched[id].Store(false)
-		if vs := ln.versioners[id]; vs != nil {
-			v := vs.StateVersion()
-			if v == ln.versions[id] {
-				// Touched but version unmoved: the steps were no-ops
-				// (the fixed-point case once the node quiesces).
-				ln.nodeMu[id].Unlock()
+	} else {
+		for id := range ln.procs {
+			// Lock-free fast path: an untouched node took no step since its
+			// last re-hash, so the cached hash is current. A step landing
+			// right after the load is caught by the next probe — exactly the
+			// snapshot semantics quiescence detection needs.
+			if !ln.touched[id].Load() {
 				continue
 			}
-			ln.versions[id] = v
+			ln.nodeMu[id].Lock()
+			ln.touched[id].Store(false)
+			if vs := ln.versioners[id]; vs != nil {
+				v := vs.StateVersion()
+				if v == ln.versions[id] {
+					// Touched but version unmoved: the steps were no-ops
+					// (the fixed-point case once the node quiesces).
+					ln.nodeMu[id].Unlock()
+					continue
+				}
+				ln.versions[id] = v
+			}
+			f := ln.nodeFingerprint(id)
+			ln.nodeMu[id].Unlock()
+			if f != ln.fps[id] {
+				ln.combined ^= mixNode(id, ln.fps[id]) ^ mixNode(id, f)
+				ln.fps[id] = f
+			}
 		}
-		f := ln.nodeFingerprint(id)
-		ln.nodeMu[id].Unlock()
-		if f != ln.fps[id] {
-			ln.combined ^= mixNode(id, ln.fps[id]) ^ mixNode(id, f)
-			ln.fps[id] = f
+	}
+	if versions != nil {
+		for id := range ln.procs {
+			if ln.versioners[id] != nil {
+				versions[id] = ln.versions[id]
+			} else {
+				versions[id] = ln.fps[id]
+			}
 		}
 	}
 	return ln.combined
+}
+
+// ProbeSample takes one in-band convergence-detection observation:
+// the incremental combined fingerprint, the per-node version vector and
+// the active-kind message counters, packaged for detect.Detector. Safe
+// to call concurrently with a running network (same locking discipline
+// as Fingerprint). The counter ordering is conservative: received is
+// loaded before the fingerprint pass and sent after it, so the sampled
+// deficit can only overestimate the number of active messages in flight
+// — a transiently skewed sample delays a certificate, never forges one.
+func (ln *LiveNetwork) ProbeSample() detect.Sample {
+	s := detect.Sample{Versions: make([]uint64, len(ln.procs))}
+	s.ActiveReceived = ln.activeRecv.Load()
+	s.Fingerprint = ln.probe(s.Versions)
+	s.ActiveSent = ln.activeSent.Load()
+	return s
 }
 
 // QuiesceConfig controls RunUntilQuiescent.

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"mdst/internal/detect"
 	"mdst/internal/graph"
 )
 
@@ -453,16 +454,11 @@ func (n *Network) nodeFingerprint(id NodeID) uint64 {
 // position-dependent bijective finalizer (splitmix64), making the
 // combine commutative — combined is the XOR over nodes of
 // mixNode(id, fps[id]) — and therefore patchable in O(1) per changed
-// node: combined ^= mix(id, old) ^ mix(id, new).
-func mixNode(id NodeID, f uint64) uint64 {
-	x := f + uint64(id+1)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// node: combined ^= mix(id, old) ^ mix(id, new). The mix itself lives
+// in internal/detect so every backend (including netrun's control
+// channel, which combines from published per-node hashes) produces
+// comparable certificate fingerprints.
+func mixNode(id NodeID, f uint64) uint64 { return detect.MixNode(id, f) }
 
 // rehashAllNodes recomputes every cached fingerprint and the combined
 // hash from scratch.
@@ -519,6 +515,29 @@ func (n *Network) Fingerprint() uint64 {
 	}
 	n.dirty = n.dirty[:0]
 	return n.combined
+}
+
+// LastFingerprint returns the combined fingerprint as of the most
+// recent Fingerprint computation, without touching the cache or the
+// recompute counters (Run's quiescence loop keeps it current, so after
+// a converged Run it is exactly the quiesced fingerprint). Certificate
+// construction uses it instead of Fingerprint so the deterministic
+// FingerprintRecomputes figure of merit is unchanged by detection.
+func (n *Network) LastFingerprint() uint64 { return n.combined }
+
+// StateVersions returns the per-node quiescence-epoch vector: each
+// node's StateVersion where the process reports one, its cached state
+// hash otherwise. Pure reads — deterministic for a seeded run.
+func (n *Network) StateVersions() []uint64 {
+	out := make([]uint64, len(n.procs))
+	for id := range n.procs {
+		if vs := n.versioners[id]; vs != nil {
+			out[id] = vs.StateVersion()
+		} else {
+			out[id] = n.fps[id]
+		}
+	}
+	return out
 }
 
 // MaxStateBits returns the maximum StateBits over all processes, or 0 if
