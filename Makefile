@@ -1,15 +1,26 @@
-# CI entry points. `make ci` is the gate: vet + build + full test suite
-# + a short -race job over the concurrency-bearing packages (the live
-# CSP runtime, the harness, and the scenario engine, whose differential
-# test exercises goroutine-per-node execution) + the backend smoke job.
+# CI entry points. `make ci` is the gate: lint + vet + build + full test
+# suite + a short -race job over the concurrency-bearing packages (the
+# live CSP runtime, the harness, and the scenario engine, whose
+# differential test exercises goroutine-per-node execution) + the
+# backend smoke job. `.github/workflows/ci.yml` runs the gate on every
+# push/PR, plus the baseline-drift, vuln and gobench jobs.
 
 GO ?= go
 
 RACE_PKGS = ./internal/sim/... ./internal/harness/... ./internal/scenario/... ./internal/netrun/... ./internal/detect/...
 
-.PHONY: ci vet build test race smoke bench gobench matrix vuln clean
+.PHONY: ci lint vet build test race smoke bench gobench matrix drift vuln clean
 
-ci: vet build test race smoke
+# (lint already ends with `go vet ./...`, so `vet` is not repeated here.)
+ci: lint build test race smoke
+
+# gofmt -l prints unformatted files; any output fails the target.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "make lint: gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -31,10 +42,13 @@ race:
 # harness orchestration, so backend plumbing cannot silently rot.
 # -short tightens the wall-clock deadlines (see smokeTuning). The detect
 # job covers the convergence-detection subsystem both drivers now rest
-# on (sequential reference detector + certificate logic).
+# on (sequential reference detector + certificate logic); the
+# suppression job exercises the search-suppression knob on live AND tcp,
+# not just the deterministic simulator.
 smoke:
 	$(GO) test -short ./internal/detect/
 	$(GO) test -short -run 'TestBackend|TestParseBackend|TestTuning' ./internal/harness/
+	$(GO) test -short -run 'TestSuppressionSmokeLiveTCP|TestSuppressionSimDeterministicCounter' ./internal/harness/
 	$(GO) test -short -run 'TestControlChannel|TestSentAccumulates' ./internal/netrun/
 	$(GO) test -short ./cmd/mdstnet/
 
@@ -54,6 +68,17 @@ gobench:
 # The default 108-run scenario matrix across all CPUs.
 matrix:
 	$(GO) run ./cmd/mdstmatrix
+
+# Baseline drift: regenerate the two committed deterministic artifacts —
+# the 108-run default matrix JSON and BENCH_scale.json — and fail on any
+# byte difference, enforcing the determinism contract on every CI run
+# (the wall-clock cross-backend table is NOT diffed here: its invariant
+# claims are regression-tested in internal/scenario instead, because
+# wall-clock output is not byte-reproducible).
+drift:
+	$(GO) run ./cmd/mdstmatrix -format json -quiet | diff - internal/scenario/testdata/default_matrix_pr2.json
+	$(GO) run ./cmd/mdstmatrix -scale -quiet | diff - BENCH_scale.json
+	@echo "make drift: committed baselines byte-identical"
 
 # Vulnerability scan. Soft-fail: the tool may be absent and the vuln DB
 # needs network access — neither should break an offline CI run.

@@ -125,6 +125,17 @@ func BenchmarkE11Choreography(b *testing.B) {
 	}
 }
 
+func BenchmarkE12SearchTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := benchtab.E12SearchTraffic("ring+chords", []int{16}, 1, harness.SchedSync)
+		for _, row := range tab.Rows {
+			if row[len(row)-1] != "true" {
+				b.Fatalf("suppression pair outside the degree bracket: %v", row)
+			}
+		}
+	}
+}
+
 // BenchmarkLiteralProtocolConvergence measures one full stabilization
 // run of the literal variant (the paperproto counterpart of
 // BenchmarkProtocolConvergence).

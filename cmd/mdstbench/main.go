@@ -1,4 +1,4 @@
-// Command mdstbench regenerates the experiment tables E1–E11 of
+// Command mdstbench regenerates the experiment tables E1–E12 of
 // EXPERIMENTS.md. The sweep-shaped experiments (E1, E2, E8–E10) execute
 // through the internal/scenario matrix engine and shard their runs
 // across all CPUs; -workers caps that parallelism (ad-hoc scenario
@@ -36,7 +36,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mdstbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: E1..E11, fit, or all")
+	exp := fs.String("exp", "all", "experiment to run: E1..E12, fit, or all")
 	sizes := fs.String("sizes", "", "comma-separated node counts (default 16,24,32,48)")
 	seeds := fs.Int("seeds", 3, "runs per sweep cell")
 	sched := fs.String("sched", "sync", "scheduler: sync|async|adversarial")
@@ -159,6 +159,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			sizes = []int{16, 24}
 		}
 		tables = append(tables, benchtab.E11Choreography(sizes, sweep.Seeds, sweep.Sched))
+	case "E12":
+		sizes := sweep.Sizes
+		if len(sizes) == 0 {
+			sizes = []int{16, 24}
+		}
+		famName := "gnp"
+		if len(families) > 0 {
+			famName = families[0].Name
+		}
+		tables = append(tables, benchtab.E12SearchTraffic(famName, sizes, sweep.Seeds, sweep.Sched))
 	case "FIT":
 		for _, fam := range families {
 			tables = append(tables, benchtab.E2Fit(fam.Name, sweep.Sizes, sweep.Seeds, sweep.Sched))

@@ -15,6 +15,8 @@
 //	mdstmatrix -scale                     # n=256/512/1024 scale sweep -> BENCH_scale.json content
 //	mdstmatrix -backend live -sizes 8 -seeds 1   # goroutine-per-node runtime
 //	mdstmatrix -backend sim,live,tcp      # cross-backend comparison matrix
+//	mdstmatrix -suppress off,on           # paired search-suppression comparison
+//	mdstmatrix -xbackend                  # medium-n cross-backend preset -> committed table
 //
 // The sim backend (default) is bit-reproducible; the live and tcp
 // backends execute on the wall clock, so their rounds/messages columns
@@ -59,12 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	expand := fs.Bool("expand", false, "dry run: print the expanded run matrix without executing")
 	quiet := fs.Bool("quiet", false, "suppress the execution summary on stderr")
 	scale := fs.Bool("scale", false, "run the large-n scale sweep and print the deterministic BENCH_scale.json report (uses -sizes when given, else 256,512,1024)")
+	suppress := fs.String("suppress", "off", "comma-separated search-suppression axis: off|on (on prunes duplicate Search tokens; seeds pair on/off cells on identical workloads)")
+	xbackend := fs.Bool("xbackend", false, "run the medium-n cross-backend preset (sim/live/tcp at n=64..128, suppression on) and print the committed-table JSON (uses -sizes when given, else 64,96,128)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *scale {
 		return runScale(fs, *sizes, *workers, *quiet, stdout, stderr)
+	}
+	if *xbackend {
+		return runCrossBackend(fs, *sizes, *workers, *quiet, stdout, stderr)
 	}
 
 	spec := scenario.Spec{
@@ -133,6 +140,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, s := range splitList(*variants) {
 		spec.Variants = append(spec.Variants, harness.Variant(s))
 	}
+	for _, s := range splitList(*suppress) {
+		switch s {
+		case "off":
+			spec.Suppression = append(spec.Suppression, false)
+		case "on":
+			spec.Suppression = append(spec.Suppression, true)
+		default:
+			fmt.Fprintf(stderr, "mdstmatrix: bad -suppress %q (want off|on)\n", s)
+			return 2
+		}
+	}
 	models, err := scenario.ParseFaults(*faults)
 	if err != nil {
 		fmt.Fprintln(stderr, "mdstmatrix:", err)
@@ -195,22 +213,11 @@ func runScale(fs *flag.FlagSet, sizes string, workers int, quiet bool, stdout, s
 	spec := scenario.ScaleSpec{Workers: workers}
 	// -sizes overrides the default 256,512,1024 ladder only when the
 	// caller sets it explicitly (the matrix default would shrink it).
-	explicit := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "sizes" {
-			explicit = true
-		}
-	})
-	if explicit {
-		for _, s := range splitList(sizes) {
-			v, err := strconv.Atoi(s)
-			if err != nil {
-				fmt.Fprintln(stderr, "mdstmatrix: bad -sizes:", err)
-				return 2
-			}
-			spec.Sizes = append(spec.Sizes, v)
-		}
+	explicit, ok := explicitSizes(fs, sizes, stderr)
+	if !ok {
+		return 2
 	}
+	spec.Sizes = explicit
 	rep, err := scenario.ScaleSweep(spec)
 	if err != nil {
 		fmt.Fprintln(stderr, "mdstmatrix:", err)
@@ -227,6 +234,64 @@ func runScale(fs *flag.FlagSet, sizes string, workers int, quiet bool, stdout, s
 			len(rep.Cells), rep.OverheadReduction, rep.BaselineN)
 	}
 	return 0
+}
+
+// runCrossBackend executes the committed medium-n cross-backend preset
+// (the content of internal/scenario/testdata/crossbackend_medium.json):
+// the same drawn instances across sim, live and tcp with search
+// suppression on. Only deterministic/invariant columns are printed;
+// wall times and restarts go to the stderr summary.
+func runCrossBackend(fs *flag.FlagSet, sizes string, workers int, quiet bool, stdout, stderr io.Writer) int {
+	spec := scenario.CrossBackendSpec{Workers: workers}
+	explicit, ok := explicitSizes(fs, sizes, stderr)
+	if !ok {
+		return 2
+	}
+	spec.Sizes = explicit
+	rep, err := scenario.CrossBackendSweep(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdstmatrix:", err)
+		return 1
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintln(stderr, "mdstmatrix:", err)
+		return 1
+	}
+	stdout.Write(b)
+	if !quiet {
+		for i, row := range rep.Rows {
+			fmt.Fprintf(stderr, "mdstmatrix: n=%d %-4s converged=%v restarts=%d wall=%s\n",
+				row.N, row.Backend, row.Converged, rep.Restarts[i], rep.Walls[i].Round(1e6))
+		}
+	}
+	return 0
+}
+
+// explicitSizes parses -sizes for the preset modes (-scale, -xbackend),
+// but only when the caller set the flag explicitly — the matrix-mode
+// default would otherwise shrink each preset's own ladder. A nil result
+// with ok=true means "use the preset default".
+func explicitSizes(fs *flag.FlagSet, sizes string, stderr io.Writer) ([]int, bool) {
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "sizes" {
+			explicit = true
+		}
+	})
+	if !explicit {
+		return nil, true
+	}
+	var out []int
+	for _, s := range splitList(sizes) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdstmatrix: bad -sizes:", err)
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
 }
 
 func splitList(s string) []string {

@@ -108,6 +108,83 @@ func TestRunWallClockBackends(t *testing.T) {
 	}
 }
 
+// -suppress off,on expands the paired suppression axis: same seeds, the
+// on cells carry the suppression counters, the off cells serialize
+// without them (baseline byte-identity contract).
+func TestRunSuppressionAxis(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-families", "gnp", "-sizes", "12", "-seeds", "2",
+		"-scheds", "sync", "-suppress", "off,on", "-format", "json",
+		"-quiet"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var m struct {
+		Cells []struct {
+			Suppress      string  `json:"suppress"`
+			Legitimate    bool    `json:"legitimate"`
+			WithinBound   bool    `json:"withinBound"`
+			SuppressedAvg float64 `json:"searchesSuppressedAvg"`
+		} `json:"cells"`
+		Runs []struct {
+			Seed int64 `json:"seed"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(m.Cells) != 2 {
+		t.Fatalf("cells=%d, want off+on", len(m.Cells))
+	}
+	off, on := m.Cells[0], m.Cells[1]
+	if off.Suppress != "" || on.Suppress != "on" {
+		t.Fatalf("suppress labels %q/%q", off.Suppress, on.Suppress)
+	}
+	if !off.Legitimate || !on.Legitimate || !off.WithinBound || !on.WithinBound {
+		t.Fatalf("paired cells broke the guarantee: %+v %+v", off, on)
+	}
+	if off.SuppressedAvg != 0 || on.SuppressedAvg <= 0 {
+		t.Fatalf("suppressed averages off=%v on=%v", off.SuppressedAvg, on.SuppressedAvg)
+	}
+	if m.Runs[0].Seed != m.Runs[2].Seed {
+		t.Fatalf("suppression axis changed run seeds: %d vs %d", m.Runs[0].Seed, m.Runs[2].Seed)
+	}
+}
+
+// -xbackend runs the medium-n cross-backend preset; the reduced ladder
+// keeps test runtime low (the committed full table is regression-locked
+// by internal/scenario's TestCrossBackendTableReproduces).
+func TestRunCrossBackendPreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock cross-backend preset")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-xbackend", "-sizes", "64", "-quiet"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rep struct {
+		Rows []struct {
+			Backend     string `json:"backend"`
+			Suppress    string `json:"suppress"`
+			Converged   bool   `json:"converged"`
+			Legitimate  bool   `json:"legitimate"`
+			WithinBound bool   `json:"withinBound"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows=%d, want sim+live+tcp", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Suppress != "on" || !row.Converged || !row.Legitimate || !row.WithinBound {
+			t.Fatalf("preset row broke a claim: %+v", row)
+		}
+	}
+}
+
 func TestRunBadFlagsRejected(t *testing.T) {
 	for _, args := range [][]string{
 		{"-faults", "lossy:2"},
@@ -118,6 +195,7 @@ func TestRunBadFlagsRejected(t *testing.T) {
 		{"-format", "bogus", "-families", "gnp", "-sizes", "8", "-seeds", "1"},
 		{"-backend", "quantum"},
 		{"-deadline", "-5s"},
+		{"-suppress", "maybe"},
 	} {
 		var out, errOut bytes.Buffer
 		if code := run(args, &out, &errOut); code == 0 {

@@ -16,6 +16,7 @@
 //	mdstnet -family wheel -n 12
 //	mdstnet -family gnp -n 24 -variant literal -corrupt
 //	mdstnet -family wheel -n 12 -budget 8      # deadline scaled from the paired sim run
+//	mdstnet -family gnp -n 64 -suppress        # duplicate Search-token pruning on
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	deadline := fs.Duration("deadline", 10*time.Second, "total wall-clock budget (ignored when -budget is set)")
 	budget := fs.Float64("budget", 0, "convergence-aware deadline: scale the paired sim run's observed rounds × tick by this factor (0 = fixed -deadline)")
 	tick := fs.Duration("tick", 0, "gossip period (0 = runtime default)")
+	suppress := fs.Bool("suppress", false, "enable the search-traffic suppression hot path (duplicate Search-token pruning + batched launches)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,11 +86,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		start = harness.StartCorrupt
 	}
 	res, err := harness.Run(harness.RunSpec{
-		Graph:   g,
-		Variant: harness.Variant(*variant),
-		Start:   start,
-		Seed:    *seed,
-		Backend: harness.BackendTCP,
+		Graph:    g,
+		Variant:  harness.Variant(*variant),
+		Start:    start,
+		Seed:     *seed,
+		Backend:  harness.BackendTCP,
+		Suppress: *suppress,
 		Tuning: harness.BackendTuning{
 			Tick:     *tick,
 			Probe:    *probe,
@@ -118,6 +121,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "tree degree: %d (Δ* >= %d, bound Δ*+1)\n", res.Tree.MaxDegree(), lo)
 	if res.Dropped > 0 {
 		fmt.Fprintf(stdout, "backpressure drops: %d\n", res.Dropped)
+	}
+	if res.SearchesSuppressed > 0 {
+		fmt.Fprintf(stdout, "searches suppressed: %d\n", res.SearchesSuppressed)
 	}
 	if !res.Legit.OK() {
 		return 1

@@ -44,6 +44,22 @@ func TestRunLiteralCorrupted(t *testing.T) {
 	}
 }
 
+// -suppress runs the tcp backend with duplicate Search-token pruning on:
+// the run must still converge legitimately. Whether any token is
+// actually pruned is wall-clock timing (a fast run may never see a
+// duplicate), so only the outcome is asserted; deterministic suppression
+// coverage lives in the sim-backed tests.
+func TestRunSuppressedOverTCP(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "ring+chords", "-n", "16", "-corrupt", "-suppress"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "legitimate: true") {
+		t.Fatalf("suppressed tcp run failed:\n%s", out.String())
+	}
+}
+
 func TestRunUnknownVariant(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-variant", "nope"}, &out, &errOut); code != 2 {

@@ -51,14 +51,41 @@
 // links follows §2 strictly: a dropped delivery settles the old-message
 // obligation but never counts as a step at the recipient.
 //
+// The protocol's own traffic has a suppression hot path
+// (core.Config.SuppressSearches, harness.RunSpec.Suppress, `mdstmatrix
+// -suppress off,on`, `mdstnet -suppress`): per-initiator duplicate
+// Search-token pruning — a node that already launched or forwarded an
+// equivalent token (same fundamental-cycle key {initiator edge, deblock
+// target}) within a suppression window drops re-arrivals unless its own
+// state changed since — plus batched launch pacing. Suppression is a
+// bounded delay, never a permanent block, so the outcome (the
+// legitimacy predicate and the Δ*+1 bracket) is equivalent,
+// differential-tested on the property-sweep families; quiescence
+// windows derive from Config.EffectiveRetryPeriod so a suppressed
+// configuration is never certified quiescent before its deferred
+// search re-fires. With the knob off the schedule is paper-literal and
+// every committed baseline is byte-identical. BENCH_scale.json commits
+// the paired on/off comparison (~3.4× fewer Search-kind messages at
+// n=512), and the committed cross-backend table
+// (internal/scenario/testdata/crossbackend_medium.json, `mdstmatrix
+// -xbackend`) runs the medium-n 64..128 ladder across sim, live and
+// tcp with suppression on.
+//
 // Experiment execution layers on the internal/scenario matrix engine: a
 // declarative Spec (graph families × sizes × schedulers × start modes ×
-// variants × fault models × seeds) expands into a run matrix executed
-// across GOMAXPROCS workers, each run seeded from a hash of its matrix
-// coordinates so results are byte-identical at any parallelism. The
-// churn, lossy-link and targeted-corruption fault injections are shared
-// scenario.FaultModel values; every internal/benchtab experiment table
-// (E1–E11) and the cmd/mdstmatrix CLI are thin renderers over the
-// engine. See README.md for a tour, DESIGN.md for the system inventory
-// and EXPERIMENTS.md for the reproduced evaluation.
+// variants × backends × suppression × fault models × seeds) expands
+// into a run matrix executed across GOMAXPROCS workers, each run seeded
+// from a hash of its matrix coordinates so results are byte-identical
+// at any parallelism. The churn, lossy-link and targeted-corruption
+// fault injections are shared scenario.FaultModel values; every
+// internal/benchtab experiment table (E1–E12) and the cmd/mdstmatrix
+// CLI are thin renderers over the engine.
+//
+// CI lives in .github/workflows/ci.yml: every push/PR runs the full
+// `make ci` gate (lint + vet + build + tests + -race + smoke), a
+// baseline-drift job that regenerates the committed 108-run matrix JSON
+// and BENCH_scale.json and fails on any byte difference, a soft-fail
+// govulncheck job, and a 1x-benchtime pass over every Go benchmark.
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
 package mdst

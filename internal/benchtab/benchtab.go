@@ -1,8 +1,8 @@
-// Package benchtab generates the experiment tables E1–E11 of
+// Package benchtab generates the experiment tables E1–E12 of
 // EXPERIMENTS.md: each function sweeps a workload, runs the harness and
 // returns a Table that can be rendered as aligned text or CSV. The
 // bench targets in the repository root and cmd/mdstbench are thin
-// wrappers over these functions. Every experiment table (E1–E11)
+// wrappers over these functions. Every experiment table (E1–E12)
 // executes its runs through the internal/scenario matrix engine,
 // sharded across all CPUs: the fault injections are the shared
 // scenario.FaultModel values rather than per-experiment one-offs, and
@@ -456,6 +456,7 @@ func All(sweep SweepSpec, families []graph.Family) []*Table {
 		E9LossyLinks("gnp", 24, sweep.Seeds),
 		E10Churn("gnp", 24, sweep.Seeds, sweep.Sched),
 		E11Choreography([]int{16, 24}, sweep.Seeds, sweep.Sched),
+		E12SearchTraffic("gnp", []int{16, 24}, sweep.Seeds, sweep.Sched),
 	}
 }
 

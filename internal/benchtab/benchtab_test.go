@@ -118,13 +118,36 @@ func TestE7AblationsLegitimate(t *testing.T) {
 	}
 }
 
+func TestE12SearchTrafficPairedRows(t *testing.T) {
+	tab := E12SearchTraffic("gnp", []int{12}, 2, "sync")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows=%d, want off+on pair", len(tab.Rows))
+	}
+	off, on := tab.Rows[0], tab.Rows[1]
+	if off[1] != "off" || on[1] != "on" {
+		t.Fatalf("suppress labels %q/%q", off[1], on[1])
+	}
+	// Outcome equivalence: quality columns agree between the pair.
+	for _, c := range []int{0, 7, 8} { // n, legitimate, within
+		if off[c] != on[c] {
+			t.Fatalf("column %d diverged: %q vs %q", c, off[c], on[c])
+		}
+	}
+	if off[7] != "true" || off[8] != "true" {
+		t.Fatalf("paired rows not legitimate/within bound: %v %v", off, on)
+	}
+	if off[5] != "0" || on[5] == "0" {
+		t.Fatalf("suppressed counters off=%q on=%q", off[5], on[5])
+	}
+}
+
 func TestAllSuiteSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite")
 	}
 	tables := All(tinySweep(), tinyFamilies())
-	if len(tables) != 11 {
-		t.Fatalf("tables=%d, want 11", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("tables=%d, want 12", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

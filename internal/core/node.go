@@ -55,6 +55,28 @@ type Config struct {
 	// DisableReduction turns off modules 3-4, leaving only the
 	// self-stabilizing BFS tree (baseline mode for E6).
 	DisableReduction bool
+	// SuppressSearches enables the search-traffic suppression hot path:
+	// per-initiator duplicate-token pruning (a node that already launched
+	// or forwarded an equivalent Search token — same fundamental-cycle
+	// key {initiator edge, deblock target} — within the suppression
+	// window drops re-arrivals instead of re-walking the cycle, unless
+	// its own protocol state changed since) plus batched launch pacing in
+	// maybeStartSearches. Suppression is a bounded delay, never a
+	// permanent block: every key passes at least once per window at every
+	// node, so convergence to the legitimacy predicate and the Δ*+1
+	// degree bracket is preserved (differential-tested). Off by default —
+	// the paper-literal schedule and every committed baseline are
+	// byte-identical with the knob off.
+	SuppressSearches bool
+	// SuppressWindow is the duplicate-pruning window in ticks (0 means
+	// 4×SearchPeriod). It must stay well below the quiescence stability
+	// window so a deferred search always retries before quiescence could
+	// be declared around it.
+	SuppressWindow int
+	// SearchBatch caps the plain searches launched per tick when
+	// suppression is on (0 means 2); deferred edges stay due and launch
+	// on subsequent ticks, spreading token bursts.
+	SearchBatch int
 	// WordBits is the width of one variable in bits, used only by the
 	// StateBits metric (harness sets ceil(log2 n)+1).
 	WordBits int
@@ -71,6 +93,35 @@ func DefaultConfig(n int) Config {
 		DeblockTieBreak: true,
 		WordBits:        bitsFor(2*n + 4),
 	}
+}
+
+// PruneWindow resolves the duplicate-pruning window (SuppressWindow,
+// defaulting to 4×SearchPeriod); both variants' suppressors use it.
+func (c Config) PruneWindow() int {
+	if c.SuppressWindow > 0 {
+		return c.SuppressWindow
+	}
+	return 4 * c.SearchPeriod
+}
+
+// EffectiveRetryPeriod is the worst-case spacing between consecutive
+// full passes of an equivalent Search token: SearchPeriod with the
+// paper-literal schedule, additionally the pruning window when
+// duplicate suppression may defer retries. Quiescence-stability windows
+// must be derived from this value, not from SearchPeriod alone —
+// otherwise a suppressed configuration can be certified quiescent
+// before its deferred search ever re-fires. Suppression only ever
+// delays retries, so the result is floored at SearchPeriod: a pruning
+// window shorter than the retry period must not shrink the stability
+// window below the paper-literal floor.
+func (c Config) EffectiveRetryPeriod() int {
+	if !c.SuppressSearches {
+		return c.SearchPeriod
+	}
+	if w := c.PruneWindow(); w > c.SearchPeriod {
+		return w
+	}
+	return c.SearchPeriod
 }
 
 // bitsFor returns ceil(log2(x+1)), the width needed to store values in
@@ -119,6 +170,9 @@ type Node struct {
 	tick        int
 	nextSearch  map[int]int // per non-tree neighbor: earliest tick to search
 	lastDeblock map[int]int // per blocker: last tick we broadcast it
+	// suppress is the duplicate-token pruning state (nil unless
+	// Config.SuppressSearches); see SearchSuppressor.
+	suppress *SearchSuppressor
 
 	stats Stats
 }
@@ -132,6 +186,10 @@ type Stats struct {
 	ExchangesComplete int // final hops: one per completed edge exchange
 	ChainsAborted     int // reversal hops dropped by a staleness check
 	DeblocksTriggered int // Deblock floods this node started or forwarded
+	// SearchesSuppressed counts Search launches and token arrivals
+	// dropped by the duplicate-pruning module (Config.SuppressSearches);
+	// always zero with the knob off.
+	SearchesSuppressed int
 }
 
 // NewNode creates a node in a clean initial state (its own root). Use
@@ -147,6 +205,9 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 		views:       localview.NewTable(neighbors),
 		nextSearch:  make(map[int]int),
 		lastDeblock: make(map[int]int),
+	}
+	if cfg.SuppressSearches {
+		n.suppress = NewSearchSuppressor()
 	}
 	for _, u := range n.nbrs {
 		*n.views.Get(u) = View{Root: u, Parent: u}
@@ -166,6 +227,9 @@ func (n *Node) Clone() *Node {
 	c.lastDeblock = make(map[int]int, len(n.lastDeblock))
 	for k, v := range n.lastDeblock {
 		c.lastDeblock[k] = v
+	}
+	if n.suppress != nil {
+		c.suppress = n.suppress.Clone()
 	}
 	return &c
 }

@@ -13,9 +13,98 @@ import (
 // stored at nodes: each stack entry carries a cursor marking the last
 // tree neighbor tried, and backtracking resumes from it.
 
+// searchKey identifies the fundamental cycle a Search token works on:
+// the initiating non-tree edge plus the deblock context. Tokens with the
+// same key are redundant while the tree (as this node sees it) has not
+// changed — the basis of the suppression module below.
+type searchKey struct {
+	init  graph.Edge
+	block int
+}
+
+// searchSeen is the suppression record for one key: when this node last
+// let an equivalent token through, and what its own state version was at
+// that moment.
+type searchSeen struct {
+	tick    int
+	version uint64
+}
+
+// seenSearchCap caps the suppression map. At the cap, expired and
+// version-stale entries are evicted (per-entry predicates only, so the
+// map contents stay deterministic regardless of iteration order); if
+// every entry is still live the map is cleared outright — records are
+// an optimization, and dropping them only re-admits a few redundant
+// tokens, whereas keeping a saturated map would re-run the O(cap)
+// sweep on every subsequent pass.
+const seenSearchCap = 512
+
+// SearchSuppressor holds one node's duplicate-token pruning records —
+// the search-suppression module's only state, shared by both protocol
+// variants (paperproto embeds it too, exactly as it reuses SearchMsg).
+// It is transient bookkeeping like the retry schedule: never
+// fingerprinted, and recording a pass must not bump the node's state
+// version, or quiescence could never be reached.
+type SearchSuppressor struct {
+	seen map[searchKey]searchSeen
+}
+
+// NewSearchSuppressor returns an empty record set.
+func NewSearchSuppressor() *SearchSuppressor {
+	return &SearchSuppressor{seen: make(map[searchKey]searchSeen)}
+}
+
+// Clone deep-copies the records (model-checker branching).
+func (s *SearchSuppressor) Clone() *SearchSuppressor {
+	c := &SearchSuppressor{seen: make(map[searchKey]searchSeen, len(s.seen))}
+	for k, v := range s.seen {
+		c.seen[k] = v
+	}
+	return c
+}
+
+// Suppress is the duplicate-pruning decision: true when an equivalent
+// token (same fundamental-cycle key) already passed this node within
+// `window` ticks and the node's state version is unchanged since —
+// re-walking the cycle could not reach a different classification
+// sooner than the recorded token's retry will. On false the pass is
+// recorded.
+func (s *SearchSuppressor) Suppress(window, tick int, version uint64, init graph.Edge, block int) bool {
+	key := searchKey{init: init, block: block}
+	if r, ok := s.seen[key]; ok && r.version == version && tick-r.tick < window {
+		return true
+	}
+	if len(s.seen) >= seenSearchCap {
+		for k, r := range s.seen {
+			if tick-r.tick >= window || r.version != version {
+				delete(s.seen, k)
+			}
+		}
+		if len(s.seen) >= seenSearchCap {
+			s.seen = make(map[searchKey]searchSeen)
+		}
+	}
+	s.seen[key] = searchSeen{tick: tick, version: version}
+	return false
+}
+
+// suppressSearch applies the node's suppressor (counting prunes) over
+// the configured pruning window. Never called with suppression off.
+func (n *Node) suppressSearch(init graph.Edge, block int) bool {
+	if n.suppress.Suppress(n.cfg.PruneWindow(), n.tick, n.version, init, block) {
+		n.stats.SearchesSuppressed++
+		return true
+	}
+	return false
+}
+
 // maybeStartSearches launches due searches from this node: plain searches
 // (Block = -1) for non-tree edges toward higher IDs, guarded by the
-// paper's locally_stabilized predicate and paced by SearchPeriod.
+// paper's locally_stabilized predicate and paced by SearchPeriod. With
+// suppression on, launches are additionally batched: at most SearchBatch
+// tokens leave per tick and the deferred edges stay due, so a node with
+// many non-tree edges spreads its token burst over consecutive ticks
+// instead of flooding them all at once.
 func (n *Node) maybeStartSearches(ctx *sim.Context) {
 	if !n.locallyStabilized() {
 		return
@@ -25,6 +114,12 @@ func (n *Node) maybeStartSearches(ctx *sim.Context) {
 	if n.dmax <= 2 {
 		return
 	}
+	batch := -1
+	if n.cfg.SuppressSearches {
+		if batch = n.cfg.SearchBatch; batch <= 0 {
+			batch = 2
+		}
+	}
 	for _, u := range n.nbrs {
 		if n.isTreeEdge(u) || n.id > u {
 			continue
@@ -32,8 +127,14 @@ func (n *Node) maybeStartSearches(ctx *sim.Context) {
 		if n.tick < n.nextSearch[u] {
 			continue
 		}
+		if batch == 0 {
+			break // paced: the remaining due edges retry next tick
+		}
 		n.nextSearch[u] = n.tick + n.cfg.SearchPeriod + n.searchJitter(u)
 		n.startSearch(ctx, u, -1, 0)
+		if batch > 0 {
+			batch--
+		}
 	}
 }
 
@@ -64,6 +165,13 @@ func (n *Node) startSearch(ctx *sim.Context, target, block, ttl int) {
 	first := n.firstTreeNeighbor(-1, -1, nil)
 	if first < 0 {
 		return // isolated in the tree: nothing to traverse
+	}
+	// Launch-side pruning: skip the token entirely when an equivalent one
+	// left here within the window and nothing changed locally (the
+	// deblock storm and the periodic retry of an unchanged cycle are the
+	// two big redundant-traffic sources).
+	if n.cfg.SuppressSearches && n.suppressSearch(graph.Edge{U: n.id, V: target}, block) {
+		return
 	}
 	n.stats.SearchesLaunched++
 	msg := SearchMsg{
@@ -114,6 +222,12 @@ func (n *Node) handleSearch(ctx *sim.Context, from int, msg SearchMsg) {
 		if n.isTreeEdge(msg.Init.U) {
 			return // init edge joined the tree meanwhile: no cycle
 		}
+		// Terminus pruning: an equivalent cycle was classified here within
+		// the window with this node unchanged — the classification (and
+		// any reversal or deblock it triggered) would repeat verbatim.
+		if n.cfg.SuppressSearches && n.suppressSearch(msg.Init, msg.Block) {
+			return
+		}
 		n.actionOnCycle(ctx, msg)
 		return
 	}
@@ -124,8 +238,14 @@ func (n *Node) handleSearch(ctx *sim.Context, from int, msg SearchMsg) {
 			return // this node re-parented since the token passed: drop
 		}
 	} else {
-		// Descent arrival over a tree edge: push our entry.
+		// Descent arrival over a tree edge: push our entry. Backtrack
+		// arrivals (the branch above) are one token's own DFS walk and are
+		// never pruned — only this first arrival of a token is a candidate
+		// duplicate of an earlier equivalent token.
 		if !n.isTreeEdge(from) || msg.Path[top].Node != from {
+			return
+		}
+		if n.cfg.SuppressSearches && n.suppressSearch(msg.Init, msg.Block) {
 			return
 		}
 		msg.Path = append(msg.Path, PathEntry{Node: n.id, Deg: n.Deg(), Parent: n.parent, Cursor: -1})

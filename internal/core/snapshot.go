@@ -62,6 +62,7 @@ func AggregateStats(nodes []*Node) Stats {
 		total.ExchangesComplete += s.ExchangesComplete
 		total.ChainsAborted += s.ChainsAborted
 		total.DeblocksTriggered += s.DeblocksTriggered
+		total.SearchesSuppressed += s.SearchesSuppressed
 	}
 	return total
 }

@@ -149,7 +149,7 @@ func resolveWall(spec RunSpec, ops variantOps, tickDefault, probeDefault time.Du
 	if p.probe <= 0 {
 		p.probe = probeDefault
 	}
-	p.window = time.Duration(QuiesceWindowRounds(spec.Graph.N(), ops.cfg.SearchPeriod)) * p.tick
+	p.window = time.Duration(QuiesceWindowRounds(spec.Graph.N(), ops.cfg.EffectiveRetryPeriod())) * p.tick
 	p.stable = int(p.window/p.probe) + 1
 	p.deadline = spec.Tuning.Deadline
 	if p.deadline == 0 && spec.Tuning.Budget > 0 {
@@ -317,21 +317,22 @@ func runLive(spec RunSpec, ops variantOps) (Result, error) {
 	leg := ops.legit(g, procs)
 	converged := leg.OK()
 
-	exch, aborts := ops.stats(procs)
+	exch, aborts, suppressed := ops.stats(procs)
 	out := Result{
-		Backend:       BackendLive,
-		Converged:     converged,
-		Rounds:        int(det.Epoch()),
-		LastChange:    int(det.Epoch()),
-		Legit:         leg,
-		TotalMessages: ln.Sent(),
-		MaxStateBits:  sim.MaxStateBitsOf(procs),
-		Exchanges:     exch,
-		Aborts:        aborts,
-		Cert:          cert,
-		Restarts:      restarts,
-		Deadline:      p.deadline,
-		WallTime:      time.Since(begin),
+		Backend:            BackendLive,
+		Converged:          converged,
+		Rounds:             int(det.Epoch()),
+		LastChange:         int(det.Epoch()),
+		Legit:              leg,
+		TotalMessages:      ln.Sent(),
+		MaxStateBits:       sim.MaxStateBitsOf(procs),
+		Exchanges:          exch,
+		Aborts:             aborts,
+		SearchesSuppressed: suppressed,
+		Cert:               cert,
+		Restarts:           restarts,
+		Deadline:           p.deadline,
+		WallTime:           time.Since(begin),
 	}
 	if t, err := ops.tree(g, procs); err == nil {
 		out.Tree = t
@@ -419,22 +420,23 @@ func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 	}
 	leg := ops.legit(g, procs)
 
-	exch, aborts := ops.stats(procs)
+	exch, aborts, suppressed := ops.stats(procs)
 	out := Result{
-		Backend:       BackendTCP,
-		Converged:     leg.OK(),
-		Rounds:        int(det.Epoch()),
-		LastChange:    int(det.Epoch()),
-		Legit:         leg,
-		TotalMessages: c.Sent(),
-		MaxStateBits:  sim.MaxStateBitsOf(procs),
-		Dropped:       c.Dropped(),
-		Exchanges:     exch,
-		Aborts:        aborts,
-		Cert:          cert,
-		Restarts:      c.Restarts(),
-		Deadline:      p.deadline,
-		WallTime:      time.Since(begin),
+		Backend:            BackendTCP,
+		Converged:          leg.OK(),
+		Rounds:             int(det.Epoch()),
+		LastChange:         int(det.Epoch()),
+		Legit:              leg,
+		TotalMessages:      c.Sent(),
+		MaxStateBits:       sim.MaxStateBitsOf(procs),
+		Dropped:            c.Dropped(),
+		Exchanges:          exch,
+		Aborts:             aborts,
+		SearchesSuppressed: suppressed,
+		Cert:               cert,
+		Restarts:           c.Restarts(),
+		Deadline:           p.deadline,
+		WallTime:           time.Since(begin),
 	}
 	if t, err := ops.tree(g, procs); err == nil {
 		out.Tree = t

@@ -22,8 +22,20 @@ func smokeTuning(t *testing.T) BackendTuning {
 	return BackendTuning{Deadline: deadline}
 }
 
-// smokeCheck asserts the common post-conditions of a converged run.
+// smokeCheck asserts the common post-conditions of a converged run,
+// including zero driver restarts (in-band detection needs none on the
+// paper-literal search schedule).
 func smokeCheck(t *testing.T, res Result, wantBackend Backend) {
+	t.Helper()
+	smokeCheckRestarts(t, res, wantBackend, 0)
+}
+
+// smokeCheckRestarts is smokeCheck with an explicit restart allowance:
+// suppressed wall-clock runs may legitimately certify during a
+// deferred-retry plateau and recover through the driver's
+// resume-on-failed-legitimacy path, so a small restart count is part of
+// the design there, not a regression.
+func smokeCheckRestarts(t *testing.T, res Result, wantBackend Backend, maxRestarts int) {
 	t.Helper()
 	if res.Backend != wantBackend {
 		t.Fatalf("Result.Backend = %q, want %q", res.Backend, wantBackend)
@@ -57,9 +69,9 @@ func smokeCheck(t *testing.T, res Result, wantBackend Backend) {
 	if res.Cert.Sent != res.Cert.Received {
 		t.Fatalf("backend %s: certificate deficit %d", wantBackend, res.Cert.Sent-res.Cert.Received)
 	}
-	if res.Restarts != 0 {
-		t.Fatalf("backend %s: %d restarts on a converging run (in-band detection should need none)",
-			wantBackend, res.Restarts)
+	if res.Restarts > maxRestarts {
+		t.Fatalf("backend %s: %d restarts on a converging run (allowed %d)",
+			wantBackend, res.Restarts, maxRestarts)
 	}
 	if wantBackend != BackendSim && res.Deadline <= 0 {
 		t.Fatalf("backend %s: effective deadline not recorded", wantBackend)
@@ -173,6 +185,64 @@ func TestBackendTCPZeroRestartsOnConvergence(t *testing.T) {
 	}
 	if res.Cert == nil || res.Cert.Epoch == 0 {
 		t.Fatalf("tcp convergence without a probe-derived certificate: %+v", res.Cert)
+	}
+}
+
+// Satellite (smoke): the search-suppression knob exercised on both
+// wall-clock backends, not just the deterministic simulator — the
+// `make smoke` suppression job. Outcome must be unchanged by the knob
+// (legitimacy + certificate). Suppression defers retries, so a tiny
+// corrupt start can certify mid-plateau and take a few
+// resume-on-failed-legitimacy restarts before the legitimate
+// certificate — allowed within a small bound; whether tokens are
+// actually pruned is wall-clock timing and is asserted only as
+// non-negative.
+func TestSuppressionSmokeLiveTCP(t *testing.T) {
+	for _, backend := range []Backend{BackendLive, BackendTCP} {
+		res, err := Run(RunSpec{
+			Graph:    graph.Wheel(8),
+			Start:    StartCorrupt,
+			Seed:     23,
+			Backend:  backend,
+			Suppress: true,
+			Tuning:   smokeTuning(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smokeCheckRestarts(t, res, backend, 5)
+		if res.SearchesSuppressed < 0 {
+			t.Fatalf("backend %s: negative suppression counter %d", backend, res.SearchesSuppressed)
+		}
+	}
+}
+
+// Deterministic suppression accounting on the sim backend: same spec,
+// same seed — byte-identical JSON including the suppression counter,
+// which must be positive for a corrupted medium start.
+func TestSuppressionSimDeterministicCounter(t *testing.T) {
+	spec := RunSpec{Graph: graph.Wheel(24), Start: StartCorrupt, Seed: 9, Suppress: true}
+	a, b := MustRun(spec), MustRun(spec)
+	if a.SearchesSuppressed != b.SearchesSuppressed {
+		t.Fatalf("suppression counter nondeterministic: %d vs %d",
+			a.SearchesSuppressed, b.SearchesSuppressed)
+	}
+	if a.SearchesSuppressed <= 0 {
+		t.Fatalf("no suppression on a corrupted wheel start: %d", a.SearchesSuppressed)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(aj), `"searchesSuppressed"`) {
+		t.Fatalf("suppression counter missing from Result JSON: %s", aj)
+	}
+	// The knob off must keep the counter out of the JSON entirely — the
+	// omitempty half of the baseline byte-identity contract.
+	off := MustRun(RunSpec{Graph: graph.Wheel(24), Start: StartCorrupt, Seed: 9})
+	oj, _ := json.Marshal(off)
+	if strings.Contains(string(oj), "searchesSuppressed") {
+		t.Fatalf("suppression field serialized with the knob off: %s", oj)
 	}
 }
 

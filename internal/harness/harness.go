@@ -134,6 +134,12 @@ type RunSpec struct {
 	Backend Backend
 	// Tuning adjusts the wall-clock backends; ignored by sim.
 	Tuning BackendTuning
+	// Suppress turns on the search-traffic suppression hot path
+	// (core.Config.SuppressSearches) on top of whatever Config resolves
+	// to — the declarative form used by the scenario engine's suppression
+	// matrix axis. Off keeps the paper-literal search schedule and the
+	// committed deterministic baselines byte-identical.
+	Suppress bool
 }
 
 // backend returns the normalized backend (empty means sim).
@@ -182,6 +188,11 @@ type Result struct {
 	// them across variants).
 	Exchanges int `json:"exchanges"`
 	Aborts    int `json:"aborts"`
+	// SearchesSuppressed counts Search launches and token arrivals pruned
+	// by the suppression module; zero (and omitted from JSON, keeping
+	// suppression-off output byte-identical) unless the run enabled
+	// RunSpec.Suppress or Config.SuppressSearches.
+	SearchesSuppressed int `json:"searchesSuppressed,omitempty"`
 	// WallTime is the run's wall-clock duration — excluded from JSON so
 	// serialized results stay byte-identical across machines and reruns.
 	WallTime time.Duration `json:"-"`
@@ -249,14 +260,17 @@ func (s RunSpec) Validate() error {
 
 // QuiesceWindowRounds is the stability window (in asynchronous rounds)
 // that quiescence must hold before it is believed: it must cover a full
-// jittered search retry period, or a slow-searching configuration is
-// declared quiescent before its reduction ever fires. Every detection
-// path derives its window from this one formula — the sim run loop, the
-// wall-clock drivers (converted to wall time via the tick period), and
-// the churn executor's re-stabilization run — so they cannot drift
-// apart.
-func QuiesceWindowRounds(n, searchPeriod int) int {
-	return 2*n + 40 + 2*searchPeriod
+// search retry period, or a slow-searching configuration is declared
+// quiescent before its reduction ever fires. retryPeriod is the
+// worst-case spacing between full passes of an equivalent search —
+// Config.SearchPeriod for the paper-literal schedule,
+// core.Config.EffectiveRetryPeriod() when duplicate pruning may defer
+// retries by up to the suppression window. Every detection path derives
+// its window from this one formula — the sim run loop, the wall-clock
+// drivers (converted to wall time via the tick period), and the churn
+// executor's re-stabilization run — so they cannot drift apart.
+func QuiesceWindowRounds(n, retryPeriod int) int {
+	return 2*n + 40 + 2*retryPeriod
 }
 
 // Run executes one experiment run on the spec's backend. The error
@@ -315,7 +329,7 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 			return true
 		}
 	}
-	quiesceRounds := QuiesceWindowRounds(n, ops.cfg.SearchPeriod)
+	quiesceRounds := QuiesceWindowRounds(n, ops.cfg.EffectiveRetryPeriod())
 	res := net.Run(sim.RunConfig{
 		Scheduler:     NewScheduler(spec.Scheduler),
 		MaxRounds:     maxRounds,
@@ -324,20 +338,21 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 		OnRound:       onRound,
 	})
 
-	exch, aborts := ops.stats(procs)
+	exch, aborts, suppressed := ops.stats(procs)
 	out := Result{
-		Backend:      BackendSim,
-		Converged:    res.Converged,
-		Rounds:       res.Rounds,
-		LastChange:   res.LastChangeRound,
-		Legit:        ops.legit(g, procs),
-		Metrics:      net.Metrics(),
-		MaxStateBits: net.MaxStateBits(),
-		BrokenRounds: broken,
-		Dropped:      net.Dropped(),
-		Exchanges:    exch,
-		Aborts:       aborts,
-		WallTime:     time.Since(begin),
+		Backend:            BackendSim,
+		Converged:          res.Converged,
+		Rounds:             res.Rounds,
+		LastChange:         res.LastChangeRound,
+		Legit:              ops.legit(g, procs),
+		Metrics:            net.Metrics(),
+		MaxStateBits:       net.MaxStateBits(),
+		BrokenRounds:       broken,
+		Dropped:            net.Dropped(),
+		Exchanges:          exch,
+		Aborts:             aborts,
+		SearchesSuppressed: suppressed,
+		WallTime:           time.Since(begin),
 	}
 	for _, c := range out.Metrics.SentByKind {
 		out.TotalMessages += c

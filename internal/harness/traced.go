@@ -35,6 +35,9 @@ func RunTraced(spec RunSpec, every int) (Result, *trace.Series) {
 	if cfg.MaxDist == 0 {
 		cfg = core.DefaultConfig(n)
 	}
+	if spec.Suppress {
+		cfg.SuppressSearches = true
+	}
 	net := core.BuildNetwork(g, cfg, spec.Seed)
 	nodes := core.NodesOf(net)
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
@@ -86,7 +89,7 @@ func RunTraced(spec RunSpec, every int) (Result, *trace.Series) {
 	res := net.Run(sim.RunConfig{
 		Scheduler:     NewScheduler(spec.Scheduler),
 		MaxRounds:     maxRounds,
-		QuiesceRounds: 2*n + 40,
+		QuiesceRounds: QuiesceWindowRounds(n, cfg.EffectiveRetryPeriod()),
 		ActiveKinds:   core.ReductionKinds(),
 		OnRound: func(r int) bool {
 			if (r+1)%every == 0 {

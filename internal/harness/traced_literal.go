@@ -27,6 +27,9 @@ func RunTracedLiteral(spec RunSpec, every int) (Result, *trace.Series) {
 	if cfg.MaxDist == 0 {
 		cfg = paperproto.DefaultConfig(n)
 	}
+	if spec.Suppress {
+		cfg.SuppressSearches = true
+	}
 	net := paperproto.BuildNetwork(g, cfg, spec.Seed)
 	nodes := paperproto.NodesOf(net)
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
@@ -79,7 +82,7 @@ func RunTracedLiteral(spec RunSpec, every int) (Result, *trace.Series) {
 	res := net.Run(sim.RunConfig{
 		Scheduler:     NewScheduler(spec.Scheduler),
 		MaxRounds:     maxRounds,
-		QuiesceRounds: QuiesceWindowRounds(n, cfg.SearchPeriod),
+		QuiesceRounds: QuiesceWindowRounds(n, cfg.EffectiveRetryPeriod()),
 		ActiveKinds:   paperproto.ReductionKinds(),
 		OnRound: func(r int) bool {
 			if (r+1)%every == 0 {

@@ -24,7 +24,7 @@ type variantOps struct {
 	preload func(g *graph.Graph, procs []sim.Process) error
 	legit   func(g *graph.Graph, procs []sim.Process) core.Legitimacy
 	tree    func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error)
-	stats   func(procs []sim.Process) (exchanges, aborts int)
+	stats   func(procs []sim.Process) (exchanges, aborts, suppressed int)
 	kinds   []string // reduction message kinds that must drain at quiescence
 }
 
@@ -38,10 +38,16 @@ func variantFor(spec RunSpec) variantOps {
 		if cfg.MaxDist == 0 {
 			cfg = paperproto.DefaultConfig(n)
 		}
+		if spec.Suppress {
+			cfg.SuppressSearches = true
+		}
 		return literalOps(cfg)
 	}
 	if cfg.MaxDist == 0 {
 		cfg = core.DefaultConfig(n)
+	}
+	if spec.Suppress {
+		cfg.SuppressSearches = true
 	}
 	return coreOps(cfg)
 }
@@ -72,9 +78,9 @@ func coreOps(cfg core.Config) variantOps {
 		tree: func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error) {
 			return core.ExtractTree(g, coreNodes(procs))
 		},
-		stats: func(procs []sim.Process) (int, int) {
+		stats: func(procs []sim.Process) (int, int, int) {
 			st := core.AggregateStats(coreNodes(procs))
-			return st.ExchangesComplete, st.ChainsAborted
+			return st.ExchangesComplete, st.ChainsAborted, st.SearchesSuppressed
 		},
 		kinds: core.ReductionKinds(),
 	}
@@ -118,9 +124,9 @@ func literalOps(cfg core.Config) variantOps {
 		tree: func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error) {
 			return paperproto.ExtractTree(g, literalNodes(procs))
 		},
-		stats: func(procs []sim.Process) (int, int) {
+		stats: func(procs []sim.Process) (int, int, int) {
 			st := paperproto.AggregateStats(literalNodes(procs))
-			return st.ExchangesComplete, st.ChoreoAborted
+			return st.ExchangesComplete, st.ChoreoAborted, st.SearchesSuppressed
 		},
 		kinds: paperproto.ReductionKinds(),
 	}

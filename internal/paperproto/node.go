@@ -48,6 +48,9 @@ type Node struct {
 	tick        int
 	nextSearch  map[int]int
 	lastDeblock map[int]int
+	// suppress is the shared duplicate-token pruning state (nil unless
+	// Config.SuppressSearches); see core.SearchSuppressor.
+	suppress *core.SearchSuppressor
 
 	stats Stats
 }
@@ -63,6 +66,10 @@ type Stats struct {
 	ChoreoAborted     int // Remove/Back hops discarded by a staleness check
 	ReversesSent      int // literal Reverse messages emitted (Reverse_Aux path)
 	DeblocksTriggered int // Deblock floods this node started or forwarded
+	// SearchesSuppressed counts Search launches and token arrivals
+	// dropped by duplicate pruning (Config.SuppressSearches); always zero
+	// with the knob off.
+	SearchesSuppressed int
 }
 
 // NewNode creates a node in a clean initial state (its own root).
@@ -76,6 +83,9 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 		views:       localview.NewTable(neighbors),
 		nextSearch:  make(map[int]int),
 		lastDeblock: make(map[int]int),
+	}
+	if cfg.SuppressSearches {
+		n.suppress = core.NewSearchSuppressor()
 	}
 	for _, u := range n.nbrs {
 		*n.views.Get(u) = View{Root: u, Parent: u}
@@ -95,6 +105,9 @@ func (n *Node) Clone() *Node {
 	c.lastDeblock = make(map[int]int, len(n.lastDeblock))
 	for k, v := range n.lastDeblock {
 		c.lastDeblock[k] = v
+	}
+	if n.suppress != nil {
+		c.suppress = n.suppress.Clone()
 	}
 	return &c
 }

@@ -10,15 +10,34 @@ import (
 // primary variant: a DFS token over tree edges whose Path is the DFS
 // stack, reusing core's Search wire format.
 
+// suppressSearch applies the shared duplicate-token pruning module
+// (core.SearchSuppressor — the two variants share the whole search
+// schedule; only the exchange choreography differs). Never called with
+// suppression off.
+func (n *Node) suppressSearch(init graph.Edge, block int) bool {
+	if n.suppress.Suppress(n.cfg.PruneWindow(), n.tick, n.version, init, block) {
+		n.stats.SearchesSuppressed++
+		return true
+	}
+	return false
+}
+
 // maybeStartSearches launches due plain searches for non-tree edges
 // toward higher IDs, guarded by locally_stabilized and paced by
-// SearchPeriod.
+// SearchPeriod; with suppression on, launches are batched exactly as in
+// internal/core.
 func (n *Node) maybeStartSearches(ctx *sim.Context) {
 	if !n.locallyStabilized() {
 		return
 	}
 	if n.dmax <= 2 {
 		return // a degree-2 tree is a Hamiltonian path: globally optimal
+	}
+	batch := -1
+	if n.cfg.SuppressSearches {
+		if batch = n.cfg.SearchBatch; batch <= 0 {
+			batch = 2
+		}
 	}
 	for _, u := range n.nbrs {
 		if n.isTreeEdge(u) || n.id > u {
@@ -27,8 +46,14 @@ func (n *Node) maybeStartSearches(ctx *sim.Context) {
 		if n.tick < n.nextSearch[u] {
 			continue
 		}
+		if batch == 0 {
+			break // paced: the remaining due edges retry next tick
+		}
 		n.nextSearch[u] = n.tick + n.cfg.SearchPeriod + n.searchJitter(u)
 		n.startSearch(ctx, u, -1, 0)
+		if batch > 0 {
+			batch--
+		}
 	}
 }
 
@@ -51,6 +76,9 @@ func (n *Node) searchJitter(u int) int {
 func (n *Node) startSearch(ctx *sim.Context, target, block, ttl int) {
 	first := n.firstTreeNeighbor(-1, -1, nil)
 	if first < 0 {
+		return
+	}
+	if n.cfg.SuppressSearches && n.suppressSearch(graph.Edge{U: n.id, V: target}, block) {
 		return
 	}
 	n.stats.SearchesLaunched++
@@ -99,6 +127,9 @@ func (n *Node) handleSearch(ctx *sim.Context, from int, msg core.SearchMsg) {
 		if n.isTreeEdge(msg.Init.U) {
 			return
 		}
+		if n.cfg.SuppressSearches && n.suppressSearch(msg.Init, msg.Block) {
+			return
+		}
 		n.actionOnCycle(ctx, msg)
 		return
 	}
@@ -109,6 +140,11 @@ func (n *Node) handleSearch(ctx *sim.Context, from int, msg core.SearchMsg) {
 		}
 	} else {
 		if !n.isTreeEdge(from) || msg.Path[top].Node != from {
+			return
+		}
+		// Only a token's first (descent) arrival is a duplicate candidate;
+		// backtrack arrivals are its own DFS walk and pass untouched.
+		if n.cfg.SuppressSearches && n.suppressSearch(msg.Init, msg.Block) {
 			return
 		}
 		msg.Path = append(msg.Path, core.PathEntry{Node: n.id, Deg: n.Deg(), Parent: n.parent, Cursor: -1})

@@ -75,6 +75,7 @@ func AggregateStats(nodes []*Node) Stats {
 		total.ChoreoAborted += s.ChoreoAborted
 		total.ReversesSent += s.ReversesSent
 		total.DeblocksTriggered += s.DeblocksTriggered
+		total.SearchesSuppressed += s.SearchesSuppressed
 	}
 	return total
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mdst/internal/core"
 	"mdst/internal/detect"
 	"mdst/internal/graph"
 	"mdst/internal/harness"
@@ -53,6 +54,11 @@ type RunResult struct {
 	Exchanges  int   `json:"exchanges"`
 	Aborts     int   `json:"aborts"`
 	Dropped    int64 `json:"dropped"`
+	// SearchesSuppressed counts Search launches and token arrivals pruned
+	// by the suppression module — zero and omitted from JSON unless the
+	// run's cell enabled the suppression axis, so suppression-free matrix
+	// output (including the committed PR-2 baseline) is byte-identical.
+	SearchesSuppressed int `json:"searchesSuppressed,omitempty"`
 	// Corrupted is the number of nodes the fault model corrupted after
 	// preloading (targeted and corrupt-k models).
 	Corrupted int `json:"corrupted"`
@@ -73,6 +79,7 @@ type RunResult struct {
 	MaxMsgKind            string `json:"-"` // kind of that largest message
 	BrokenRounds          int    `json:"-"` // rounds without a valid tree (Spec.TrackSafety)
 	FingerprintRecomputes int64  `json:"-"` // per-node state hashes for quiescence detection
+	SearchMessages        int64  `json:"-"` // Search-kind sends (sim backend; the suppression figure of merit)
 	// Wall is the run's wall-clock duration — excluded from JSON (the
 	// harness.Result json:"-" pattern) so output stays byte-identical
 	// across machines; only the wall-clock backends make it meaningful.
@@ -107,11 +114,15 @@ type CellResult struct {
 	MessagesAvg float64 `json:"messagesAvg"`
 	ExchangeAvg float64 `json:"exchangesAvg"`
 	DroppedAvg  float64 `json:"droppedAvg"`
-	Corrupted   int     `json:"corrupted"`   // max over runs
-	MaxDegree   int     `json:"maxDegree"`   // worst over runs (-1: none)
-	DegreeBound int     `json:"degreeBound"` // max over runs
-	Nodes       int     `json:"nodes"`       // max over runs
-	Edges       int     `json:"edges"`       // max over runs
+	// SuppressedAvg is the mean SearchesSuppressed over completed runs —
+	// zero and omitted from JSON for suppression-off cells (baseline
+	// byte-identity contract).
+	SuppressedAvg float64 `json:"searchesSuppressedAvg,omitempty"`
+	Corrupted     int     `json:"corrupted"`   // max over runs
+	MaxDegree     int     `json:"maxDegree"`   // worst over runs (-1: none)
+	DegreeBound   int     `json:"degreeBound"` // max over runs
+	Nodes         int     `json:"nodes"`       // max over runs
+	Edges         int     `json:"edges"`       // max over runs
 }
 
 // Matrix is the executed scenario matrix: the per-cell aggregate table
@@ -219,6 +230,7 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 		TrackSafety: spec.TrackSafety,
 		Backend:     backend,
 		Tuning:      spec.Tuning,
+		Suppress:    r.Suppress != "",
 	}
 	if spec.Config != nil {
 		base.Config = spec.Config(g.N())
@@ -278,6 +290,7 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 	out.Exchanges = res.Exchanges
 	out.Aborts = res.Aborts
 	out.Dropped = res.Dropped
+	out.SearchesSuppressed = res.SearchesSuppressed
 	out.MaxStateBits = res.MaxStateBits
 	out.BrokenRounds = res.BrokenRounds
 	out.Wall = res.WallTime
@@ -287,6 +300,7 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 		out.MaxMsgWords = res.Metrics.MaxMsgSize
 		out.MaxMsgKind = res.Metrics.MaxMsgSizeKind
 		out.FingerprintRecomputes = res.Metrics.FingerprintRecomputes
+		out.SearchMessages = res.Metrics.SentByKind[core.KindSearch]
 	}
 	if res.Tree != nil {
 		finalG := res.Tree.Graph() // churn re-stabilizes on a mutated graph
@@ -354,6 +368,7 @@ func aggregate(results []RunResult) *Matrix {
 		c.MessagesAvg += float64(rr.Messages)
 		c.ExchangeAvg += float64(rr.Exchanges)
 		c.DroppedAvg += float64(rr.Dropped)
+		c.SuppressedAvg += float64(rr.SearchesSuppressed)
 		if rr.Corrupted > c.Corrupted {
 			c.Corrupted = rr.Corrupted
 		}
@@ -370,6 +385,7 @@ func aggregate(results []RunResult) *Matrix {
 			m.Cells[i].MessagesAvg /= float64(n)
 			m.Cells[i].ExchangeAvg /= float64(n)
 			m.Cells[i].DroppedAvg /= float64(n)
+			m.Cells[i].SuppressedAvg /= float64(n)
 		}
 	}
 	return m
@@ -378,16 +394,18 @@ func aggregate(results []RunResult) *Matrix {
 // RenderTable returns an aligned plain-text rendering of the cell table.
 func (m *Matrix) RenderTable() string {
 	cols := []string{"family", "n", "sched", "start", "variant", "backend",
-		"fault", "runs", "conv", "legit", "rounds(avg)", "rounds(max)",
-		"msgs(avg)", "deg", "bound", "within"}
+		"suppr", "fault", "runs", "conv", "legit", "rounds(avg)", "rounds(max)",
+		"msgs(avg)", "suppr(avg)", "deg", "bound", "within"}
 	rows := make([][]string, 0, len(m.Cells))
 	for _, c := range m.Cells {
 		rows = append(rows, []string{
 			c.Family, fmt.Sprintf("%d", c.Nodes), c.Scheduler, c.Start,
-			c.Variant, c.BackendName(), c.Fault, fmt.Sprintf("%d", c.Runs),
+			c.Variant, c.BackendName(), c.SuppressName(), c.Fault,
+			fmt.Sprintf("%d", c.Runs),
 			fmt.Sprintf("%v", c.Converged), fmt.Sprintf("%v", c.Legitimate),
 			fmt.Sprintf("%.1f", c.RoundsAvg), fmt.Sprintf("%d", c.RoundsMax),
-			fmt.Sprintf("%.0f", c.MessagesAvg), fmt.Sprintf("%d", c.MaxDegree),
+			fmt.Sprintf("%.0f", c.MessagesAvg), fmt.Sprintf("%.0f", c.SuppressedAvg),
+			fmt.Sprintf("%d", c.MaxDegree),
 			fmt.Sprintf("%d", c.DegreeBound), fmt.Sprintf("%v", c.WithinBound),
 		})
 	}
@@ -429,13 +447,13 @@ func (m *Matrix) RenderTable() string {
 // CSV returns a comma-separated rendering of the cell table.
 func (m *Matrix) CSV() string {
 	var b strings.Builder
-	b.WriteString("family,n,scheduler,start,variant,backend,fault,runs,converged,legitimate,roundsAvg,roundsMax,messagesAvg,maxDegree,degreeBound,withinBound\n")
+	b.WriteString("family,n,scheduler,start,variant,backend,suppress,fault,runs,converged,legitimate,roundsAvg,roundsMax,messagesAvg,searchesSuppressedAvg,maxDegree,degreeBound,withinBound\n")
 	for _, c := range m.Cells {
-		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s,%d,%v,%v,%.2f,%d,%.0f,%d,%d,%v\n",
+		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s,%s,%d,%v,%v,%.2f,%d,%.0f,%.0f,%d,%d,%v\n",
 			c.Family, c.Nodes, c.Scheduler, c.Start, c.Variant,
-			c.BackendName(), c.Fault, c.Runs, c.Converged, c.Legitimate,
-			c.RoundsAvg, c.RoundsMax, c.MessagesAvg, c.MaxDegree,
-			c.DegreeBound, c.WithinBound)
+			c.BackendName(), c.SuppressName(), c.Fault, c.Runs, c.Converged,
+			c.Legitimate, c.RoundsAvg, c.RoundsMax, c.MessagesAvg,
+			c.SuppressedAvg, c.MaxDegree, c.DegreeBound, c.WithinBound)
 	}
 	return b.String()
 }

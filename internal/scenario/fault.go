@@ -199,6 +199,9 @@ func (f Churn) Execute(spec harness.RunSpec, rng *rand.Rand) (harness.Result, er
 	if cfg.MaxDist == 0 {
 		cfg = core.DefaultConfig(n)
 	}
+	if spec.Suppress {
+		cfg.SuppressSearches = true
+	}
 	net := core.BuildNetwork(g, cfg, spec.Seed)
 	if err := harness.Preload(g, core.NodesOf(net), cfg); err != nil {
 		return harness.Result{}, err
@@ -225,22 +228,23 @@ func (f Churn) Execute(spec harness.RunSpec, rng *rand.Rand) (harness.Result, er
 	res := newNet.Run(sim.RunConfig{
 		Scheduler:     harness.NewScheduler(spec.Scheduler),
 		MaxRounds:     maxRounds,
-		QuiesceRounds: harness.QuiesceWindowRounds(n, cfg.SearchPeriod),
+		QuiesceRounds: harness.QuiesceWindowRounds(n, cfg.EffectiveRetryPeriod()),
 		ActiveKinds:   core.ReductionKinds(),
 	})
 	nodes := core.NodesOf(newNet)
 	st := core.AggregateStats(nodes)
 	out := harness.Result{
-		Backend:      harness.BackendSim,
-		Converged:    res.Converged,
-		Rounds:       res.Rounds,
-		LastChange:   res.LastChangeRound,
-		Legit:        core.CheckLegitimacy(newG, nodes),
-		Metrics:      newNet.Metrics(),
-		MaxStateBits: newNet.MaxStateBits(),
-		Dropped:      newNet.Dropped(),
-		Exchanges:    st.ExchangesComplete,
-		Aborts:       st.ChainsAborted,
+		Backend:            harness.BackendSim,
+		Converged:          res.Converged,
+		Rounds:             res.Rounds,
+		LastChange:         res.LastChangeRound,
+		Legit:              core.CheckLegitimacy(newG, nodes),
+		Metrics:            newNet.Metrics(),
+		MaxStateBits:       newNet.MaxStateBits(),
+		Dropped:            newNet.Dropped(),
+		Exchanges:          st.ExchangesComplete,
+		Aborts:             st.ChainsAborted,
+		SearchesSuppressed: st.SearchesSuppressed,
 	}
 	for _, c := range out.Metrics.SentByKind {
 		out.TotalMessages += c

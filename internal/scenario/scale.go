@@ -74,15 +74,48 @@ type ScaleCell struct {
 	Rounds                int    `json:"rounds"`
 	LastChange            int    `json:"lastChange"`
 	Messages              int64  `json:"messages"`
+	SearchMessages        int64  `json:"searchMessages"`
 	MaxDegree             int    `json:"maxDegree"`
 	DegreeBound           int    `json:"degreeBound"`
 	WithinBound           bool   `json:"withinBound"`
 	FingerprintRecomputes int64  `json:"fingerprintRecomputes"`
 }
 
+// SuppressionCell is one paired on/off comparison of the search-traffic
+// suppression hot path: the identical instance (same seed, graph and
+// corruptions — run seeds exclude the suppression axis) executed with
+// the knob off and on. The off columns repeat the main ladder's run; the
+// on columns must reach the same legitimacy predicate and the identical
+// Δ*+1 degree bracket (enforced by ScaleSweep), differing only in
+// traffic and possibly in timing.
+type SuppressionCell struct {
+	Family             string `json:"family"`
+	N                  int    `json:"n"`
+	Seed               int64  `json:"seed"`
+	RoundsOff          int    `json:"roundsOff"`
+	RoundsOn           int    `json:"roundsOn"`
+	MessagesOff        int64  `json:"messagesOff"`
+	MessagesOn         int64  `json:"messagesOn"`
+	SearchMessagesOff  int64  `json:"searchMessagesOff"`
+	SearchMessagesOn   int64  `json:"searchMessagesOn"`
+	SearchesSuppressed int64  `json:"searchesSuppressed"`
+	MaxDegreeOn        int    `json:"maxDegreeOn"`
+	DegreeBound        int    `json:"degreeBound"`
+	WithinBound        bool   `json:"withinBound"`
+	// SearchReduction = searchMessagesOff / searchMessagesOn — the
+	// committed figure of merit (the acceptance bar is >= 2 at n=512).
+	SearchReduction float64 `json:"searchReduction"`
+	// MessageReduction is the same ratio over all message kinds.
+	MessageReduction float64 `json:"messageReduction"`
+}
+
 // ScaleReport is the deterministic content of BENCH_scale.json.
 type ScaleReport struct {
 	Cells []ScaleCell `json:"cells"`
+
+	// Suppression pairs every ladder size with its suppression-on twin:
+	// the committed on/off Search-kind message-volume comparison.
+	Suppression []SuppressionCell `json:"suppression"`
 
 	// Full-rehash baseline vs the incremental cache on the SAME run
 	// (identical seed, identical rounds/messages/degree outputs): the
@@ -142,6 +175,7 @@ func ScaleSweep(spec ScaleSpec) (*ScaleReport, error) {
 			Rounds:                rr.Rounds,
 			LastChange:            rr.LastChange,
 			Messages:              rr.Messages,
+			SearchMessages:        rr.SearchMessages,
 			MaxDegree:             rr.MaxDegree,
 			DegreeBound:           rr.DegreeBound,
 			WithinBound:           rr.WithinBound,
@@ -153,6 +187,61 @@ func ScaleSweep(spec ScaleSpec) (*ScaleReport, error) {
 	}
 	if incBaseline == nil {
 		return nil, fmt.Errorf("scenario: baseline size %d not in sweep sizes %v", ns.BaselineN, ns.Sizes)
+	}
+
+	// The suppression-on twin of the ladder: the suppression axis is
+	// excluded from run seeds, so every run below executes the IDENTICAL
+	// instance (graph + corruptions) as its entry in report.Cells —
+	// paired on/off message-volume comparisons, not cross-instance noise.
+	sup, err := Engine{Workers: ns.Workers}.Execute(func() Spec {
+		s := matrixSpec(ns.Sizes)
+		s.Suppression = []bool{true}
+		return s
+	}())
+	if err != nil {
+		return nil, err
+	}
+	for i := range sup.Runs {
+		on := &sup.Runs[i]
+		if on.Err != "" {
+			return nil, fmt.Errorf("scenario: suppressed scale run %s failed: %s", on.Cell, on.Err)
+		}
+		off := &m.Runs[i]
+		if off.N != on.N || off.Seed != on.Seed {
+			return nil, fmt.Errorf("scenario: suppression ladder misaligned at %d: n=%d/%d seed=%d/%d",
+				i, off.N, on.N, off.Seed, on.Seed)
+		}
+		// Outcome equivalence is part of the committed contract: the
+		// suppressed run must converge to the same legitimacy predicate
+		// and the identical Δ*+1 bracket (the exact tree and timing may
+		// differ — suppression defers redundant tokens, nothing else).
+		if !on.Converged || !on.Legitimate || !on.WithinBound || on.DegreeBound != off.DegreeBound {
+			return nil, fmt.Errorf(
+				"scenario: suppression broke outcome equivalence at n=%d: converged=%v legit=%v deg=%d bound=%d (off bound %d)",
+				on.N, on.Converged, on.Legitimate, on.MaxDegree, on.DegreeBound, off.DegreeBound)
+		}
+		cell := SuppressionCell{
+			Family:             on.Family,
+			N:                  on.N,
+			Seed:               on.Seed,
+			RoundsOff:          off.Rounds,
+			RoundsOn:           on.Rounds,
+			MessagesOff:        off.Messages,
+			MessagesOn:         on.Messages,
+			SearchMessagesOff:  off.SearchMessages,
+			SearchMessagesOn:   on.SearchMessages,
+			SearchesSuppressed: int64(on.SearchesSuppressed),
+			MaxDegreeOn:        on.MaxDegree,
+			DegreeBound:        on.DegreeBound,
+			WithinBound:        on.WithinBound,
+		}
+		if on.SearchMessages > 0 {
+			cell.SearchReduction = float64(off.SearchMessages) / float64(on.SearchMessages)
+		}
+		if on.Messages > 0 {
+			cell.MessageReduction = float64(off.Messages) / float64(on.Messages)
+		}
+		report.Suppression = append(report.Suppression, cell)
 	}
 
 	sim.SetFullFingerprintRehash(true)

@@ -48,6 +48,13 @@ type Spec struct {
 	// their rounds/messages vary across repeats (the legitimacy and
 	// degree-bound claims are what a cross-backend matrix compares).
 	Backends []harness.Backend
+	// Suppression defaults to [false]: each true entry runs its cells
+	// with the search-traffic suppression hot path on
+	// (harness.RunSpec.Suppress). Run seeds exclude this axis, so
+	// [false, true] yields paired on/off comparisons on identical
+	// workloads; the off label serializes empty, keeping suppression-free
+	// matrix JSON byte-identical to the committed baselines.
+	Suppression []bool
 	// Faults defaults to [NoFault]. Names must be unique.
 	Faults []FaultModel
 	// SeedsPerCell defaults to 1.
@@ -85,7 +92,20 @@ type Cell struct {
 	// simulator serialize exactly as they did before the backend axis
 	// existed — the committed PR-2 baseline stays byte-identical.
 	Backend string `json:"backend,omitempty"`
-	Fault   string `json:"fault"`
+	// Suppress is the search-suppression axis label: "on" for suppressed
+	// cells, empty (omitted from JSON, same contract as Backend) for the
+	// paper-literal search schedule.
+	Suppress string `json:"suppress,omitempty"`
+	Fault    string `json:"fault"`
+}
+
+// SuppressName returns the display name of the cell's suppression mode
+// ("off" for the empty default label).
+func (c Cell) SuppressName() string {
+	if c.Suppress == "" {
+		return "off"
+	}
+	return c.Suppress
 }
 
 // BackendName returns the display name of the cell's backend ("sim" for
@@ -102,6 +122,9 @@ func (c Cell) String() string {
 		c.Family, c.N, c.Scheduler, c.Start, c.Variant, c.Fault)
 	if c.Backend != "" {
 		s += "/" + c.Backend
+	}
+	if c.Suppress != "" {
+		s += "/suppress"
 	}
 	return s
 }
@@ -126,6 +149,9 @@ func (s Spec) normalized() Spec {
 	}
 	if len(s.Backends) == 0 {
 		s.Backends = []harness.Backend{harness.BackendSim}
+	}
+	if len(s.Suppression) == 0 {
+		s.Suppression = []bool{false}
 	}
 	if len(s.Faults) == 0 {
 		s.Faults = []FaultModel{NoFault{}}
@@ -179,6 +205,13 @@ func (s Spec) validate() error {
 		}
 		seenBackend[nb] = true
 	}
+	seenSuppress := map[bool]bool{}
+	for _, sup := range s.Suppression {
+		if seenSuppress[sup] {
+			return fmt.Errorf("scenario: duplicate suppression mode %v", sup)
+		}
+		seenSuppress[sup] = true
+	}
 	seen := map[string]bool{}
 	for _, fm := range s.Faults {
 		if fm == nil {
@@ -194,7 +227,7 @@ func (s Spec) validate() error {
 
 // runSeed derives the per-run seed from the instance identity (family,
 // size, seed index, base seed) — deliberately NOT from the scheduler,
-// start, variant, backend or fault axes. Cells that differ only in those axes
+// start, variant, backend, suppression or fault axes. Cells that differ only in those axes
 // therefore draw the SAME graph instances, so sweeps like "rounds vs
 // drop rate" or "recovery cost by fault role" are paired comparisons
 // on identical workloads rather than cross-instance noise. The hash —
@@ -208,7 +241,7 @@ func runSeed(base int64, c Cell, idx int) int64 {
 }
 
 // Expand enumerates the full run matrix in deterministic order (family,
-// size, scheduler, start, variant, backend, fault, seed).
+// size, scheduler, start, variant, backend, suppression, fault, seed).
 func (s Spec) Expand() ([]Run, error) {
 	ns := s.normalized()
 	if err := ns.validate(); err != nil {
@@ -230,22 +263,32 @@ func (s Spec) Expand() ([]Run, error) {
 							if backend == harness.BackendSim {
 								label = ""
 							}
-							for _, fm := range ns.Faults {
-								cell := Cell{
-									Family:    fam,
-									N:         n,
-									Scheduler: string(sched),
-									Start:     start.String(),
-									Variant:   string(variant),
-									Backend:   label,
-									Fault:     fm.Name(),
+							for _, sup := range ns.Suppression {
+								// Same contract: the off default keeps the
+								// empty label so suppression-free matrices
+								// serialize unchanged.
+								supLabel := ""
+								if sup {
+									supLabel = "on"
 								}
-								for idx := 0; idx < ns.SeedsPerCell; idx++ {
-									runs = append(runs, Run{
-										Cell:      cell,
-										SeedIndex: idx,
-										Seed:      runSeed(ns.BaseSeed, cell, idx),
-									})
+								for _, fm := range ns.Faults {
+									cell := Cell{
+										Family:    fam,
+										N:         n,
+										Scheduler: string(sched),
+										Start:     start.String(),
+										Variant:   string(variant),
+										Backend:   label,
+										Suppress:  supLabel,
+										Fault:     fm.Name(),
+									}
+									for idx := 0; idx < ns.SeedsPerCell; idx++ {
+										runs = append(runs, Run{
+											Cell:      cell,
+											SeedIndex: idx,
+											Seed:      runSeed(ns.BaseSeed, cell, idx),
+										})
+									}
 								}
 							}
 						}
