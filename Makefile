@@ -44,22 +44,31 @@ race:
 # job covers the convergence-detection subsystem both drivers now rest
 # on (sequential reference detector + certificate logic); the
 # suppression job exercises the search-suppression knob on live AND tcp,
-# not just the deterministic simulator.
+# not just the deterministic simulator; the tcp-batch job drives a
+# batch>1 cluster through the certificate path (coalesced wire frames
+# must not change the outcome — see TestBatchedTCPDifferentialOutcome).
 smoke:
 	$(GO) test -short ./internal/detect/
 	$(GO) test -short -run 'TestBackend|TestParseBackend|TestTuning' ./internal/harness/
 	$(GO) test -short -run 'TestSuppressionSmokeLiveTCP|TestSuppressionSimDeterministicCounter' ./internal/harness/
 	$(GO) test -short -run 'TestControlChannel|TestSentAccumulates' ./internal/netrun/
+	$(GO) test -short -run 'TestBatchedTCPDifferentialOutcome|TestBackendTCPZeroRestartsOnConvergence' ./internal/harness/
+	$(GO) test -short -run 'TestBatch|TestTCPBatchedWheelConverges' ./internal/netrun/
 	$(GO) test -short ./cmd/mdstnet/
 
-# The committed scale benchmark: the n=256/512/1024 ladder on the
-# incremental simulator hot path plus the full-rehash baseline
-# comparison. Deterministic fields only — the output is byte-stable
-# across machines and reruns, so the file is committed.
+# The committed benchmarks. BENCH_scale.json (the n=256/512/1024 ladder
+# on the incremental simulator hot path plus the full-rehash baseline
+# comparison) holds deterministic fields only — byte-stable across
+# machines, so it is also a drift gate. BENCH_tcp.json (the tcp
+# frame-coalescing sweep: frames-per-message and wall-per-round per
+# batch size) is wall-clock and is committed as a snapshot, NOT drifted.
 bench:
 	$(GO) run ./cmd/mdstmatrix -scale > BENCH_scale.json.tmp
 	mv BENCH_scale.json.tmp BENCH_scale.json
 	@tail -6 BENCH_scale.json
+	$(GO) run ./cmd/mdstmatrix -tcpbench > BENCH_tcp.json.tmp
+	mv BENCH_tcp.json.tmp BENCH_tcp.json
+	@tail -14 BENCH_tcp.json
 
 # Reduced-sweep Go benchmark pass (one iteration per benchmark).
 gobench:

@@ -17,6 +17,8 @@
 //	mdstmatrix -backend sim,live,tcp      # cross-backend comparison matrix
 //	mdstmatrix -suppress off,on           # paired search-suppression comparison
 //	mdstmatrix -xbackend                  # medium-n cross-backend preset -> committed table
+//	mdstmatrix -backend tcp -batch 16 -batchwait 1ms   # coalesced tcp frames
+//	mdstmatrix -tcpbench                  # tcp frame-coalescing bench -> BENCH_tcp.json content
 //
 // The sim backend (default) is bit-reproducible; the live and tcp
 // backends execute on the wall clock, so their rounds/messages columns
@@ -62,7 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("quiet", false, "suppress the execution summary on stderr")
 	scale := fs.Bool("scale", false, "run the large-n scale sweep and print the deterministic BENCH_scale.json report (uses -sizes when given, else 256,512,1024)")
 	suppress := fs.String("suppress", "off", "comma-separated search-suppression axis: off|on (on prunes duplicate Search tokens; seeds pair on/off cells on identical workloads)")
-	xbackend := fs.Bool("xbackend", false, "run the medium-n cross-backend preset (sim/live/tcp at n=64..128, suppression on) and print the committed-table JSON (uses -sizes when given, else 64,96,128)")
+	xbackend := fs.Bool("xbackend", false, "run the medium-n cross-backend preset (sim/live/tcp, suppression on) and print the committed-table JSON (uses -sizes when given, else the preset ladder)")
+	batch := fs.Int("batch", 0, "tcp frame coalescing: messages per wire frame (0/1: one frame per message, the compatible default; >1: batched format)")
+	batchwait := fs.Duration("batchwait", 0, "tcp frame coalescing: max time a partially filled frame is held open (0: flush immediately)")
+	tcpbench := fs.Bool("tcpbench", false, "run the tcp frame-coalescing bench (ring+chords, batch 1/8/16) and print the BENCH_tcp.json report (uses the first -sizes entry when given, else n=128)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,6 +77,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *xbackend {
 		return runCrossBackend(fs, *sizes, *workers, *quiet, stdout, stderr)
+	}
+	if *tcpbench {
+		return runTCPBench(fs, *sizes, *quiet, stdout, stderr)
 	}
 
 	spec := scenario.Spec{
@@ -104,6 +112,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	spec.Tuning.Deadline = *deadline
 	spec.Tuning.Budget = *budget
+	spec.Tuning.BatchSize = *batch
+	spec.Tuning.BatchMaxWait = *batchwait
 	if err := spec.Tuning.Validate(); err != nil {
 		fmt.Fprintln(stderr, "mdstmatrix:", err)
 		return 2
@@ -263,6 +273,44 @@ func runCrossBackend(fs *flag.FlagSet, sizes string, workers int, quiet bool, st
 		for i, row := range rep.Rows {
 			fmt.Fprintf(stderr, "mdstmatrix: n=%d %-4s converged=%v restarts=%d wall=%s\n",
 				row.N, row.Backend, row.Converged, rep.Restarts[i], rep.Walls[i].Round(1e6))
+		}
+	}
+	return 0
+}
+
+// runTCPBench executes the tcp frame-coalescing bench (make bench
+// writes its output to BENCH_tcp.json): one medium-n instance per batch
+// size over loopback TCP, with the paired sim run supplying the
+// protocol-round denominator. The output is a wall-clock snapshot, not
+// a byte-identity artifact — it stays out of the drift gate.
+func runTCPBench(fs *flag.FlagSet, sizes string, quiet bool, stdout, stderr io.Writer) int {
+	spec := scenario.TCPBenchSpec{}
+	explicit, ok := explicitSizes(fs, sizes, stderr)
+	if !ok {
+		return 2
+	}
+	if len(explicit) > 1 {
+		fmt.Fprintln(stderr, "mdstmatrix: -tcpbench takes at most one -sizes entry")
+		return 2
+	}
+	if len(explicit) == 1 {
+		spec.N = explicit[0]
+	}
+	rep, err := scenario.TCPBenchSweep(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdstmatrix:", err)
+		return 1
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintln(stderr, "mdstmatrix:", err)
+		return 1
+	}
+	stdout.Write(b)
+	if !quiet {
+		for _, row := range rep.Rows {
+			fmt.Fprintf(stderr, "mdstmatrix: n=%d batch=%-2d frames/msg=%.3f wall/round=%.3fms restarts=%d\n",
+				rep.N, row.Batch, row.FramesPerMessage, row.WallPerRoundMS, row.Restarts)
 		}
 	}
 	return 0

@@ -17,6 +17,7 @@
 //	mdstnet -family gnp -n 24 -variant literal -corrupt
 //	mdstnet -family wheel -n 12 -budget 8      # deadline scaled from the paired sim run
 //	mdstnet -family gnp -n 64 -suppress        # duplicate Search-token pruning on
+//	mdstnet -family gnp -n 128 -batch 16 -batchwait 1ms   # coalesced wire frames
 package main
 
 import (
@@ -50,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget := fs.Float64("budget", 0, "convergence-aware deadline: scale the paired sim run's observed rounds × tick by this factor (0 = fixed -deadline)")
 	tick := fs.Duration("tick", 0, "gossip period (0 = runtime default)")
 	suppress := fs.Bool("suppress", false, "enable the search-traffic suppression hot path (duplicate Search-token pruning + batched launches)")
+	batch := fs.Int("batch", 0, "messages coalesced per wire frame (0/1 = one frame per message, the compatible default)")
+	batchwait := fs.Duration("batchwait", 0, "max time a partially filled frame is held open (0 = flush immediately)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *probe < 0 || *tick < 0 || *budget < 0 {
 		fmt.Fprintln(stderr, "mdstnet: -probe, -tick and -budget must be non-negative")
+		return 2
+	}
+	if *batch < 0 || *batchwait < 0 {
+		fmt.Fprintln(stderr, "mdstnet: -batch and -batchwait must be non-negative")
 		return 2
 	}
 	if *deadline <= 0 && *budget == 0 {
@@ -93,10 +100,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Backend:  harness.BackendTCP,
 		Suppress: *suppress,
 		Tuning: harness.BackendTuning{
-			Tick:     *tick,
-			Probe:    *probe,
-			Deadline: *deadline,
-			Budget:   *budget,
+			Tick:         *tick,
+			Probe:        *probe,
+			Deadline:     *deadline,
+			Budget:       *budget,
+			BatchSize:    *batch,
+			BatchMaxWait: *batchwait,
 		},
 	})
 	if err != nil {
@@ -121,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "tree degree: %d (Δ* >= %d, bound Δ*+1)\n", res.Tree.MaxDegree(), lo)
 	if res.Dropped > 0 {
 		fmt.Fprintf(stdout, "backpressure drops: %d\n", res.Dropped)
+	}
+	if *batch > 1 && res.TotalMessages > 0 {
+		fmt.Fprintf(stdout, "wire frames: %d (%.3f frames/message)\n",
+			res.Frames, float64(res.Frames)/float64(res.TotalMessages))
 	}
 	if res.SearchesSuppressed > 0 {
 		fmt.Fprintf(stdout, "searches suppressed: %d\n", res.SearchesSuppressed)

@@ -68,8 +68,23 @@
 // the paired on/off comparison (~3.4× fewer Search-kind messages at
 // n=512), and the committed cross-backend table
 // (internal/scenario/testdata/crossbackend_medium.json, `mdstmatrix
-// -xbackend`) runs the medium-n 64..128 ladder across sim, live and
-// tcp with suppression on.
+// -xbackend`) runs the medium-n ladder across sim, live and tcp with
+// suppression on.
+//
+// The tcp backend's transport coalesces frames per link
+// (netrun.Config.BatchSize/BatchMaxWait, harness.BackendTuning,
+// `mdstmatrix -batch/-batchwait`, `mdstnet -batch/-batchwait`): above
+// batch size 1 each edge direction's writer packs queued messages into
+// multi-message gob frames — flushed on batch-size or max-wait, one
+// syscall burst per frame — while batch size 1 keeps the pre-batching
+// one-envelope-per-message wire format byte-compatible. One gob
+// encoder and one gob decoder own each connection for its lifetime
+// (decoders buffer ahead; a second decoder on the same conn loses
+// bytes). Coalescing is a transport concern only: the batch=1 vs
+// batch=16 differential test pins identical legitimacy and Δ*+1
+// outcomes, and `make bench` commits the measured frames-per-message
+// and wall-per-round numbers to BENCH_tcp.json (a wall-clock snapshot,
+// unlike the byte-stable BENCH_scale.json).
 //
 // Experiment execution layers on the internal/scenario matrix engine: a
 // declarative Spec (graph families × sizes × schedulers × start modes ×

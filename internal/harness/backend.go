@@ -87,6 +87,18 @@ type BackendTuning struct {
 	// Converged=false. A positive Deadline takes precedence over
 	// Budget.
 	Deadline time.Duration
+	// BatchSize caps how many protocol messages the tcp backend's
+	// per-direction edge writers coalesce into one wire frame
+	// (netrun.Config.BatchSize; default 1 — the pre-batching
+	// one-frame-per-message format, byte-compatible on the wire). The
+	// live backend has no wire to frame and ignores both batch knobs.
+	BatchSize int
+	// BatchMaxWait bounds how long the tcp backend may hold a partially
+	// filled frame open for further messages (netrun.Config.BatchMaxWait;
+	// 0: flush immediately with whatever is queued, adding no latency).
+	// A positive wait stretches the quiescence stability window — see
+	// resolveWall — so certificates still cover the slowed retries.
+	BatchMaxWait time.Duration
 	// Budget switches the deadline to convergence-aware mode: when
 	// positive (and Deadline is zero), the driver first executes the
 	// paired deterministic sim run — same spec, same seed, so the
@@ -115,6 +127,12 @@ func (t BackendTuning) Validate() error {
 	if t.Budget < 0 || math.IsNaN(t.Budget) || math.IsInf(t.Budget, 0) {
 		return fmt.Errorf("harness: %w: Budget %v out of range", ErrTuning, t.Budget)
 	}
+	if t.BatchSize < 0 {
+		return fmt.Errorf("harness: %w: negative BatchSize %d", ErrTuning, t.BatchSize)
+	}
+	if t.BatchMaxWait < 0 {
+		return fmt.Errorf("harness: %w: negative BatchMaxWait %v", ErrTuning, t.BatchMaxWait)
+	}
 	return nil
 }
 
@@ -128,6 +146,7 @@ func (t BackendTuning) deadline() time.Duration {
 // wallParams are a wall-clock driver's resolved knobs.
 type wallParams struct {
 	tick     time.Duration // gossip period
+	unit     time.Duration // wall time of one protocol round (tick + frame hold)
 	probe    time.Duration // detection sampling interval
 	window   time.Duration // stability window the certificate must cover
 	stable   int           // consecutive stable probes = window/probe
@@ -136,11 +155,13 @@ type wallParams struct {
 
 // resolveWall turns the spec's tuning into driver parameters. The
 // stability window mirrors the sim backend's QuiesceRounds formula,
-// converted from rounds to wall time via the tick period: it must cover
-// a full jittered search retry period or a slow-searching configuration
-// is declared quiescent before its reduction fires. With Budget set
-// (and no explicit Deadline) it executes the paired sim run to size the
-// deadline.
+// converted from rounds to wall time via the wall cost of one protocol
+// round: the tick period, stretched by BatchMaxWait when the transport
+// may hold a frame open that long (a batched retry can lag a full hold
+// behind its tick, and a window counted in bare ticks would certify a
+// slow-searching configuration quiescent mid-plateau, before its
+// reduction fires). With Budget set (and no explicit Deadline) it
+// executes the paired sim run to size the deadline.
 func resolveWall(spec RunSpec, ops variantOps, tickDefault, probeDefault time.Duration) (wallParams, error) {
 	p := wallParams{tick: spec.Tuning.Tick, probe: spec.Tuning.Probe}
 	if p.tick <= 0 {
@@ -149,7 +170,8 @@ func resolveWall(spec RunSpec, ops variantOps, tickDefault, probeDefault time.Du
 	if p.probe <= 0 {
 		p.probe = probeDefault
 	}
-	p.window = time.Duration(QuiesceWindowRounds(spec.Graph.N(), ops.cfg.EffectiveRetryPeriod())) * p.tick
+	p.unit = p.tick + spec.Tuning.BatchMaxWait
+	p.window = time.Duration(QuiesceWindowRounds(spec.Graph.N(), ops.cfg.EffectiveRetryPeriod())) * p.unit
 	p.stable = int(p.window/p.probe) + 1
 	p.deadline = spec.Tuning.Deadline
 	if p.deadline == 0 && spec.Tuning.Budget > 0 {
@@ -247,7 +269,7 @@ func budgetDeadline(spec RunSpec, ops variantOps, p wallParams) (time.Duration, 
 	if rounds < 0 {
 		return 0, nil
 	}
-	d := time.Duration(spec.Tuning.Budget * float64(rounds) * float64(p.tick))
+	d := time.Duration(spec.Tuning.Budget * float64(rounds) * float64(p.unit))
 	if min := 2*p.window + 250*time.Millisecond; d < min {
 		d = min
 	}
@@ -361,6 +383,8 @@ func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 	c := netrun.NewCluster(g, ops.factory, netrun.Config{
 		TickInterval: p.tick,
 		ActiveKinds:  ops.kinds,
+		BatchSize:    spec.Tuning.BatchSize,
+		BatchMaxWait: spec.Tuning.BatchMaxWait,
 	})
 	procs, res0, ok := buildInitial(spec, ops, c.Process)
 	if !ok {
@@ -430,6 +454,7 @@ func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 		TotalMessages:      c.Sent(),
 		MaxStateBits:       sim.MaxStateBitsOf(procs),
 		Dropped:            c.Dropped(),
+		Frames:             c.FramesWritten(),
 		Exchanges:          exch,
 		Aborts:             aborts,
 		SearchesSuppressed: suppressed,

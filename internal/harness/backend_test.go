@@ -3,11 +3,13 @@ package harness
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"mdst/internal/graph"
+	"mdst/internal/mdstseq"
 )
 
 // smokeTuning keeps the wall-clock backends snappy; under -short the
@@ -166,25 +168,89 @@ func TestBackendValidation(t *testing.T) {
 // side-channel control connection and the cluster is stopped exactly
 // once, after a stable certificate. The restart counter is maintained
 // by netrun.Cluster itself, so a driver regression (e.g. falling back
-// to the old restart-per-inspection loop) cannot hide.
+// to the old restart-per-inspection loop) cannot hide. Exercised at
+// batch=1 (the pre-batching wire format) and batch=16 (coalesced
+// frames): in-band detection must not care how messages are framed.
 func TestBackendTCPZeroRestartsOnConvergence(t *testing.T) {
+	for _, batch := range []int{1, 16} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			tn := smokeTuning(t)
+			tn.BatchSize = batch
+			res, err := Run(RunSpec{
+				Graph:   graph.Wheel(8),
+				Start:   StartCorrupt,
+				Seed:    19,
+				Backend: BackendTCP,
+				Tuning:  tn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			smokeCheck(t, res, BackendTCP)
+			if res.Restarts != 0 {
+				t.Fatalf("tcp driver restarted the cluster %d times on a converging run", res.Restarts)
+			}
+			if res.Cert == nil || res.Cert.Epoch == 0 {
+				t.Fatalf("tcp convergence without a probe-derived certificate: %+v", res.Cert)
+			}
+			if res.Frames <= 0 || res.Frames > res.TotalMessages {
+				t.Fatalf("frame accounting out of range: %d frames for %d messages",
+					res.Frames, res.TotalMessages)
+			}
+		})
+	}
+}
+
+// Satellite (differential): the same scenario spec at batch=1 and
+// batch=16 — paired seeds, suppression on — must reach identical
+// legitimacy and the same Δ*+1 degree bracket, each with a quiescence
+// certificate. Framing is a transport concern; if the outcome shifts
+// with the batch knob, coalescing broke message order or lost frames.
+// Part of the `make smoke` tcp-batch job.
+func TestBatchedTCPDifferentialOutcome(t *testing.T) {
 	g := graph.Wheel(8)
-	res, err := Run(RunSpec{
-		Graph:   g,
-		Start:   StartCorrupt,
-		Seed:    19,
-		Backend: BackendTCP,
-		Tuning:  smokeTuning(t),
-	})
-	if err != nil {
-		t.Fatal(err)
+	bound := mdstseq.Approximate(g).MaxDegree() + 1
+	results := make(map[int]Result)
+	for _, batch := range []int{1, 16} {
+		tn := smokeTuning(t)
+		tn.BatchSize = batch
+		if batch > 1 {
+			tn.BatchMaxWait = time.Millisecond
+		}
+		res, err := Run(RunSpec{
+			Graph:    g,
+			Start:    StartCorrupt,
+			Seed:     29,
+			Backend:  BackendTCP,
+			Suppress: true,
+			Tuning:   tn,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		// Suppression defers retries, so allow the driver's bounded
+		// resume path (same allowance as the suppression smoke).
+		smokeCheckRestarts(t, res, BackendTCP, 5)
+		if res.Tree.MaxDegree() > bound {
+			t.Fatalf("batch=%d: tree degree %d above the Δ*+1 bracket %d",
+				batch, res.Tree.MaxDegree(), bound)
+		}
+		results[batch] = res
 	}
-	smokeCheck(t, res, BackendTCP)
-	if res.Restarts != 0 {
-		t.Fatalf("tcp driver restarted the cluster %d times on a converging run", res.Restarts)
+	a, b := results[1], results[16]
+	if a.Legit.OK() != b.Legit.OK() || a.Converged != b.Converged {
+		t.Fatalf("batch knob changed the outcome: batch=1 %+v vs batch=16 %+v", a.Legit, b.Legit)
 	}
-	if res.Cert == nil || res.Cert.Epoch == 0 {
-		t.Fatalf("tcp convergence without a probe-derived certificate: %+v", res.Cert)
+	if (a.Cert == nil) != (b.Cert == nil) {
+		t.Fatalf("certificate presence differs across batch sizes")
+	}
+	// Coalescing must show up in the frame accounting: batch=16 needs
+	// strictly fewer frames than messages, batch=1 exactly as many.
+	if a.Frames != a.TotalMessages {
+		t.Fatalf("batch=1 wrote %d frames for %d messages (want 1:1)", a.Frames, a.TotalMessages)
+	}
+	if b.Frames >= b.TotalMessages {
+		t.Fatalf("batch=16 wrote %d frames for %d messages (no coalescing)", b.Frames, b.TotalMessages)
 	}
 }
 
@@ -256,6 +322,8 @@ func TestTuningValidation(t *testing.T) {
 		{Probe: -time.Millisecond},
 		{Deadline: -time.Second},
 		{Budget: -1},
+		{BatchSize: -1},
+		{BatchMaxWait: -time.Millisecond},
 	}
 	for _, backend := range []Backend{BackendLive, BackendTCP} {
 		for i, tn := range bad {

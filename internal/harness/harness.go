@@ -193,6 +193,12 @@ type Result struct {
 	// suppression-off output byte-identical) unless the run enabled
 	// RunSpec.Suppress or Config.SuppressSearches.
 	SearchesSuppressed int `json:"searchesSuppressed,omitempty"`
+	// Frames counts wire frames flushed by the tcp backend's edge
+	// writers; Frames/TotalMessages is the coalescing ratio (1.0 at
+	// batch=1 by construction, the BENCH_tcp.json headline below it).
+	// Zero for the other backends; excluded from JSON like every
+	// wall-clock-shaped counter.
+	Frames int64 `json:"-"`
 	// WallTime is the run's wall-clock duration — excluded from JSON so
 	// serialized results stay byte-identical across machines and reruns.
 	WallTime time.Duration `json:"-"`

@@ -1,9 +1,21 @@
 // Package netrun executes the protocol over real TCP connections: each
 // node is a goroutine with a listener on the loopback interface, each
-// graph edge is one TCP connection carrying gob-encoded envelopes in
+// graph edge is one TCP connection carrying gob-encoded messages in
 // both directions, and each direction is written by a single goroutine —
 // so every link is a reliable FIFO channel, exactly the paper's §2
 // communication model realized by an actual network stack.
+//
+// The wire carries one of two formats, selected by Config.BatchSize and
+// shared by both endpoints of a cluster: at batch size 1 (the default)
+// every message is its own envelope frame, byte-compatible with the
+// pre-batching stream; above 1 each per-direction writer coalesces
+// queued messages into multi-message frames flushed on batch-size or
+// max-wait, so one node tick costs at most one syscall burst per
+// neighbor (see batch.go). Exactly one gob encoder and one gob decoder
+// are attached to a connection for its lifetime — gob decoders read
+// ahead through an internal buffer, so a second decoder on the same
+// conn would silently lose buffered bytes (the hello handshake hands
+// its decoder to the edge reader for exactly this reason).
 //
 // The runtime is restartable: Stop tears down every connection and
 // listener but keeps the node states, and a subsequent Start re-dials.
@@ -24,6 +36,7 @@
 package netrun
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -64,6 +77,18 @@ type Config struct {
 	// disables the accounting; probes then report a zero deficit and
 	// detection rests on version-vector and fingerprint stability.
 	ActiveKinds []string
+	// BatchSize caps how many messages one wire frame may carry
+	// (default 1: every message is its own envelope frame, the
+	// pre-batching wire format). Above 1 each per-direction writer
+	// coalesces queued messages into multi-message frames — see
+	// batch.go for the format and the flush policy.
+	BatchSize int
+	// BatchMaxWait bounds how long a partially filled frame may stay
+	// open for further messages after its first (0: flush immediately
+	// with whatever is already queued, so coalescing only amortizes
+	// backlog and adds zero latency). Only meaningful above batch
+	// size 1.
+	BatchMaxWait time.Duration
 }
 
 // Cluster runs one process per node of g over loopback TCP.
@@ -78,11 +103,18 @@ type Cluster struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	inbox   []chan envelope
-	outbox  []map[int]chan sim.Message // node -> neighbor -> send queue
+	outbox  []map[int]*sendLink // node -> neighbor -> send direction
 	lns     []net.Listener
 	conns   []net.Conn
 	dropped atomic.Int64
 	sent    atomic.Int64
+	frames  atomic.Int64
+
+	// testWriteErr and testAfterListen are fault-injection hooks for the
+	// regression tests (dead-writer settlement, Start-failure cleanup).
+	// Only set before Start; nil in production.
+	testWriteErr    func(me, peer int) error
+	testAfterListen func()
 
 	// In-band quiescence observation. Each node loop publishes its
 	// process's state version and state hash into these after every
@@ -120,6 +152,12 @@ func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
 // resets it, so drivers can report whole-run traffic.
 func (c *Cluster) Sent() int64 { return c.sent.Load() }
 
+// FramesWritten returns the number of wire frames the edge writers have
+// flushed so far (accumulating across restarts, like Sent). With
+// batching off every message is one frame; FramesWritten/Sent is the
+// coalescing figure of merit the tcp benchmark records.
+func (c *Cluster) FramesWritten() int64 { return c.frames.Load() }
+
 // Restarts returns how many times the cluster has been re-started after
 // its first Start. The harness's tcp driver asserts this stays zero on
 // converging runs: certificate-gated probing needs no stop-the-world
@@ -141,6 +179,12 @@ func NewCluster(g *graph.Graph, factory func(id int, neighbors []int) sim.Proces
 	}
 	if cfg.OutboxSize <= 0 {
 		cfg.OutboxSize = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchMaxWait < 0 {
+		cfg.BatchMaxWait = 0
 	}
 	n := g.N()
 	c := &Cluster{
@@ -193,14 +237,14 @@ func (c *Cluster) Start() error {
 	// stopped, so this read-modify-write is race-free.
 	c.activeLost.Store(c.activeSent.Load() - c.activeRecv.Load())
 	c.inbox = make([]chan envelope, n)
-	c.outbox = make([]map[int]chan sim.Message, n)
+	c.outbox = make([]map[int]*sendLink, n)
 	c.lns = make([]net.Listener, n)
 	c.conns = nil
 	for id := 0; id < n; id++ {
 		c.inbox[id] = make(chan envelope, 4096)
-		c.outbox[id] = make(map[int]chan sim.Message, len(c.g.Neighbors(id)))
+		c.outbox[id] = make(map[int]*sendLink, len(c.g.Neighbors(id)))
 		for _, u := range c.g.Neighbors(id) {
-			c.outbox[id][u] = make(chan sim.Message, c.cfg.OutboxSize)
+			c.outbox[id][u] = &sendLink{q: make(chan sim.Message, c.cfg.OutboxSize)}
 		}
 	}
 
@@ -213,6 +257,9 @@ func (c *Cluster) Start() error {
 		}
 		c.lns[id] = ln
 		addrs[id] = ln.Addr().String()
+	}
+	if c.testAfterListen != nil {
+		c.testAfterListen()
 	}
 
 	// Side-channel control listener: probe clients query the cluster's
@@ -230,42 +277,81 @@ func (c *Cluster) Start() error {
 	go c.serveControl(ctl, c.stop)
 
 	// Accept side: each node expects one connection per lower-ID
-	// neighbor; the dialer sends a hello naming itself.
+	// neighbor; the dialer sends a hello naming itself. The hello
+	// decoder travels with the connection (bugfix): gob decoders read
+	// ahead through an internal buffer, so a second decoder on the same
+	// conn would silently lose any frame bytes this one buffered past
+	// the hello — rare at one frame per message, near-certain once
+	// batching packs frames back-to-back.
 	type accepted struct {
 		to   int
 		conn net.Conn
+		dec  *gob.Decoder
 		from int
 		err  error
 	}
 	expect := 0
-	acceptCh := make(chan accepted)
 	for id := 0; id < n; id++ {
 		for _, u := range c.g.Neighbors(id) {
 			if u < id {
 				expect++
 			}
 		}
-		go func(id int) {
-			want := 0
-			for _, u := range c.g.Neighbors(id) {
-				if u < id {
-					want++
-				}
+	}
+	// Buffered to every expected connection (bugfix): a Start that fails
+	// mid-dial takes the teardown path without draining acceptCh, and an
+	// unbuffered send would strand accept goroutines — and the conns
+	// they hold — forever (c.wg never knew them, so Stop could not help).
+	acceptCh := make(chan accepted, expect)
+	var acceptWG sync.WaitGroup
+	for id := 0; id < n; id++ {
+		want := 0
+		for _, u := range c.g.Neighbors(id) {
+			if u < id {
+				want++
 			}
+		}
+		if want == 0 {
+			continue
+		}
+		acceptWG.Add(1)
+		go func(id, want int) {
+			defer acceptWG.Done()
 			for k := 0; k < want; k++ {
 				conn, err := c.lns[id].Accept()
 				if err != nil {
 					acceptCh <- accepted{to: id, err: err}
 					return
 				}
+				dec := gob.NewDecoder(conn)
 				var h hello
-				if err := gob.NewDecoder(conn).Decode(&h); err != nil {
+				if err := dec.Decode(&h); err != nil {
+					conn.Close()
 					acceptCh <- accepted{to: id, err: err}
 					return
 				}
-				acceptCh <- accepted{to: id, conn: conn, from: h.From}
+				acceptCh <- accepted{to: id, conn: conn, dec: dec, from: h.From}
 			}
-		}(id)
+		}(id, want)
+	}
+
+	// failStart cleans up a partially connected mesh: teardown closes
+	// listeners (unblocking every accept goroutine) and started edges,
+	// the wait guarantees all sends on the buffered channel happened,
+	// and the drain closes accepted conns nobody will ever own.
+	failStart := func() {
+		c.teardownLocked()
+		acceptWG.Wait()
+		for {
+			select {
+			case a := <-acceptCh:
+				if a.conn != nil {
+					a.conn.Close()
+				}
+			default:
+				return
+			}
+		}
 	}
 
 	// Dial side: the lower-ID endpoint of each edge dials the higher.
@@ -276,27 +362,37 @@ func (c *Cluster) Start() error {
 			}
 			conn, err := net.Dial("tcp", addrs[u])
 			if err != nil {
-				c.teardownLocked()
+				failStart()
 				return fmt.Errorf("netrun: dial %d->%d: %w", id, u, err)
 			}
-			enc := gob.NewEncoder(conn)
-			if err := enc.Encode(hello{From: id}); err != nil {
+			// One encoder per direction for the connection's lifetime:
+			// it writes the hello and then every frame (a second encoder
+			// would re-emit type definitions mid-stream). The bufio layer
+			// turns each flushed frame into one syscall burst.
+			bw := bufio.NewWriterSize(conn, frameBufSize)
+			enc := gob.NewEncoder(bw)
+			err = enc.Encode(hello{From: id})
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
 				conn.Close()
-				c.teardownLocked()
+				failStart()
 				return fmt.Errorf("netrun: hello %d->%d: %w", id, u, err)
 			}
 			c.conns = append(c.conns, conn)
-			c.startEdge(id, u, conn, enc)
+			c.startEdge(id, u, conn, enc, bw, gob.NewDecoder(conn))
 		}
 	}
 	for k := 0; k < expect; k++ {
 		a := <-acceptCh
 		if a.err != nil {
-			c.teardownLocked()
+			failStart()
 			return fmt.Errorf("netrun: accept at %d: %w", a.to, a.err)
 		}
 		c.conns = append(c.conns, a.conn)
-		c.startEdge(a.to, a.from, a.conn, gob.NewEncoder(a.conn))
+		bw := bufio.NewWriterSize(a.conn, frameBufSize)
+		c.startEdge(a.to, a.from, a.conn, gob.NewEncoder(bw), bw, a.dec)
 	}
 
 	// Node loops.
@@ -363,53 +459,44 @@ func (c *Cluster) Start() error {
 	return nil
 }
 
-// startEdge launches the writer (draining me's outbox toward peer) and
-// the reader (decoding the peer's messages into me's inbox) for one
-// direction pair of an edge connection.
-func (c *Cluster) startEdge(me, peer int, conn net.Conn, enc *gob.Encoder) {
+// startEdge launches the writer (draining me's outbox toward peer,
+// coalescing per batch.go) and the reader (decoding the peer's frames
+// into me's inbox) for one direction pair of an edge connection. enc
+// and dec must be the connection's ONLY encoder/decoder — the accept
+// path hands over the decoder that already read the hello, because a
+// fresh decoder would lose whatever that one buffered ahead.
+func (c *Cluster) startEdge(me, peer int, conn net.Conn, enc *gob.Encoder, bw *bufio.Writer, dec *gob.Decoder) {
+	_ = conn // owned by Stop/teardown; all I/O goes through enc/bw/dec
 	stop := c.stop
-	out := c.outbox[me][peer]
+	link := c.outbox[me][peer]
 	in := c.inbox[me]
 	c.wg.Add(2)
 	go func() { // writer: me -> peer
 		defer c.wg.Done()
-		for {
-			select {
-			case <-stop:
-				return
-			case m := <-out:
-				if err := enc.Encode(envelope{From: me, Msg: m}); err != nil {
-					return // connection torn down
-				}
-			}
-		}
+		c.writeLoop(me, peer, link, enc, bw, stop)
 	}()
 	go func() { // reader: peer -> me
 		defer c.wg.Done()
-		dec := gob.NewDecoder(conn)
-		for {
-			var env envelope
-			if err := dec.Decode(&env); err != nil {
-				return // EOF or teardown
-			}
-			select {
-			case <-stop:
-				return
-			case in <- env:
-			}
-		}
+		c.readLoop(in, dec, stop)
 	}()
 }
 
 // send enqueues a message on the per-direction outbox; a full outbox
 // drops the message (gossip repair handles the loss).
 func (c *Cluster) send(from, to int, m sim.Message) {
-	q, ok := c.outbox[from][to]
+	l, ok := c.outbox[from][to]
 	if !ok {
 		panic(fmt.Sprintf("netrun: node %d sent to non-neighbor %d", from, to))
 	}
+	if l.dead.Load() {
+		// The writer died mid-phase (connection failure): drop — never
+		// counted sent — so the active-kind deficit cannot be starved by
+		// a direction nobody drains (bugfix; see killLink).
+		c.dropped.Add(1)
+		return
+	}
 	select {
-	case q <- m:
+	case l.q <- m:
 		c.sent.Add(1)
 		if c.active != nil {
 			if _, ok := c.active[m.Kind()]; ok {

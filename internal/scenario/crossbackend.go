@@ -8,11 +8,13 @@ import (
 	"mdst/internal/harness"
 )
 
-// Cross-backend medium-n comparison: the committed 64..128 paired table
+// Cross-backend medium-n comparison: the committed 64..256 paired table
 // that exercises the PR-4 control channel (quiescence certificates over
 // the tcp side channel, concurrent probes on the live runtime) under
 // real contention, enabled by the search-traffic suppression hot path
-// cutting the token volume the wall-clock backends must carry.
+// cutting the token volume the wall-clock backends must carry and by
+// the PR-6 frame coalescing letting the tcp backend keep its fast 2ms
+// tick past n=128.
 //
 // The committed artifact (internal/scenario/testdata/
 // crossbackend_medium.json) holds only the columns that are
@@ -27,20 +29,32 @@ import (
 // the committed defaults.
 type CrossBackendSpec struct {
 	Family   string // graph family (default "ring+chords")
-	Sizes    []int  // node counts (default 64, 96, 128)
+	Sizes    []int  // node counts (default 64, 96, 128, 256)
 	BaseSeed int64  // matrix base seed (default 1)
 	Workers  int    // engine parallelism for the sim+live matrix
 	// LiveDeadline / TCPDeadline cap each wall-clock run (defaults 60s /
-	// 150s — converging runs stop at their certificate long before).
+	// 600s — converging runs stop at their certificate long before; the
+	// tcp budget is sized by the n=256 cell, whose certificate can take
+	// several minutes of single-machine wall clock under loopback
+	// contention).
 	LiveDeadline time.Duration
 	TCPDeadline  time.Duration
-	// TCPTick is the tcp cluster's gossip period (default 8ms). The tcp
-	// backend needs a coarser tick than its 2ms default at medium n: at
-	// 2ms the socket fan-out keeps enough stale tokens in flight that
-	// the protocol plateaus in long illegitimate lulls (certify→fail→
-	// restart thrash); at 8ms the same instances converge with zero
-	// restarts. The live backend keeps its 200µs default.
+	// TCPTick is the tcp cluster's gossip period (default 2ms). Before
+	// frame coalescing the medium-n ladder needed a coarser 8ms tick:
+	// at 2ms the one-syscall-per-message fan-out kept enough stale
+	// tokens in flight that the protocol plateaued in long illegitimate
+	// lulls (certify→fail→restart thrash). With the default TCPBatch
+	// the same instances hold the fast tick through n=256. The live
+	// backend keeps its 200µs default.
 	TCPTick time.Duration
+	// TCPBatch / TCPBatchWait configure the tcp transport's per-link
+	// frame coalescing (defaults 32 messages / 12ms hold — heavier than
+	// the BENCH_tcp.json sweet spot at n=128 because the ladder's n=256
+	// cell needs the extra coalescing to certify at the 2ms tick; at
+	// n=256 it measures ~0.09 frames/message). Set TCPBatch to 1 for
+	// the pre-batching one-frame-per-message wire format.
+	TCPBatch     int
+	TCPBatchWait time.Duration
 }
 
 func (s CrossBackendSpec) normalized() CrossBackendSpec {
@@ -48,7 +62,7 @@ func (s CrossBackendSpec) normalized() CrossBackendSpec {
 		s.Family = "ring+chords"
 	}
 	if len(s.Sizes) == 0 {
-		s.Sizes = []int{64, 96, 128}
+		s.Sizes = []int{64, 96, 128, 256}
 	}
 	if s.BaseSeed == 0 {
 		s.BaseSeed = 1
@@ -57,10 +71,16 @@ func (s CrossBackendSpec) normalized() CrossBackendSpec {
 		s.LiveDeadline = 60 * time.Second
 	}
 	if s.TCPDeadline <= 0 {
-		s.TCPDeadline = 150 * time.Second
+		s.TCPDeadline = 600 * time.Second
 	}
 	if s.TCPTick <= 0 {
-		s.TCPTick = 8 * time.Millisecond
+		s.TCPTick = 2 * time.Millisecond
+	}
+	if s.TCPBatch <= 0 {
+		s.TCPBatch = 32
+	}
+	if s.TCPBatchWait <= 0 {
+		s.TCPBatchWait = 12 * time.Millisecond
 	}
 	return s
 }
@@ -128,7 +148,12 @@ func CrossBackendSweep(spec CrossBackendSpec) (*CrossBackendReport, error) {
 
 	tcp := base
 	tcp.Backends = []harness.Backend{harness.BackendTCP}
-	tcp.Tuning = harness.BackendTuning{Tick: ns.TCPTick, Deadline: ns.TCPDeadline}
+	tcp.Tuning = harness.BackendTuning{
+		Tick:         ns.TCPTick,
+		Deadline:     ns.TCPDeadline,
+		BatchSize:    ns.TCPBatch,
+		BatchMaxWait: ns.TCPBatchWait,
+	}
 	// The tcp pass runs serially: its cells are wall-clock heavy and at
 	// medium n a single cluster already saturates the socket layer;
 	// running two clusters concurrently would add cross-run contention.

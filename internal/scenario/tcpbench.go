@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"mdst/internal/harness"
+)
+
+// TCP transport bench: the committed BENCH_tcp.json sweep that records
+// what per-link frame coalescing (netrun batching, PR 6) buys on the
+// only backend with a real wire. One drawn instance (ring+chords n=128
+// by default, suppression on — the medium-n sweep conditions) runs once
+// per batch size over loopback TCP; the committed figures of merit are
+// frames-per-message (how many syscall bursts a message costs; 1.0 at
+// batch=1 by construction) and wall-time-per-round (wall clock divided
+// by the paired deterministic sim run's convergence rounds — the wall
+// cost of one protocol round on this transport, which batching must
+// not inflate).
+//
+// Unlike BENCH_scale.json, every number here is wall-clock and varies
+// across machines and reruns: the artifact is a recorded snapshot, NOT
+// a byte-identity baseline, and is deliberately excluded from the
+// `make drift` gate.
+
+// TCPBenchSpec configures TCPBenchSweep. The zero value selects the
+// committed defaults.
+type TCPBenchSpec struct {
+	Family   string // graph family (default "ring+chords")
+	N        int    // node count (default 128)
+	Batches  []int  // batch sizes to sweep (default 1, 8, 16)
+	BaseSeed int64  // matrix base seed (default 1)
+	// Tick is the tcp gossip period (default 2ms — the fast tick the
+	// coalescing layer is meant to sustain at medium n).
+	Tick time.Duration
+	// BatchMaxWait is applied to every batch>1 row (default 6ms — three
+	// ticks): the frame hold that lets sends from consecutive gossip
+	// ticks coalesce into one frame. A hold of one tick or less only
+	// packs same-tick bursts and plateaus near 0.45 frames/message;
+	// three ticks reaches ~0.17 at batch=16 on the default instance.
+	BatchMaxWait time.Duration
+	// Deadline caps each tcp run (default 150s).
+	Deadline time.Duration
+}
+
+func (s TCPBenchSpec) normalized() TCPBenchSpec {
+	if s.Family == "" {
+		s.Family = "ring+chords"
+	}
+	if s.N <= 0 {
+		s.N = 128
+	}
+	if len(s.Batches) == 0 {
+		s.Batches = []int{1, 8, 16}
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	if s.Tick <= 0 {
+		s.Tick = 2 * time.Millisecond
+	}
+	if s.BatchMaxWait <= 0 {
+		s.BatchMaxWait = 6 * time.Millisecond
+	}
+	if s.Deadline <= 0 {
+		s.Deadline = 150 * time.Second
+	}
+	return s
+}
+
+// TCPBenchRow is one batch-size point of the sweep.
+type TCPBenchRow struct {
+	Batch          int     `json:"batch"`
+	BatchMaxWaitMS float64 `json:"batchMaxWaitMS"`
+	Converged      bool    `json:"converged"`
+	Legitimate     bool    `json:"legitimate"`
+	Messages       int64   `json:"messages"`
+	Frames         int64   `json:"frames"`
+	// FramesPerMessage = Frames/Messages — the syscall-burst cost of one
+	// message (1.0 at batch=1; the headline is how far below it drops).
+	FramesPerMessage float64 `json:"framesPerMessage"`
+	WallMS           float64 `json:"wallMS"`
+	// WallPerRoundMS = WallMS / SimRounds — the wall cost of one
+	// protocol round on this transport.
+	WallPerRoundMS float64 `json:"wallPerRoundMS"`
+	Restarts       int     `json:"restarts"`
+}
+
+// TCPBenchReport is the content of BENCH_tcp.json.
+type TCPBenchReport struct {
+	Family string  `json:"family"`
+	N      int     `json:"n"`
+	Edges  int     `json:"edges"`
+	TickMS float64 `json:"tickMS"`
+	// SimRounds is the paired deterministic sim run's convergence round
+	// count — same instance, same corruptions (run seeds exclude the
+	// backend axis) — the denominator of every WallPerRoundMS.
+	SimRounds int           `json:"simRounds"`
+	Rows      []TCPBenchRow `json:"rows"`
+}
+
+// JSON renders the report as indented JSON (committed as a snapshot;
+// NOT byte-stable across machines — see the package comment above).
+func (r *TCPBenchReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// round3 keeps the committed floats readable (3 decimal places is well
+// inside measurement noise for every reported ratio).
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// TCPBenchSweep measures frame coalescing on the loopback TCP cluster:
+// the identical corrupted instance, once per batch size, serially (a
+// medium-n cluster saturates the socket layer by itself — concurrent
+// clusters would contaminate the wall numbers). The paired sim run
+// supplies the protocol-round denominator.
+func TCPBenchSweep(spec TCPBenchSpec) (*TCPBenchReport, error) {
+	ns := spec.normalized()
+	cell := func(backend harness.Backend, tuning harness.BackendTuning) Spec {
+		return Spec{
+			Families:     []string{ns.Family},
+			Sizes:        []int{ns.N},
+			Starts:       []harness.StartMode{harness.StartCorrupt},
+			Suppression:  []bool{true},
+			SeedsPerCell: 1,
+			BaseSeed:     ns.BaseSeed,
+			Backends:     []harness.Backend{backend},
+			Tuning:       tuning,
+		}
+	}
+
+	sim, err := Engine{Workers: 1}.Execute(cell(harness.BackendSim, harness.BackendTuning{}))
+	if err != nil {
+		return nil, err
+	}
+	pair := &sim.Runs[0]
+	if pair.Err != "" {
+		return nil, fmt.Errorf("scenario: tcp bench sim pairing failed: %s", pair.Err)
+	}
+	if !pair.Converged || pair.Rounds <= 0 {
+		return nil, fmt.Errorf("scenario: tcp bench sim pairing did not converge (rounds=%d)", pair.Rounds)
+	}
+
+	report := &TCPBenchReport{
+		Family:    ns.Family,
+		N:         ns.N,
+		Edges:     pair.Edges,
+		TickMS:    round3(float64(ns.Tick) / float64(time.Millisecond)),
+		SimRounds: pair.Rounds,
+	}
+	for _, batch := range ns.Batches {
+		tuning := harness.BackendTuning{
+			Tick:      ns.Tick,
+			Deadline:  ns.Deadline,
+			BatchSize: batch,
+		}
+		if batch > 1 {
+			tuning.BatchMaxWait = ns.BatchMaxWait
+		}
+		m, err := Engine{Workers: 1}.Execute(cell(harness.BackendTCP, tuning))
+		if err != nil {
+			return nil, err
+		}
+		rr := &m.Runs[0]
+		if rr.Err != "" {
+			return nil, fmt.Errorf("scenario: tcp bench batch=%d failed: %s", batch, rr.Err)
+		}
+		row := TCPBenchRow{
+			Batch:          batch,
+			BatchMaxWaitMS: round3(float64(tuning.BatchMaxWait) / float64(time.Millisecond)),
+			Converged:      rr.Converged,
+			Legitimate:     rr.Legitimate,
+			Messages:       rr.Messages,
+			Frames:         rr.Frames,
+			WallMS:         round3(float64(rr.Wall) / float64(time.Millisecond)),
+			Restarts:       rr.Restarts,
+		}
+		if rr.Messages > 0 {
+			row.FramesPerMessage = round3(float64(rr.Frames) / float64(rr.Messages))
+		}
+		row.WallPerRoundMS = round3(row.WallMS / float64(pair.Rounds))
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
