@@ -39,7 +39,11 @@ race:
 
 # Backend smoke: the live (goroutine/channel) and tcp (loopback socket)
 # execution backends each drive a tiny run end to end through the shared
-# harness orchestration, so backend plumbing cannot silently rot.
+# harness orchestration, so backend plumbing cannot silently rot. The
+# event jobs pair the discrete-event core against the compat loop
+# (differential outcome + frontier parking + StartPath closure), so the
+# dual-core contract is checked on every CI run, not only in the full
+# test pass.
 # -short tightens the wall-clock deadlines (see smokeTuning). The detect
 # job covers the convergence-detection subsystem both drivers now rest
 # on (sequential reference detector + certificate logic); the
@@ -55,11 +59,14 @@ smoke:
 	$(GO) test -short -run 'TestBatchedTCPDifferentialOutcome|TestBackendTCPZeroRestartsOnConvergence' ./internal/harness/
 	$(GO) test -short -run 'TestBatch|TestTCPBatchedWheelConverges' ./internal/netrun/
 	$(GO) test -short ./cmd/mdstnet/
+	$(GO) test -short -run 'TestRunEvents' ./internal/sim/
+	$(GO) test -short -run 'TestEventEngine|TestParseEngine|TestStartPathClosure' ./internal/harness/
 
 # The committed benchmarks. BENCH_scale.json (the n=256/512/1024 ladder
-# on the incremental simulator hot path plus the full-rehash baseline
-# comparison) holds deterministic fields only — byte-stable across
-# machines, so it is also a drift gate. BENCH_tcp.json (the tcp
+# on the incremental simulator hot path, the event-core closure cells at
+# n=4096/16384, plus the full-rehash baseline comparison) holds
+# deterministic fields only — byte-stable across machines, so it is also
+# a drift gate. BENCH_tcp.json (the tcp
 # frame-coalescing sweep: frames-per-message and wall-per-round per
 # batch size) is wall-clock and is committed as a snapshot, NOT drifted.
 bench:
@@ -84,8 +91,12 @@ matrix:
 # (the wall-clock cross-backend table is NOT diffed here: its invariant
 # claims are regression-tested in internal/scenario instead, because
 # wall-clock output is not byte-reproducible).
+# The matrix is pinned to -engines compat explicitly: the committed
+# matrix bytes are a compat-core artifact, and the pin keeps them stable
+# even if the default engine axis ever changes. BENCH_scale.json is
+# dual-core by construction (compat ladder + event-core closure cells).
 drift:
-	$(GO) run ./cmd/mdstmatrix -format json -quiet | diff - internal/scenario/testdata/default_matrix_pr2.json
+	$(GO) run ./cmd/mdstmatrix -engines compat -format json -quiet | diff - internal/scenario/testdata/default_matrix_pr2.json
 	$(GO) run ./cmd/mdstmatrix -scale -quiet | diff - BENCH_scale.json
 	@echo "make drift: committed baselines byte-identical"
 

@@ -11,6 +11,7 @@
 //	mdstmatrix -format json               # full matrix incl. per-run results
 //	mdstmatrix -families gnp -sizes 16,24 -faults none,lossy:0.05,targeted:root,churn:add-edge
 //	mdstmatrix -scheds sync,async,adversarial -starts clean,corrupt -seeds 5
+//	mdstmatrix -engines compat,event       # paired full-sweep vs discrete-event cells
 //	mdstmatrix -workers 1                 # serial execution (same results)
 //	mdstmatrix -scale                     # n=256/512/1024 scale sweep -> BENCH_scale.json content
 //	mdstmatrix -backend live -sizes 8 -seeds 1   # goroutine-per-node runtime
@@ -49,8 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	families := fs.String("families", "ring+chords,gnp,geometric", "comma-separated graph families")
 	sizes := fs.String("sizes", "16,24,32", "comma-separated node counts")
 	scheds := fs.String("scheds", "sync,async", "comma-separated schedulers: sync|async|adversarial (sim backend only; defaults to sync when a wall-clock backend is requested)")
-	starts := fs.String("starts", "corrupt", "comma-separated start modes: clean|corrupt|legitimate")
+	starts := fs.String("starts", "corrupt", "comma-separated start modes: clean|corrupt|legitimate|path")
 	variants := fs.String("variants", "core", "comma-separated protocol variants: core|literal")
+	engines := fs.String("engines", "compat", "comma-separated simulator cores: compat|event (sim backend only; event is the frontier-only discrete-event loop, excluded from seed hashing so cells pair with compat)")
 	backends := fs.String("backend", "sim", "comma-separated execution backends: sim|live|tcp (sim is deterministic; live/tcp are wall-clock)")
 	deadline := fs.Duration("deadline", 0, "per-run wall-clock budget for the live/tcp backends (0: 30s default, or -budget)")
 	budget := fs.Float64("budget", 0, "convergence-aware deadlines for the live/tcp backends: scale each cell's deadline from the paired sim run's observed rounds × tick × this factor (0: fixed -deadline)")
@@ -149,6 +151,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, s := range splitList(*variants) {
 		spec.Variants = append(spec.Variants, harness.Variant(s))
+	}
+	for _, s := range splitList(*engines) {
+		e, err := harness.ParseEngine(s)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdstmatrix:", err)
+			return 2
+		}
+		spec.Engines = append(spec.Engines, e)
 	}
 	for _, s := range splitList(*suppress) {
 		switch s {

@@ -86,6 +86,33 @@
 // and wall-per-round numbers to BENCH_tcp.json (a wall-clock snapshot,
 // unlike the byte-stable BENCH_scale.json).
 //
+// The deterministic simulator itself has two execution cores behind
+// one harness knob (harness.RunSpec.Engine, scenario Spec.Engines,
+// `mdstsim -engine`, `mdstmatrix -engines compat,event`). The compat
+// core (sim.Network.Run) is the original per-round full sweep — every
+// node ticks every round — and is what every committed byte-identity
+// baseline was generated with. The event core (sim.Network.RunEvents)
+// is a discrete-event scheduler over the same links and processes:
+// pending deliveries and per-node tick timers sit in a calendar queue
+// bucketed by virtual round, only nodes with work are touched, idle
+// nodes park until a message or a due search retry wakes them
+// (sim.EventProcess), and empty stretches of virtual time — including
+// the whole 2n+Θ(1) quiescence window once the network is silent — are
+// fast-forwarded instead of swept. Rounds remain a derived view of
+// virtual time, so round-denominated outputs and certificates keep
+// their meaning; the two cores are differential-tested for outcome
+// equivalence (legitimacy + Δ*+1) on paired seeds. Frontier-only
+// scheduling is what makes n=16384 reachable: BENCH_scale.json commits
+// event-core closure cells at n=4096 and n=16384 — the canonical
+// Hamiltonian-path configuration on ring+chords (harness.StartPath) is
+// a degree-2 global optimum and a protocol fixed point, so the run
+// measures pure closure: the network parks after one settling tick and
+// tail work per node per round is ~1e-4 versus the compat core's floor
+// of 1. Corrupt-start recovery at that scale is protocol-infeasible,
+// not simulator-limited — believed degree > 2 re-arms every chord's
+// Θ(n)-message search every SearchPeriod rounds, Θ(n²) traffic per
+// window — so the recovery ladder stays at the committed compat sizes.
+//
 // Experiment execution layers on the internal/scenario matrix engine: a
 // declarative Spec (graph families × sizes × schedulers × start modes ×
 // variants × backends × suppression × fault models × seeds) expands

@@ -170,6 +170,14 @@ type Node struct {
 	tick        int
 	nextSearch  map[int]int // per non-tree neighbor: earliest tick to search
 	lastDeblock map[int]int // per blocker: last tick we broadcast it
+	// Event-core parking state (sim.EventProcess): restVersion is the
+	// state version at the end of the last Tick, tickMoved records
+	// whether that Tick itself mutated state (a module still converging
+	// to its fixed point must keep ticking even though deliveries have
+	// stopped). A node whose version equals restVersion with tickMoved
+	// false can only produce duplicate gossip by ticking — safe to park.
+	restVersion uint64
+	tickMoved   bool
 	// suppress is the duplicate-token pruning state (nil unless
 	// Config.SuppressSearches); see SearchSuppressor.
 	suppress *SearchSuppressor
@@ -205,6 +213,7 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 		views:       localview.NewTable(neighbors),
 		nextSearch:  make(map[int]int),
 		lastDeblock: make(map[int]int),
+		tickMoved:   true, // never ticked: the first tick must run
 	}
 	if cfg.SuppressSearches {
 		n.suppress = NewSearchSuppressor()
@@ -353,6 +362,7 @@ func (n *Node) Init(ctx *sim.Context) {}
 // Tick implements sim.Process: one iteration of the paper's "do forever"
 // loop — run the modules in priority order, then gossip.
 func (n *Node) Tick(ctx *sim.Context) {
+	entry := n.version
 	n.tick++
 	n.runTreeModule()
 	n.runDegreeModule()
@@ -360,7 +370,45 @@ func (n *Node) Tick(ctx *sim.Context) {
 		n.maybeStartSearches(ctx)
 	}
 	n.sendInfo(ctx)
+	n.tickMoved = n.version != entry
+	n.restVersion = n.version
 }
+
+// NextWork implements sim.EventProcess. The modules are deterministic
+// functions of the protocol state, so a tick that found a fixed point
+// (tickMoved false) with no input since (version == restVersion) can
+// only repeat itself; the single tick-driven schedule left is the
+// periodic cycle-search retry, whose earliest deadline over the
+// eligible non-tree edges bounds how long the node may sleep.
+func (n *Node) NextWork() int {
+	if n.tickMoved || n.version != n.restVersion {
+		return 1
+	}
+	if n.cfg.DisableReduction || n.dmax <= 2 || !n.locallyStabilized() {
+		return sim.NoWork
+	}
+	next := -1
+	for _, u := range n.nbrs {
+		if n.isTreeEdge(u) || n.id > u {
+			continue
+		}
+		if due := n.nextSearch[u]; next == -1 || due < next {
+			next = due
+		}
+	}
+	if next == -1 {
+		return sim.NoWork
+	}
+	if w := next - n.tick; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// SkipTicks implements sim.EventProcess: advance the local clock over
+// parked rounds so tick-keyed schedules (search retries, deblock and
+// suppression windows) keep their round meaning when the node wakes.
+func (n *Node) SkipTicks(k int) { n.tick += k }
 
 // Receive implements sim.Process.
 func (n *Node) Receive(ctx *sim.Context, from sim.NodeID, m sim.Message) {

@@ -61,6 +61,16 @@ const (
 	// StartLegitimate pre-loads a converged configuration (used by
 	// closure tests and fault-recovery experiments).
 	StartLegitimate
+	// StartPath pre-loads the canonical Hamiltonian-path configuration:
+	// the spanning tree parent(i) = i-1 rooted at node 0, with coherent
+	// distances and dmax = 2. Only valid on graphs that contain every
+	// path edge {i-1, i} (the ring-based families construct them); the
+	// preload fails otherwise. Because dmax = 2 is the global optimum,
+	// the configuration is a reduction fixed point with the cycle-search
+	// module entirely off — the quiet start the event engine's parking
+	// (sim.EventProcess) turns into zero steady-state work, which is what
+	// makes closure runs at n >= 10^4 tractable.
+	StartPath
 )
 
 // String returns the stable name used in scenario specs and CLIs.
@@ -70,12 +80,14 @@ func (m StartMode) String() string {
 		return "corrupt"
 	case StartLegitimate:
 		return "legitimate"
+	case StartPath:
+		return "path"
 	default:
 		return "clean"
 	}
 }
 
-// ParseStartMode resolves a StartMode name (clean|corrupt|legitimate).
+// ParseStartMode resolves a StartMode name (clean|corrupt|legitimate|path).
 func ParseStartMode(s string) (StartMode, error) {
 	switch s {
 	case "clean":
@@ -84,6 +96,8 @@ func ParseStartMode(s string) (StartMode, error) {
 		return StartCorrupt, nil
 	case "legitimate", "legit":
 		return StartLegitimate, nil
+	case "path":
+		return StartPath, nil
 	}
 	return 0, fmt.Errorf("harness: unknown start mode %q", s)
 }
@@ -108,10 +122,11 @@ type RunSpec struct {
 	Variant   Variant     // empty means VariantCore
 	Scheduler SchedulerKind
 	Start     StartMode
-	// CorruptNodes: with Start == StartLegitimate, the number of nodes to
-	// corrupt after pre-loading (fault-recovery experiment E5).
+	// CorruptNodes: with a pre-loaded start (StartLegitimate, StartPath),
+	// the number of nodes to corrupt after pre-loading (fault-recovery
+	// experiment E5).
 	CorruptNodes int
-	// CorruptTargets: with Start == StartLegitimate, the specific node IDs
+	// CorruptTargets: with a pre-loaded start, the specific node IDs
 	// to corrupt after pre-loading (targeted-fault models pick roles such
 	// as the root or a maximum-degree node). Applied before CorruptNodes.
 	CorruptTargets []int
@@ -127,11 +142,19 @@ type RunSpec struct {
 	// exchanges; see DESIGN.md S3). Counting starts at the first round
 	// with a valid tree, so the initial formation phase of a corrupted
 	// start is excluded. Costs one validation per round. Sim backend
-	// only: the wall-clock backends have no round hook.
+	// only: the wall-clock backends have no round hook. Under
+	// EngineEvent only executed rounds are validated — rounds skipped as
+	// eventless cannot change the tree, so the count is unaffected, but
+	// the per-round hook fires fewer times.
 	TrackSafety bool
 	// Backend selects the execution target (empty means BackendSim, the
 	// deterministic default). See the Backend constants.
 	Backend Backend
+	// Engine selects the sim backend's execution core (empty means
+	// EngineCompat, the full-sweep loop every committed baseline was
+	// generated with). EngineEvent runs the discrete-event core —
+	// frontier-only scheduling for large n. Sim backend only.
+	Engine Engine
 	// Tuning adjusts the wall-clock backends; ignored by sim.
 	Tuning BackendTuning
 	// Suppress turns on the search-traffic suppression hot path
@@ -148,6 +171,14 @@ func (s RunSpec) backend() Backend {
 		return BackendSim
 	}
 	return s.Backend
+}
+
+// engine returns the normalized engine (empty means compat).
+func (s RunSpec) engine() Engine {
+	if s.Engine == "" {
+		return EngineCompat
+	}
+	return s.Engine
 }
 
 // Result is the outcome of one run. The JSON rendering is deterministic
@@ -236,6 +267,25 @@ func (s RunSpec) Validate() error {
 	case "", BackendSim, BackendLive, BackendTCP:
 	default:
 		return fmt.Errorf("harness: unknown backend %q", s.Backend)
+	}
+	switch s.Engine {
+	case "", EngineCompat, EngineEvent:
+	default:
+		return fmt.Errorf("harness: unknown engine %q", s.Engine)
+	}
+	if s.engine() == EngineEvent {
+		// Fail loud instead of silently running a different experiment:
+		// the engine axis exists only inside the deterministic simulator,
+		// and the event core requires reliable links — a dropped gossip
+		// message is never re-sent to a parked sender, so lossy runs would
+		// lose the stale-view recovery the compat core's always-on gossip
+		// provides.
+		if s.backend() != BackendSim {
+			return fmt.Errorf("harness: engine %q requires the sim backend (got %q)", s.Engine, s.backend())
+		}
+		if s.DropRate > 0 {
+			return fmt.Errorf("harness: DropRate requires the compat engine (event-core nodes park and never re-send lost gossip)")
+		}
 	}
 	if s.backend() != BackendSim {
 		// Fail loud instead of silently running a different experiment
@@ -336,13 +386,24 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 		}
 	}
 	quiesceRounds := QuiesceWindowRounds(n, ops.cfg.EffectiveRetryPeriod())
-	res := net.Run(sim.RunConfig{
-		Scheduler:     NewScheduler(spec.Scheduler),
-		MaxRounds:     maxRounds,
-		QuiesceRounds: quiesceRounds,
-		ActiveKinds:   ops.kinds,
-		OnRound:       onRound,
-	})
+	var res sim.RunResult
+	if spec.engine() == EngineEvent {
+		res = net.RunEvents(sim.EventConfig{
+			Policy:        EventPolicyFor(spec.Scheduler),
+			MaxRounds:     maxRounds,
+			QuiesceRounds: quiesceRounds,
+			ActiveKinds:   ops.kinds,
+			OnRound:       onRound,
+		})
+	} else {
+		res = net.Run(sim.RunConfig{
+			Scheduler:     NewScheduler(spec.Scheduler),
+			MaxRounds:     maxRounds,
+			QuiesceRounds: quiesceRounds,
+			ActiveKinds:   ops.kinds,
+			OnRound:       onRound,
+		})
+	}
 
 	exch, aborts, suppressed := ops.stats(procs)
 	out := Result{
@@ -411,6 +472,15 @@ func Preload(g *graph.Graph, nodes []*core.Node, cfg core.Config) error {
 	if err != nil {
 		return err
 	}
+	return PreloadFromTree(g, nodes, cfg, tree)
+}
+
+// PreloadFromTree writes the legitimate configuration induced by the
+// given spanning tree into the nodes: coherent parents, distances,
+// dmax/submax/colors and views, exactly as Preload does for the
+// Fürer–Raghavachari tree. The tree must be a fixed point for the
+// resulting configuration to satisfy the full legitimacy predicate.
+func PreloadFromTree(g *graph.Graph, nodes []*core.Node, cfg core.Config, tree *spanning.Tree) error {
 	k := tree.MaxDegree()
 	deg := tree.Degrees()
 	// submax per node: max degree within its subtree.
@@ -455,6 +525,26 @@ func PreloadTree(g *graph.Graph) (*spanning.Tree, error) {
 	// Reduce to a fixed point with the same sequential semantics.
 	if err := reduceToFixedPoint(tree); err != nil {
 		return nil, err
+	}
+	return tree, nil
+}
+
+// PathTree returns the canonical Hamiltonian-path spanning tree
+// parent(i) = i-1 rooted at node 0 (the StartPath preload). It errors
+// when the graph is missing any path edge {i-1, i} — only the
+// ring-based families guarantee them by construction. Degree 2 is the
+// global optimum for any spanning tree, so the path is trivially a
+// Fürer–Raghavachari fixed point: no sequential reduction is needed,
+// which keeps the preload O(n) at sizes where reduceToFixedPoint is
+// far too slow.
+func PathTree(g *graph.Graph) (*spanning.Tree, error) {
+	parent := make([]int, g.N())
+	for i := 1; i < g.N(); i++ {
+		parent[i] = i - 1
+	}
+	tree, err := spanning.NewFromParents(g, parent, 0)
+	if err != nil {
+		return nil, fmt.Errorf("harness: graph has no canonical Hamiltonian path: %w", err)
 	}
 	return tree, nil
 }

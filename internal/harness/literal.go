@@ -4,6 +4,7 @@ import (
 	"mdst/internal/core"
 	"mdst/internal/graph"
 	"mdst/internal/paperproto"
+	"mdst/internal/spanning"
 )
 
 // The literal-choreography variant (internal/paperproto) executes
@@ -17,6 +18,13 @@ func PreloadLiteral(g *graph.Graph, nodes []*paperproto.Node, cfg core.Config) e
 	if err != nil {
 		return err
 	}
+	return PreloadLiteralFromTree(g, nodes, cfg, tree)
+}
+
+// PreloadLiteralFromTree is PreloadFromTree for literal-variant nodes:
+// it writes the legitimate configuration induced by the given spanning
+// tree (used by the StartPath preload).
+func PreloadLiteralFromTree(g *graph.Graph, nodes []*paperproto.Node, cfg core.Config, tree *spanning.Tree) error {
 	k := tree.MaxDegree()
 	deg := tree.Degrees()
 	submax := make([]int, g.N())

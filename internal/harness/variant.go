@@ -22,10 +22,13 @@ type variantOps struct {
 	factory func(id sim.NodeID, nbrs []sim.NodeID) sim.Process
 	corrupt func(procs []sim.Process, id int, rng *rand.Rand, idSpace int)
 	preload func(g *graph.Graph, procs []sim.Process) error
-	legit   func(g *graph.Graph, procs []sim.Process) core.Legitimacy
-	tree    func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error)
-	stats   func(procs []sim.Process) (exchanges, aborts, suppressed int)
-	kinds   []string // reduction message kinds that must drain at quiescence
+	// preloadPath writes the canonical Hamiltonian-path configuration
+	// (StartPath); it fails on graphs without the canonical path edges.
+	preloadPath func(g *graph.Graph, procs []sim.Process) error
+	legit       func(g *graph.Graph, procs []sim.Process) core.Legitimacy
+	tree        func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error)
+	stats       func(procs []sim.Process) (exchanges, aborts, suppressed int)
+	kinds       []string // reduction message kinds that must drain at quiescence
 }
 
 // variantFor resolves the spec's protocol variant to its operation set,
@@ -72,6 +75,13 @@ func coreOps(cfg core.Config) variantOps {
 		preload: func(g *graph.Graph, procs []sim.Process) error {
 			return Preload(g, coreNodes(procs), cfg)
 		},
+		preloadPath: func(g *graph.Graph, procs []sim.Process) error {
+			tree, err := PathTree(g)
+			if err != nil {
+				return err
+			}
+			return PreloadFromTree(g, coreNodes(procs), cfg, tree)
+		},
 		legit: func(g *graph.Graph, procs []sim.Process) core.Legitimacy {
 			return core.CheckLegitimacy(g, coreNodes(procs))
 		},
@@ -105,6 +115,13 @@ func literalOps(cfg core.Config) variantOps {
 		},
 		preload: func(g *graph.Graph, procs []sim.Process) error {
 			return PreloadLiteral(g, literalNodes(procs), cfg)
+		},
+		preloadPath: func(g *graph.Graph, procs []sim.Process) error {
+			tree, err := PathTree(g)
+			if err != nil {
+				return err
+			}
+			return PreloadLiteralFromTree(g, literalNodes(procs), cfg, tree)
 		},
 		legit: func(g *graph.Graph, procs []sim.Process) core.Legitimacy {
 			leg := paperproto.CheckLegitimacy(g, literalNodes(procs))
@@ -149,8 +166,10 @@ func buildInitial(spec RunSpec, ops variantOps, procAt func(sim.NodeID) sim.Proc
 
 // initStart writes the spec's initial configuration into the processes:
 // nothing for a clean start, per-node randomization for a corrupt one,
-// and the legitimate preload (plus targeted/random corruptions) for
-// StartLegitimate. rng must be the run's corruption RNG (seed^0x5eed) so
+// and a pre-loaded configuration (plus targeted/random corruptions) for
+// StartLegitimate (the Fürer–Raghavachari tree) and StartPath (the
+// canonical Hamiltonian path). rng must be the run's corruption RNG
+// (seed^0x5eed) so
 // every backend draws the identical initial configuration for the same
 // spec. The bool is false when the preload failed; the Result carries
 // the detail (same contract as the pre-refactor runners: a preload
@@ -162,8 +181,12 @@ func initStart(spec RunSpec, ops variantOps, procs []sim.Process, rng *rand.Rand
 		for id := range procs {
 			ops.corrupt(procs, id, rng, n)
 		}
-	case StartLegitimate:
-		if err := ops.preload(spec.Graph, procs); err != nil {
+	case StartLegitimate, StartPath:
+		load := ops.preload
+		if spec.Start == StartPath {
+			load = ops.preloadPath
+		}
+		if err := load(spec.Graph, procs); err != nil {
 			return Result{Backend: spec.backend(), Legit: core.Legitimacy{Detail: err.Error()}}, false
 		}
 		for _, v := range spec.CorruptTargets {

@@ -48,6 +48,10 @@ type Node struct {
 	tick        int
 	nextSearch  map[int]int
 	lastDeblock map[int]int
+	// Event-core parking state (sim.EventProcess); see the matching
+	// fields in core.Node.
+	restVersion uint64
+	tickMoved   bool
 	// suppress is the shared duplicate-token pruning state (nil unless
 	// Config.SuppressSearches); see core.SearchSuppressor.
 	suppress *core.SearchSuppressor
@@ -83,6 +87,7 @@ func NewNode(id int, neighbors []int, cfg Config) *Node {
 		views:       localview.NewTable(neighbors),
 		nextSearch:  make(map[int]int),
 		lastDeblock: make(map[int]int),
+		tickMoved:   true, // never ticked: the first tick must run
 	}
 	if cfg.SuppressSearches {
 		n.suppress = core.NewSearchSuppressor()
@@ -211,6 +216,7 @@ func (n *Node) Init(ctx *sim.Context) {}
 
 // Tick implements sim.Process: one iteration of the "do forever" loop.
 func (n *Node) Tick(ctx *sim.Context) {
+	entry := n.version
 	n.tick++
 	n.runTreeModule()
 	n.runDegreeModule()
@@ -218,7 +224,42 @@ func (n *Node) Tick(ctx *sim.Context) {
 		n.maybeStartSearches(ctx)
 	}
 	n.sendInfo(ctx)
+	n.tickMoved = n.version != entry
+	n.restVersion = n.version
 }
+
+// NextWork implements sim.EventProcess; same reasoning as
+// core.Node.NextWork — the modules are deterministic in the protocol
+// state, so with no input and a fixed-point last tick the only
+// tick-driven schedule left is the periodic cycle-search retry.
+func (n *Node) NextWork() int {
+	if n.tickMoved || n.version != n.restVersion {
+		return 1
+	}
+	if n.cfg.DisableReduction || n.dmax <= 2 || !n.locallyStabilized() {
+		return sim.NoWork
+	}
+	next := -1
+	for _, u := range n.nbrs {
+		if n.isTreeEdge(u) || n.id > u {
+			continue
+		}
+		if due := n.nextSearch[u]; next == -1 || due < next {
+			next = due
+		}
+	}
+	if next == -1 {
+		return sim.NoWork
+	}
+	if w := next - n.tick; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// SkipTicks implements sim.EventProcess: advance the local clock over
+// parked rounds so tick-keyed schedules keep their round meaning.
+func (n *Node) SkipTicks(k int) { n.tick += k }
 
 // Receive implements sim.Process.
 func (n *Node) Receive(ctx *sim.Context, from sim.NodeID, m sim.Message) {

@@ -80,6 +80,14 @@ type RunResult struct {
 	BrokenRounds          int    `json:"-"` // rounds without a valid tree (Spec.TrackSafety)
 	FingerprintRecomputes int64  `json:"-"` // per-node state hashes for quiescence detection
 	SearchMessages        int64  `json:"-"` // Search-kind sends (sim backend; the suppression figure of merit)
+	// Events and TailEvents are the event-core figures of merit: total
+	// executed simulator events, and how many of them came after the last
+	// state change. Tail events divided by the quiescence window bound
+	// the per-round work once the frontier has emptied — the sub-linear
+	// claim of the event engine (compat cells fill them too, for paired
+	// comparison).
+	Events     int64 `json:"-"`
+	TailEvents int64 `json:"-"`
 	// Wall is the run's wall-clock duration — excluded from JSON (the
 	// harness.Result json:"-" pattern) so output stays byte-identical
 	// across machines; only the wall-clock backends make it meaningful.
@@ -219,6 +227,11 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 		out.Err = err.Error()
 		return out
 	}
+	engine, err := harness.ParseEngine(r.Engine)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
 	rng := rand.New(rand.NewSource(r.Seed))
 	g := fam.Build(r.N, rng)
 	out.Nodes, out.Edges = g.N(), g.M()
@@ -232,6 +245,7 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 		MaxRounds:   spec.MaxRounds,
 		TrackSafety: spec.TrackSafety,
 		Backend:     backend,
+		Engine:      engine,
 		Tuning:      spec.Tuning,
 		Suppress:    r.Suppress != "",
 	}
@@ -305,17 +319,40 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 		out.MaxMsgKind = res.Metrics.MaxMsgSizeKind
 		out.FingerprintRecomputes = res.Metrics.FingerprintRecomputes
 		out.SearchMessages = res.Metrics.SentByKind[core.KindSearch]
+		out.Events = res.Metrics.Events
+		out.TailEvents = res.Metrics.Events - res.Metrics.EventsAtLastChange
 	}
 	if res.Tree != nil {
 		finalG := res.Tree.Graph() // churn re-stabilizes on a mutated graph
 		out.Nodes, out.Edges = finalG.N(), finalG.M()
 		out.MaxDegree = res.Tree.MaxDegree()
-		out.DegreeBound = mdstseq.Approximate(finalG).MaxDegree() + 1
+		out.DegreeBound = degreeBound(r.Family, finalG, finalG == g)
 		out.WithinBound = out.MaxDegree <= out.DegreeBound
 	} else {
-		out.DegreeBound = mdstseq.Approximate(g).MaxDegree() + 1
+		out.DegreeBound = degreeBound(r.Family, g, true)
 	}
 	return out
+}
+
+// seqBoundMaxN is the largest instance the per-run Fürer–Raghavachari
+// oracle is run on to compute DegreeBound. The oracle's local search is
+// polynomial but far from linear (minutes at n=1024 on ring+chords), so
+// beyond this size degreeBound falls back to the family's constructive
+// Δ* witness where one exists. Every committed baseline sits below the
+// cap, so their degreeBound columns keep the oracle's (possibly looser)
+// deg(T_FR)+1 value byte for byte.
+const seqBoundMaxN = 2048
+
+// degreeBound computes RunResult.DegreeBound for a run on graph g.
+// unmutated reports that g is the family-built instance (false after
+// churn rewires the topology, which can remove the witness edges).
+func degreeBound(family string, g *graph.Graph, unmutated bool) int {
+	if unmutated && g.N() > seqBoundMaxN {
+		if f, ok := graph.LookupFamily(family); ok && f.CanonicalRing {
+			return 3 // Δ*+1 from the canonical-ring witness (Δ* = 2)
+		}
+	}
+	return mdstseq.Approximate(g).MaxDegree() + 1
 }
 
 // aggregate folds run results into per-cell rows, preserving expansion
@@ -398,13 +435,13 @@ func aggregate(results []RunResult) *Matrix {
 // RenderTable returns an aligned plain-text rendering of the cell table.
 func (m *Matrix) RenderTable() string {
 	cols := []string{"family", "n", "sched", "start", "variant", "backend",
-		"suppr", "fault", "runs", "conv", "legit", "rounds(avg)", "rounds(max)",
+		"engine", "suppr", "fault", "runs", "conv", "legit", "rounds(avg)", "rounds(max)",
 		"msgs(avg)", "suppr(avg)", "deg", "bound", "within"}
 	rows := make([][]string, 0, len(m.Cells))
 	for _, c := range m.Cells {
 		rows = append(rows, []string{
 			c.Family, fmt.Sprintf("%d", c.Nodes), c.Scheduler, c.Start,
-			c.Variant, c.BackendName(), c.SuppressName(), c.Fault,
+			c.Variant, c.BackendName(), c.EngineName(), c.SuppressName(), c.Fault,
 			fmt.Sprintf("%d", c.Runs),
 			fmt.Sprintf("%v", c.Converged), fmt.Sprintf("%v", c.Legitimate),
 			fmt.Sprintf("%.1f", c.RoundsAvg), fmt.Sprintf("%d", c.RoundsMax),
@@ -451,11 +488,11 @@ func (m *Matrix) RenderTable() string {
 // CSV returns a comma-separated rendering of the cell table.
 func (m *Matrix) CSV() string {
 	var b strings.Builder
-	b.WriteString("family,n,scheduler,start,variant,backend,suppress,fault,runs,converged,legitimate,roundsAvg,roundsMax,messagesAvg,searchesSuppressedAvg,maxDegree,degreeBound,withinBound\n")
+	b.WriteString("family,n,scheduler,start,variant,backend,engine,suppress,fault,runs,converged,legitimate,roundsAvg,roundsMax,messagesAvg,searchesSuppressedAvg,maxDegree,degreeBound,withinBound\n")
 	for _, c := range m.Cells {
-		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s,%s,%d,%v,%v,%.2f,%d,%.0f,%.0f,%d,%d,%v\n",
+		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s,%s,%s,%d,%v,%v,%.2f,%d,%.0f,%.0f,%d,%d,%v\n",
 			c.Family, c.Nodes, c.Scheduler, c.Start, c.Variant,
-			c.BackendName(), c.SuppressName(), c.Fault, c.Runs, c.Converged,
+			c.BackendName(), c.EngineName(), c.SuppressName(), c.Fault, c.Runs, c.Converged,
 			c.Legitimate, c.RoundsAvg, c.RoundsMax, c.MessagesAvg,
 			c.SuppressedAvg, c.MaxDegree, c.DegreeBound, c.WithinBound)
 	}

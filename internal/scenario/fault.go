@@ -225,12 +225,28 @@ func (f Churn) Execute(spec harness.RunSpec, rng *rand.Rand) (harness.Result, er
 	if maxRounds <= 0 {
 		maxRounds = 200*n + 20000
 	}
-	res := newNet.Run(sim.RunConfig{
-		Scheduler:     harness.NewScheduler(spec.Scheduler),
-		MaxRounds:     maxRounds,
-		QuiesceRounds: harness.QuiesceWindowRounds(n, cfg.EffectiveRetryPeriod()),
-		ActiveKinds:   core.ReductionKinds(),
-	})
+	quiesce := harness.QuiesceWindowRounds(n, cfg.EffectiveRetryPeriod())
+	var res sim.RunResult
+	if spec.Engine == harness.EngineEvent {
+		// Mirror harness.RunSpec.Validate: the event core requires
+		// reliable links (parked senders never re-send lost gossip).
+		if spec.DropRate > 0 {
+			return harness.Result{}, fmt.Errorf("scenario: churn with lossy links requires the compat engine")
+		}
+		res = newNet.RunEvents(sim.EventConfig{
+			Policy:        harness.EventPolicyFor(spec.Scheduler),
+			MaxRounds:     maxRounds,
+			QuiesceRounds: quiesce,
+			ActiveKinds:   core.ReductionKinds(),
+		})
+	} else {
+		res = newNet.Run(sim.RunConfig{
+			Scheduler:     harness.NewScheduler(spec.Scheduler),
+			MaxRounds:     maxRounds,
+			QuiesceRounds: quiesce,
+			ActiveKinds:   core.ReductionKinds(),
+		})
+	}
 	nodes := core.NodesOf(newNet)
 	st := core.AggregateStats(nodes)
 	out := harness.Result{

@@ -38,6 +38,20 @@ type ScaleSpec struct {
 	Seeds     int    // seeds per size (default 1)
 	BaseSeed  int64  // matrix base seed (default 1)
 	Workers   int    // engine parallelism (default GOMAXPROCS)
+
+	// The event-engine ladder: closure runs at sizes the compat core
+	// cannot reach in CI time, executed on the discrete-event core
+	// (harness.EngineEvent) from the StartPath preload. EventFamily
+	// defaults to "ring+chords" — a canonical-ring family, so the
+	// Hamiltonian-path configuration (degree 2, Δ* = 2) exists and is a
+	// reduction fixed point with the search module off; the whole
+	// network parks after the first quiet tick and the quiescence window
+	// (2n+Θ(1) derived rounds) is fast-forwarded by the event loop
+	// instead of swept. Compat would execute every one of those rounds
+	// at n ticks + Θ(n) gossip each — hours at n=16384, seconds here.
+	// EventSizes defaults to 4096 and 16384.
+	EventFamily string
+	EventSizes  []int
 }
 
 func (s ScaleSpec) normalized() ScaleSpec {
@@ -60,6 +74,12 @@ func (s ScaleSpec) normalized() ScaleSpec {
 	}
 	if s.BaseSeed == 0 {
 		s.BaseSeed = 1
+	}
+	if s.EventFamily == "" {
+		s.EventFamily = "ring+chords"
+	}
+	if len(s.EventSizes) == 0 {
+		s.EventSizes = []int{4096, 16384}
 	}
 	return s
 }
@@ -109,6 +129,37 @@ type SuppressionCell struct {
 	MessageReduction float64 `json:"messageReduction"`
 }
 
+// EventCell is one run of the event-engine ladder: sizes executed on
+// the discrete-event core, where rounds without work are skipped and
+// idle nodes park. Every field is a deterministic function of the seed.
+type EventCell struct {
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	Edges     int    `json:"edges"`
+	Seed      int64  `json:"seed"`
+	Converged bool   `json:"converged"`
+	// Certified asserts the run produced a quiescence certificate (the
+	// event loop's empty-queue + expired-timers evidence).
+	Certified   bool  `json:"certified"`
+	Rounds      int   `json:"rounds"`
+	LastChange  int   `json:"lastChange"`
+	Messages    int64 `json:"messages"`
+	MaxDegree   int   `json:"maxDegree"`
+	DegreeBound int   `json:"degreeBound"`
+	WithinBound bool  `json:"withinBound"`
+	// Events is the total executed simulator events (ticks + deliveries);
+	// TailEvents is the portion after the last state change, i.e. the
+	// work the engine still did across the TailRounds of the quiescence
+	// window. TailEventsPerNodeRound = TailEvents / (TailRounds × N) is
+	// the frontier figure of merit: the compat core's floor is 1.0
+	// (every node ticks every round); sub-linear per-round work after the
+	// frontier shrinks means a value far below it.
+	Events                 int64   `json:"events"`
+	TailEvents             int64   `json:"tailEvents"`
+	TailRounds             int     `json:"tailRounds"`
+	TailEventsPerNodeRound float64 `json:"tailEventsPerNodeRound"`
+}
+
 // ScaleReport is the deterministic content of BENCH_scale.json.
 type ScaleReport struct {
 	Cells []ScaleCell `json:"cells"`
@@ -116,6 +167,10 @@ type ScaleReport struct {
 	// Suppression pairs every ladder size with its suppression-on twin:
 	// the committed on/off Search-kind message-volume comparison.
 	Suppression []SuppressionCell `json:"suppression"`
+
+	// Event is the event-engine ladder (see EventCell): the large-n
+	// cells that frontier-only scheduling unlocks.
+	Event []EventCell `json:"event"`
 
 	// Full-rehash baseline vs the incremental cache on the SAME run
 	// (identical seed, identical rounds/messages/degree outputs): the
@@ -242,6 +297,62 @@ func ScaleSweep(spec ScaleSpec) (*ScaleReport, error) {
 			cell.MessageReduction = float64(off.Messages) / float64(on.Messages)
 		}
 		report.Suppression = append(report.Suppression, cell)
+	}
+
+	// The event-engine ladder: closure runs at sizes the compat core
+	// cannot sweep in CI time, one seed per size on the discrete-event
+	// core from the StartPath preload (see ScaleSpec.EventSizes for why
+	// the closure shape is the one that scales). Acceptance is enforced
+	// here, not just recorded — a cell that fails to converge, reach
+	// legitimacy, stay within the Δ*+1 bracket, or produce a quiescence
+	// certificate fails the whole sweep (and therefore `make drift`).
+	ev, err := Engine{Workers: ns.Workers}.Execute(Spec{
+		Families:     []string{ns.EventFamily},
+		Sizes:        ns.EventSizes,
+		Schedulers:   []harness.SchedulerKind{harness.SchedSync},
+		Starts:       []harness.StartMode{harness.StartPath},
+		Engines:      []harness.Engine{harness.EngineEvent},
+		SeedsPerCell: 1,
+		BaseSeed:     ns.BaseSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range ev.Runs {
+		rr := &ev.Runs[i]
+		if rr.Err != "" {
+			return nil, fmt.Errorf("scenario: event-ladder run %s failed: %s", rr.Cell, rr.Err)
+		}
+		if !rr.Converged || !rr.Legitimate || !rr.WithinBound {
+			return nil, fmt.Errorf(
+				"scenario: event-ladder run %s missed acceptance: converged=%v legit=%v deg=%d bound=%d",
+				rr.Cell, rr.Converged, rr.Legitimate, rr.MaxDegree, rr.DegreeBound)
+		}
+		if rr.Cert == nil {
+			return nil, fmt.Errorf("scenario: event-ladder run %s converged without a quiescence certificate", rr.Cell)
+		}
+		cell := EventCell{
+			Family:      rr.Family,
+			N:           rr.N,
+			Edges:       rr.Edges,
+			Seed:        rr.Seed,
+			Converged:   rr.Converged,
+			Certified:   rr.Cert != nil,
+			Rounds:      rr.Rounds,
+			LastChange:  rr.LastChange,
+			Messages:    rr.Messages,
+			MaxDegree:   rr.MaxDegree,
+			DegreeBound: rr.DegreeBound,
+			WithinBound: rr.WithinBound,
+			Events:      rr.Events,
+			TailEvents:  rr.TailEvents,
+			TailRounds:  rr.Rounds - rr.LastChange,
+		}
+		if cell.TailRounds > 0 && rr.N > 0 {
+			cell.TailEventsPerNodeRound = float64(cell.TailEvents) /
+				(float64(cell.TailRounds) * float64(rr.N))
+		}
+		report.Event = append(report.Event, cell)
 	}
 
 	sim.SetFullFingerprintRehash(true)

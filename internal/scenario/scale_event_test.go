@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The scale sweep's event ladder: StartPath closure runs on the
+// discrete-event core. The committed BENCH_scale.json carries the
+// n=4096/16384 cells; this regression keeps the machinery honest at
+// test-friendly sizes — the acceptance gate (converged + legitimate +
+// within Δ*+1 + certified) is enforced inside ScaleSweep itself, so the
+// test checks the recorded figures of merit.
+func TestScaleSweepEventLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep")
+	}
+	rep, err := ScaleSweep(ScaleSpec{Sizes: []int{32}, EventSizes: []int{256, 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Event) != 2 {
+		t.Fatalf("%d event cells, want 2", len(rep.Event))
+	}
+	for _, c := range rep.Event {
+		if !c.Converged || !c.Certified || !c.WithinBound {
+			t.Fatalf("n=%d: acceptance flags not recorded: %+v", c.N, c)
+		}
+		// Below seqBoundMaxN the bound comes from the FR oracle (deg+1,
+		// possibly 4 on ring+chords); above it, from the canonical-ring
+		// witness (3). The closure tree is the degree-2 optimum either way.
+		if c.MaxDegree != 2 || c.DegreeBound < 3 {
+			t.Fatalf("n=%d: closure run degree %d / bound %d, want 2 / >=3",
+				c.N, c.MaxDegree, c.DegreeBound)
+		}
+		if c.LastChange != 0 {
+			t.Fatalf("n=%d: path preload is not a fixed point (last change %d)",
+				c.N, c.LastChange)
+		}
+		// The frontier figure of merit: the compat core executes >= 1
+		// tick per node per round through the whole quiescence window;
+		// the parked event core must be far below that floor.
+		if c.TailRounds <= 0 || c.TailEventsPerNodeRound >= 0.1 {
+			t.Fatalf("n=%d: tail work not sub-linear: %d events over %d rounds (%.4f/node/round)",
+				c.N, c.TailEvents, c.TailRounds, c.TailEventsPerNodeRound)
+		}
+		// The window itself must still be a real 2n+Θ(1) certificate span,
+		// fast-forwarded rather than skipped.
+		if c.Rounds < 2*c.N {
+			t.Fatalf("n=%d: quiescence window too short: %d rounds", c.N, c.Rounds)
+		}
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"tailEventsPerNodeRound"`)) {
+		t.Fatal("event ladder not serialized into the scale report")
+	}
+}

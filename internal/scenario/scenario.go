@@ -48,6 +48,14 @@ type Spec struct {
 	// their rounds/messages vary across repeats (the legitimacy and
 	// degree-bound claims are what a cross-backend matrix compares).
 	Backends []harness.Backend
+	// Engines defaults to [EngineCompat]. The engine axis selects the sim
+	// backend's execution core (compat full-sweep vs discrete-event
+	// frontier scheduling); run seeds exclude it, so [compat, event]
+	// yields paired comparisons on identical workloads. The compat label
+	// serializes empty, keeping engine-free matrix JSON byte-identical to
+	// the committed baselines. Event cells require the sim backend and
+	// lossless links (harness.RunSpec.Validate).
+	Engines []harness.Engine
 	// Suppression defaults to [false]: each true entry runs its cells
 	// with the search-traffic suppression hot path on
 	// (harness.RunSpec.Suppress). Run seeds exclude this axis, so
@@ -92,6 +100,11 @@ type Cell struct {
 	// simulator serialize exactly as they did before the backend axis
 	// existed — the committed PR-2 baseline stays byte-identical.
 	Backend string `json:"backend,omitempty"`
+	// Engine is the sim execution-core label. The compat default is the
+	// empty string (omitted from JSON, same contract as Backend) so
+	// matrices that never opt into the event core serialize exactly as
+	// before the engine axis existed.
+	Engine string `json:"engine,omitempty"`
 	// Suppress is the search-suppression axis label: "on" for suppressed
 	// cells, empty (omitted from JSON, same contract as Backend) for the
 	// paper-literal search schedule.
@@ -117,11 +130,23 @@ func (c Cell) BackendName() string {
 	return c.Backend
 }
 
+// EngineName returns the display name of the cell's execution core
+// ("compat" for the empty default label).
+func (c Cell) EngineName() string {
+	if c.Engine == "" {
+		return string(harness.EngineCompat)
+	}
+	return c.Engine
+}
+
 func (c Cell) String() string {
 	s := fmt.Sprintf("%s/n=%d/%s/%s/%s/%s",
 		c.Family, c.N, c.Scheduler, c.Start, c.Variant, c.Fault)
 	if c.Backend != "" {
 		s += "/" + c.Backend
+	}
+	if c.Engine != "" {
+		s += "/" + c.Engine
 	}
 	if c.Suppress != "" {
 		s += "/suppress"
@@ -149,6 +174,9 @@ func (s Spec) normalized() Spec {
 	}
 	if len(s.Backends) == 0 {
 		s.Backends = []harness.Backend{harness.BackendSim}
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = []harness.Engine{harness.EngineCompat}
 	}
 	if len(s.Suppression) == 0 {
 		s.Suppression = []bool{false}
@@ -205,6 +233,26 @@ func (s Spec) validate() error {
 		}
 		seenBackend[nb] = true
 	}
+	seenEngine := map[harness.Engine]bool{}
+	for _, e := range s.Engines {
+		ne, err := harness.ParseEngine(string(e))
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if seenEngine[ne] {
+			return fmt.Errorf("scenario: duplicate engine %q", ne)
+		}
+		seenEngine[ne] = true
+		if ne == harness.EngineEvent {
+			// An event cell on a wall-clock backend would fail run by run
+			// deep in the workers; reject the axis combination up front.
+			for _, b := range s.Backends {
+				if nb, err := harness.ParseBackend(string(b)); err == nil && nb != harness.BackendSim {
+					return fmt.Errorf("scenario: engine %q requires the sim backend (spec also lists %q)", ne, nb)
+				}
+			}
+		}
+	}
 	seenSuppress := map[bool]bool{}
 	for _, sup := range s.Suppression {
 		if seenSuppress[sup] {
@@ -227,7 +275,7 @@ func (s Spec) validate() error {
 
 // runSeed derives the per-run seed from the instance identity (family,
 // size, seed index, base seed) — deliberately NOT from the scheduler,
-// start, variant, backend, suppression or fault axes. Cells that differ only in those axes
+// start, variant, backend, engine, suppression or fault axes. Cells that differ only in those axes
 // therefore draw the SAME graph instances, so sweeps like "rounds vs
 // drop rate" or "recovery cost by fault role" are paired comparisons
 // on identical workloads rather than cross-instance noise. The hash —
@@ -241,7 +289,8 @@ func runSeed(base int64, c Cell, idx int) int64 {
 }
 
 // Expand enumerates the full run matrix in deterministic order (family,
-// size, scheduler, start, variant, backend, suppression, fault, seed).
+// size, scheduler, start, variant, backend, engine, suppression, fault,
+// seed).
 func (s Spec) Expand() ([]Run, error) {
 	ns := s.normalized()
 	if err := ns.validate(); err != nil {
@@ -263,31 +312,41 @@ func (s Spec) Expand() ([]Run, error) {
 							if backend == harness.BackendSim {
 								label = ""
 							}
-							for _, sup := range ns.Suppression {
-								// Same contract: the off default keeps the
-								// empty label so suppression-free matrices
+							for _, engine := range ns.Engines {
+								// Same contract: the compat default keeps
+								// the empty label so engine-free matrices
 								// serialize unchanged.
-								supLabel := ""
-								if sup {
-									supLabel = "on"
+								engLabel := string(engine)
+								if engine == harness.EngineCompat {
+									engLabel = ""
 								}
-								for _, fm := range ns.Faults {
-									cell := Cell{
-										Family:    fam,
-										N:         n,
-										Scheduler: string(sched),
-										Start:     start.String(),
-										Variant:   string(variant),
-										Backend:   label,
-										Suppress:  supLabel,
-										Fault:     fm.Name(),
+								for _, sup := range ns.Suppression {
+									// Same contract: the off default keeps the
+									// empty label so suppression-free matrices
+									// serialize unchanged.
+									supLabel := ""
+									if sup {
+										supLabel = "on"
 									}
-									for idx := 0; idx < ns.SeedsPerCell; idx++ {
-										runs = append(runs, Run{
-											Cell:      cell,
-											SeedIndex: idx,
-											Seed:      runSeed(ns.BaseSeed, cell, idx),
-										})
+									for _, fm := range ns.Faults {
+										cell := Cell{
+											Family:    fam,
+											N:         n,
+											Scheduler: string(sched),
+											Start:     start.String(),
+											Variant:   string(variant),
+											Backend:   label,
+											Engine:    engLabel,
+											Suppress:  supLabel,
+											Fault:     fm.Name(),
+										}
+										for idx := 0; idx < ns.SeedsPerCell; idx++ {
+											runs = append(runs, Run{
+												Cell:      cell,
+												SeedIndex: idx,
+												Seed:      runSeed(ns.BaseSeed, cell, idx),
+											})
+										}
 									}
 								}
 							}

@@ -1,0 +1,42 @@
+package sim
+
+// fenwick is a binary indexed tree over a fixed position range, used as
+// the prefix-sum index behind RandomPendingLink: position p mirrors
+// nonEmpty[p]'s queue length, so selecting the link holding the k-th
+// pending message is O(log cap) instead of a linear walk over every
+// non-empty link. Positions past len(nonEmpty) always hold zero (links
+// leave the index with their length already decremented to zero), so
+// swap-removal only has to move the relocated link's mass.
+type fenwick struct {
+	tree  []int // 1-based BIT; tree[i] covers (i - lowbit(i), i]
+	hibit int   // largest power of two <= len(tree)-1, for Select's descent
+}
+
+func newFenwick(cap int) fenwick {
+	hi := 1
+	for hi<<1 <= cap {
+		hi <<= 1
+	}
+	return fenwick{tree: make([]int, cap+1), hibit: hi}
+}
+
+// Add applies delta at 0-based position p.
+func (f *fenwick) Add(p, delta int) {
+	for i := p + 1; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// Select returns the smallest 0-based position whose prefix sum
+// (inclusive) exceeds k — i.e. the position holding the (k+1)-th unit of
+// mass. The caller guarantees k < total mass.
+func (f *fenwick) Select(k int) int {
+	pos := 0
+	for step := f.hibit; step > 0; step >>= 1 {
+		if next := pos + step; next < len(f.tree) && f.tree[next] <= k {
+			pos = next
+			k -= f.tree[next]
+		}
+	}
+	return pos // 1-based pos is the last prefix <= k; 0-based answer is pos
+}

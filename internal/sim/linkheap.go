@@ -1,0 +1,129 @@
+package sim
+
+// linkMaxHeap is an indexed max-heap over link queue lengths: PopMax
+// returns the link with the longest queue, ties broken toward the
+// lowest link index (a total, deterministic order). The position index
+// supports increase/decrease-key in O(log k), which is what turns the
+// adversarial scheduler's per-delivery longest-queue scan from O(links)
+// into O(log links): deliveries decrease one key, and the sends a
+// delivery triggers increase others via the network's send hook.
+type linkMaxHeap struct {
+	li  []int // heap order: li[0] is the max
+	key []int // key[i] is li[i]'s queue length
+	pos []int // link index -> heap position, -1 when absent
+}
+
+func newLinkMaxHeap(links int) *linkMaxHeap {
+	h := &linkMaxHeap{pos: make([]int, links)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// less reports whether heap slot i ranks strictly below slot j (shorter
+// queue, or equal length with a larger link index).
+func (h *linkMaxHeap) less(i, j int) bool {
+	if h.key[i] != h.key[j] {
+		return h.key[i] < h.key[j]
+	}
+	return h.li[i] > h.li[j]
+}
+
+func (h *linkMaxHeap) swap(i, j int) {
+	h.li[i], h.li[j] = h.li[j], h.li[i]
+	h.key[i], h.key[j] = h.key[j], h.key[i]
+	h.pos[h.li[i]], h.pos[h.li[j]] = i, j
+}
+
+func (h *linkMaxHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(p, i) {
+			break
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *linkMaxHeap) down(i int) {
+	n := len(h.li)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.less(big, l) {
+			big = l
+		}
+		if r < n && h.less(big, r) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.swap(i, big)
+		i = big
+	}
+}
+
+// Len returns the number of indexed links.
+func (h *linkMaxHeap) Len() int { return len(h.li) }
+
+// Update inserts link li with the given queue length, or re-keys it if
+// already present. A length of zero removes it.
+func (h *linkMaxHeap) Update(li, length int) {
+	p := h.pos[li]
+	if length <= 0 {
+		if p >= 0 {
+			h.removeAt(p)
+		}
+		return
+	}
+	if p < 0 {
+		h.li = append(h.li, li)
+		h.key = append(h.key, length)
+		h.pos[li] = len(h.li) - 1
+		h.up(len(h.li) - 1)
+		return
+	}
+	old := h.key[p]
+	h.key[p] = length
+	if length > old {
+		h.up(p)
+	} else if length < old {
+		h.down(p)
+	}
+}
+
+func (h *linkMaxHeap) removeAt(p int) {
+	last := len(h.li) - 1
+	h.pos[h.li[p]] = -1
+	if p != last {
+		h.li[p], h.key[p] = h.li[last], h.key[last]
+		h.pos[h.li[p]] = p
+	}
+	h.li = h.li[:last]
+	h.key = h.key[:last]
+	if p < last {
+		h.down(p)
+		h.up(p)
+	}
+}
+
+// Max returns the longest link's index without removing it; ok is false
+// when the heap is empty.
+func (h *linkMaxHeap) Max() (li int, ok bool) {
+	if len(h.li) == 0 {
+		return 0, false
+	}
+	return h.li[0], true
+}
+
+// Reset empties the heap, keeping the position index consistent.
+func (h *linkMaxHeap) Reset() {
+	for _, li := range h.li {
+		h.pos[li] = -1
+	}
+	h.li = h.li[:0]
+	h.key = h.key[:0]
+}

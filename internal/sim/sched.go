@@ -9,7 +9,17 @@ package sim
 // order). Messages sent during the round are delivered the next round.
 // Experiment E2 measures rounds under this scheduler, matching the round
 // complexity statement of the paper's Lemma 5.
-type SyncScheduler struct{}
+type SyncScheduler struct {
+	// Scratch buffers reused across rounds: the delivery snapshot and
+	// the tick permutation used to allocate fresh slices every round,
+	// which dominated the scheduler's own allocation profile at large n
+	// (see BenchmarkSyncRoundAllocs).
+	slots []syncSlot
+	perm  []int
+}
+
+// syncSlot is one entry of the per-round delivery snapshot.
+type syncSlot struct{ li, count int }
 
 // NewSyncScheduler returns a SyncScheduler.
 func NewSyncScheduler() *SyncScheduler { return &SyncScheduler{} }
@@ -19,11 +29,11 @@ func (s *SyncScheduler) RunRound(n *Network) int {
 	events := 0
 	rng := n.Rand()
 	// Snapshot pending counts per link; deliver exactly those.
-	type slot struct{ li, count int }
-	var slots []slot
+	slots := s.slots[:0]
 	for _, li := range n.NonEmptyLinks() {
-		slots = append(slots, slot{li, n.LinkLen(li)})
+		slots = append(slots, syncSlot{li, n.LinkLen(li)})
 	}
+	s.slots = slots
 	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
 	for _, sl := range slots {
 		for c := 0; c < sl.count; c++ {
@@ -31,7 +41,20 @@ func (s *SyncScheduler) RunRound(n *Network) int {
 			events++
 		}
 	}
-	order := rng.Perm(n.Graph().N())
+	// In-place Fisher–Yates with rand.Perm's exact draw sequence
+	// (m[i]=m[j]; m[j]=i over Intn(i+1)), so the scratch buffer changes
+	// neither the RNG stream nor the tick order of the committed
+	// baselines.
+	nn := n.Graph().N()
+	if cap(s.perm) < nn {
+		s.perm = make([]int, nn)
+	}
+	order := s.perm[:nn]
+	for i := 0; i < nn; i++ {
+		j := rng.Intn(i + 1)
+		order[i] = order[j]
+		order[j] = i
+	}
 	for _, id := range order {
 		n.Tick(id)
 		events++
@@ -105,6 +128,13 @@ func (s *AsyncScheduler) RunRound(n *Network) int {
 // is used by ablation E7.
 type AdversarialScheduler struct {
 	MaxStepsPerRound int
+
+	// heap indexes the non-empty links by queue length so each
+	// longest-queue selection is O(log links) instead of a full scan
+	// (the old per-delivery O(links) walk made a round O(messages ×
+	// links)). Ties break toward the lowest link index — a total,
+	// deterministic order. Lazily sized to the network's link count.
+	heap *linkMaxHeap
 }
 
 // NewAdversarialScheduler returns an AdversarialScheduler.
@@ -120,19 +150,30 @@ func (s *AdversarialScheduler) RunRound(n *Network) int {
 	}
 	events := 0
 	// Deliver every old message first, always from the longest link.
+	// The heap tracks queue lengths across deliveries and the sends they
+	// trigger (via the network's send hook); it is rebuilt per round
+	// from the non-empty index, which also keeps it correct if the same
+	// scheduler is reused across networks.
+	if s.heap == nil || len(s.heap.pos) != len(n.links) {
+		s.heap = newLinkMaxHeap(len(n.links))
+	} else {
+		s.heap.Reset()
+	}
+	for _, li := range n.NonEmptyLinks() {
+		s.heap.Update(li, n.LinkLen(li))
+	}
+	prevHook := n.sendHook
+	n.sendHook = func(li int) { s.heap.Update(li, n.LinkLen(li)) }
 	for events < limit && n.pendingOld > 0 {
-		best, bestLen := -1, 0
-		for _, li := range n.NonEmptyLinks() {
-			if l := n.LinkLen(li); l > bestLen {
-				best, bestLen = li, l
-			}
-		}
-		if best < 0 {
+		best, ok := s.heap.Max()
+		if !ok {
 			break
 		}
 		n.Deliver(best)
+		s.heap.Update(best, n.LinkLen(best))
 		events++
 	}
+	n.sendHook = prevHook
 	// Then tick every node once, largest ID first (deterministic
 	// starvation order) — receives alone do not discharge a node's
 	// do-forever obligation.

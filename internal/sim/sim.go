@@ -17,6 +17,37 @@
 // nodes whose state version moved since the last round; round accounting
 // is an epoch-stamped step array (no per-round map churn); and pending
 // messages are counted per kind on send/consume so PendingKind is O(1).
+//
+// # Dual execution cores
+//
+// The package has two execution cores over the same Network:
+//
+//   - The compatibility core (Network.Run + the Scheduler
+//     implementations in sched.go) replays the original per-round full
+//     sweep: every round delivers the pending snapshot and ticks every
+//     node, consuming the seeded RNG in the exact legacy order. Every
+//     committed byte-identity baseline (the default scenario matrix,
+//     BENCH_scale.json) is produced by this core and must stay
+//     byte-identical under `make drift`.
+//
+//   - The event core (Network.RunEvents, event.go) is a discrete-event
+//     scheduler over the same links and processes: pending deliveries
+//     and per-node tick timers are bucketed by virtual round in a
+//     calendar queue, and only nodes with work — an undelivered
+//     message, a state change since their last tick, or a due search
+//     retry (the EventProcess interface) — are touched. Idle nodes park;
+//     their tick counters are fast-forwarded on wake (SkipTicks) so
+//     tick-denominated protocol schedules stay aligned with virtual
+//     rounds. Round numbers, Metrics.Rounds, LastChangeRound and the
+//     quiescence window keep their meaning as a derived view of virtual
+//     time, and convergence can be declared by fast-forwarding over
+//     empty buckets (empty queue + expired timers). The three
+//     schedulers map onto bucket-ordering policies (EventPolicy).
+//
+// Engine selection lives in harness.RunSpec.Engine: "compat" (default,
+// byte-identical baselines) or "event" (frontier-only scheduling for
+// large n). The two cores are differential-tested for outcome
+// equivalence on paired seeds.
 package sim
 
 import (
@@ -147,6 +178,13 @@ type Metrics struct {
 	MaxMsgSizeKind  string
 	MaxQueueLen     int
 	LastChangeRound int // round index of the most recent fingerprint change
+	// EventsAtLastChange is the Events counter as of the last fingerprint
+	// change. Events - EventsAtLastChange is the tail work executed after
+	// the network stopped changing (the quiescence window); for the event
+	// core this tail is the frontier figure of merit — sub-linear in n
+	// once idle nodes park — while the compat core's tail stays O(n+m)
+	// per round by construction.
+	EventsAtLastChange int64
 	// FingerprintRecomputes counts per-node state hashes performed for
 	// quiescence detection. It is deterministic for a seeded run and is
 	// the committed figure of merit for the incremental fingerprint cache
@@ -182,7 +220,18 @@ type Network struct {
 	linkIdx  map[[2]NodeID]int
 	nonEmpty []int // indices of non-empty links
 	nePos    []int // link index -> position in nonEmpty (-1 when empty)
-	nextSeq  uint64
+	// pendingIdx mirrors the queue length of nonEmpty[p] at position p:
+	// the prefix-sum index that makes RandomPendingLink O(log links)
+	// while preserving the exact idx→link mapping of the old linear walk
+	// (same nonEmpty order, same cumulative-length threshold).
+	pendingIdx fenwick
+	nextSeq    uint64
+
+	// sendHook, when set, observes every enqueued message by link index.
+	// The adversarial scheduler uses it to keep its longest-queue heap
+	// current, the event core to schedule delivery events; nil (one
+	// predictable branch) on every other path.
+	sendHook func(li int)
 
 	pendingTotal  int            // undelivered messages across all links
 	pendingByKind map[string]int // undelivered messages per message kind
@@ -248,6 +297,7 @@ func NewNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) Proc
 	for i := range net.nePos {
 		net.nePos[i] = -1
 	}
+	net.pendingIdx = newFenwick(len(net.links))
 	for id := 0; id < n; id++ {
 		ctx := &Context{id: id, nbrs: g.Neighbors(id), send: net.send}
 		net.ctxs[id] = ctx
@@ -291,14 +341,13 @@ func (n *Network) RandomPendingLink() int {
 	if n.pendingTotal <= 0 {
 		panic("sim: RandomPendingLink with no pending messages")
 	}
+	// Fenwick selection over positions in nonEmpty order: identical to
+	// the old linear cumulative-length walk (first position whose prefix
+	// sum exceeds idx), in O(log links) instead of O(nonEmpty). The
+	// committed async-scheduler matrix cells guard the byte-identity of
+	// this mapping.
 	idx := n.rng.Intn(n.pendingTotal)
-	for _, li := range n.nonEmpty {
-		idx -= n.links[li].len()
-		if idx < 0 {
-			return li
-		}
-	}
-	panic("sim: pending counter out of sync")
+	return n.nonEmpty[n.pendingIdx.Select(idx)]
 }
 
 // PendingKind returns the number of undelivered messages of the given
@@ -324,6 +373,10 @@ func (n *Network) send(from, to NodeID, m Message) {
 		n.nePos[li] = len(n.nonEmpty)
 		n.nonEmpty = append(n.nonEmpty, li)
 	}
+	n.pendingIdx.Add(n.nePos[li], 1)
+	if n.sendHook != nil {
+		n.sendHook(li)
+	}
 	if ql := l.len(); ql > n.metrics.MaxQueueLen {
 		n.metrics.MaxQueueLen = ql
 	}
@@ -334,12 +387,20 @@ func (n *Network) send(from, to NodeID, m Message) {
 	}
 }
 
-// removeNonEmpty drops link li from the non-empty index.
+// removeNonEmpty drops link li from the non-empty index. The link's
+// prefix-sum mass is already zero (Deliver decrements before removal);
+// only the swapped-in link's mass moves.
 func (n *Network) removeNonEmpty(li int) {
 	pos := n.nePos[li]
 	last := len(n.nonEmpty) - 1
-	n.nonEmpty[pos] = n.nonEmpty[last]
-	n.nePos[n.nonEmpty[pos]] = pos
+	if pos != last {
+		moved := n.nonEmpty[last]
+		m := n.links[moved].len()
+		n.pendingIdx.Add(last, -m)
+		n.pendingIdx.Add(pos, m)
+		n.nonEmpty[pos] = moved
+		n.nePos[moved] = pos
+	}
 	n.nonEmpty = n.nonEmpty[:last]
 	n.nePos[li] = -1
 }
@@ -376,6 +437,7 @@ func (n *Network) Deliver(li int) {
 	env := l.pop()
 	n.pendingTotal--
 	n.pendingByKind[env.msg.Kind()]--
+	n.pendingIdx.Add(n.nePos[li], -1)
 	if l.empty() {
 		n.removeNonEmpty(li)
 	}
@@ -591,7 +653,58 @@ type RunResult struct {
 	LastChangeRound int
 }
 
-// Run executes rounds until quiescence or the round bound.
+// quiesceTracker is the per-round quiescence accounting shared by the
+// two execution cores: it observes the combined fingerprint after each
+// executed round, stamps LastChangeRound/EventsAtLastChange on change,
+// and reports convergence once the fingerprint has held for the window
+// with every active message kind drained. The compat core feeds it
+// consecutive rounds; the event core also consults it when
+// fast-forwarding over empty buckets (stability there is implied: no
+// events means no possible change).
+type quiesceTracker struct {
+	net    *Network
+	window int
+	kinds  []string
+	lastFP uint64
+	stable int
+}
+
+func newQuiesceTracker(n *Network, window int, kinds []string) *quiesceTracker {
+	return &quiesceTracker{net: n, window: window, kinds: kinds, lastFP: n.combined}
+}
+
+// observe records the completed round and returns true when quiescence
+// is certain: window consecutive unchanged rounds and active kinds
+// drained.
+func (q *quiesceTracker) observe(round int) bool {
+	fp := q.net.Fingerprint()
+	if fp != q.lastFP {
+		q.lastFP = fp
+		q.stable = 0
+		q.net.metrics.LastChangeRound = round
+		q.net.metrics.EventsAtLastChange = q.net.metrics.Events
+	} else {
+		q.stable++
+	}
+	return q.window > 0 && q.stable >= q.window && q.drained()
+}
+
+// drained reports whether every active message kind has zero pending
+// messages.
+func (q *quiesceTracker) drained() bool {
+	for _, k := range q.kinds {
+		if q.net.PendingKind(k) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes rounds until quiescence or the round bound. This is the
+// compatibility core: it steps the legacy per-round schedulers in the
+// exact pre-event-core order (RNG consumption, metrics, one Fingerprint
+// per round), so its outputs are byte-identical to the committed
+// baselines. Network.RunEvents is the frontier-only alternative.
 func (n *Network) Run(cfg RunConfig) RunResult {
 	if cfg.Scheduler == nil {
 		cfg.Scheduler = NewSyncScheduler()
@@ -602,31 +715,13 @@ func (n *Network) Run(cfg RunConfig) RunResult {
 	// Re-seed the cache: harness flows mutate process state directly
 	// (corruption, preloads) between NewNetwork and Run.
 	n.rehashAllNodes()
-	lastFP := n.combined
-	stable := 0
+	q := newQuiesceTracker(n, cfg.QuiesceRounds, cfg.ActiveKinds)
 	for r := 0; r < cfg.MaxRounds; r++ {
 		cfg.Scheduler.RunRound(n)
 		n.metrics.Rounds++
-		fp := n.Fingerprint()
-		if fp != lastFP {
-			lastFP = fp
-			stable = 0
-			n.metrics.LastChangeRound = n.metrics.Rounds
-		} else {
-			stable++
-		}
-		if cfg.QuiesceRounds > 0 && stable >= cfg.QuiesceRounds {
-			drained := true
-			for _, k := range cfg.ActiveKinds {
-				if n.PendingKind(k) > 0 {
-					drained = false
-					break
-				}
-			}
-			if drained {
-				return RunResult{Converged: true, Rounds: n.metrics.Rounds,
-					LastChangeRound: n.metrics.LastChangeRound}
-			}
+		if q.observe(n.metrics.Rounds) {
+			return RunResult{Converged: true, Rounds: n.metrics.Rounds,
+				LastChangeRound: n.metrics.LastChangeRound}
 		}
 		if cfg.OnRound != nil && !cfg.OnRound(r) {
 			break
