@@ -7,7 +7,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/sim/... ./internal/harness/... ./internal/scenario/... ./internal/netrun/... ./internal/detect/...
+RACE_PKGS = ./internal/sim/... ./internal/harness/... ./internal/scenario/... ./internal/netrun/... ./internal/detect/... ./internal/metrics/... ./internal/auditlog/...
 
 .PHONY: ci lint vet build test race smoke bench gobench matrix drift vuln clean
 
@@ -51,6 +51,12 @@ race:
 # not just the deterministic simulator; the tcp-batch job drives a
 # batch>1 cluster through the certificate path (coalesced wire frames
 # must not change the outcome — see TestBatchedTCPDifferentialOutcome).
+# The metrics job smokes the observability plane on the wall-clock
+# backends: the control-channel metrics pair plus client-shedding on
+# tcp, then live+tcp runs asserting a non-empty snapshot stream and
+# cross-backend-identical audit chain heads (those two harness tests
+# skip under -short, so the job runs them without it — they finish in
+# well under a second).
 smoke:
 	$(GO) test -short ./internal/detect/
 	$(GO) test -short -run 'TestBackend|TestParseBackend|TestTuning' ./internal/harness/
@@ -61,6 +67,8 @@ smoke:
 	$(GO) test -short ./cmd/mdstnet/
 	$(GO) test -short -run 'TestRunEvents' ./internal/sim/
 	$(GO) test -short -run 'TestEventEngine|TestParseEngine|TestStartPathClosure' ./internal/harness/
+	$(GO) test -short -run 'TestMetricsOverControlChannel|TestControlClientDisconnectMidRequest' ./internal/netrun/
+	$(GO) test -run 'TestMetricsWallBackends|TestAuditChainGenesisCrossBackend' ./internal/harness/
 
 # The committed benchmarks. BENCH_scale.json (the n=256/512/1024 ladder
 # on the incremental simulator hot path, the event-core closure cells at

@@ -20,6 +20,7 @@
 //	mdstmatrix -xbackend                  # medium-n cross-backend preset -> committed table
 //	mdstmatrix -backend tcp -batch 16 -batchwait 1ms   # coalesced tcp frames
 //	mdstmatrix -tcpbench                  # tcp frame-coalescing bench -> BENCH_tcp.json content
+//	mdstmatrix -metrics -format json      # per-run metrics time series + audit chain heads
 //
 // The sim backend (default) is bit-reproducible; the live and tcp
 // backends execute on the wall clock, so their rounds/messages columns
@@ -70,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Int("batch", 0, "tcp frame coalescing: messages per wire frame (0/1: one frame per message, the compatible default; >1: batched format)")
 	batchwait := fs.Duration("batchwait", 0, "tcp frame coalescing: max time a partially filled frame is held open (0: flush immediately)")
 	tcpbench := fs.Bool("tcpbench", false, "run the tcp frame-coalescing bench (ring+chords, batch 1/8/16) and print the BENCH_tcp.json report (uses the first -sizes entry when given, else n=128)")
+	metricsOn := fs.Bool("metrics", false, "enable the observability plane on every run: sampled metrics time series and hash-chained audit heads in per-run JSON output (off keeps committed baselines byte-identical)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -88,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SeedsPerCell: *seeds,
 		BaseSeed:     *baseSeed,
 		MaxRounds:    *maxRounds,
+		Metrics:      *metricsOn,
 	}
 	spec.Families = splitList(*families)
 	for _, s := range splitList(*sizes) {

@@ -255,3 +255,29 @@ func TestDefaultMatrixIsAtLeast100Runs(t *testing.T) {
 		t.Fatalf("default matrix expands to only %d runs, want >= 100", lines)
 	}
 }
+
+// -metrics threads the observability plane through the matrix: per-run
+// JSON gains metrics time series and audit chain heads, while the
+// default (metrics-off) output keeps the committed baselines
+// byte-identical — asserted directly by the drift tests.
+func TestRunMetricsFlagJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-families", "gnp", "-sizes", "10", "-seeds", "1",
+		"-metrics", "-format", "json", "-quiet"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{`"auditChain"`, `"metrics"`, `"versionFill"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in -metrics JSON", want)
+		}
+	}
+	var off bytes.Buffer
+	if code := run([]string{"-families", "gnp", "-sizes", "10", "-seeds", "1",
+		"-format", "json", "-quiet"}, &off, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.Contains(off.String(), `"auditChain"`) {
+		t.Error("metrics-off JSON contains auditChain")
+	}
+}

@@ -18,6 +18,7 @@
 //	mdstnet -family wheel -n 12 -budget 8      # deadline scaled from the paired sim run
 //	mdstnet -family gnp -n 64 -suppress        # duplicate Search-token pruning on
 //	mdstnet -family gnp -n 128 -batch 16 -batchwait 1ms   # coalesced wire frames
+//	mdstnet -family wheel -n 12 -metrics       # metrics time series (JSON) + audit chain head
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"mdst/internal/graph"
 	"mdst/internal/harness"
 	"mdst/internal/mdstseq"
+	"mdst/internal/metrics"
 )
 
 func main() {
@@ -53,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suppress := fs.Bool("suppress", false, "enable the search-traffic suppression hot path (duplicate Search-token pruning + batched launches)")
 	batch := fs.Int("batch", 0, "messages coalesced per wire frame (0/1 = one frame per message, the compatible default)")
 	batchwait := fs.Duration("batchwait", 0, "max time a partially filled frame is held open (0 = flush immediately)")
+	metricsOn := fs.Bool("metrics", false, "sample the metrics stream over the control channel and dump it as JSON alongside the result, plus the audit chain head")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,6 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *corrupt {
 		start = harness.StartCorrupt
 	}
+	var coll *metrics.Collector
+	if *metricsOn {
+		coll = &metrics.Collector{}
+	}
 	res, err := harness.Run(harness.RunSpec{
 		Graph:    g,
 		Variant:  harness.Variant(*variant),
@@ -99,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:     *seed,
 		Backend:  harness.BackendTCP,
 		Suppress: *suppress,
+		Collect:  coll,
+		Audit:    *metricsOn,
 		Tuning: harness.BackendTuning{
 			Tick:         *tick,
 			Probe:        *probe,
@@ -137,6 +146,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if res.SearchesSuppressed > 0 {
 		fmt.Fprintf(stdout, "searches suppressed: %d\n", res.SearchesSuppressed)
+	}
+	if coll != nil {
+		fmt.Fprintf(stdout, "audit chain: %016x over %d mutation(s)\n", res.AuditChain, res.AuditRecords)
+		fmt.Fprintf(stdout, "metrics: %d snapshot(s)\n", coll.Len())
+		if err := coll.Series("tcp").WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "mdstnet:", err)
+			return 1
+		}
 	}
 	if !res.Legit.OK() {
 		return 1

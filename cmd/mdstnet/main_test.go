@@ -66,3 +66,18 @@ func TestRunUnknownVariant(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+// -metrics samples the stream over the control channel and dumps it as
+// a JSON series alongside the audit chain head.
+func TestRunMetricsOverTCP(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "wheel", "-n", "8", "-metrics"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"audit chain:", "metrics:", `"name": "tcp"`, `"columns"`, `"sentTotal"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in -metrics output:\n%s", want, out.String())
+		}
+	}
+}

@@ -3,10 +3,18 @@
 // the stabilized minimum-degree spanning tree, node colors the tree
 // degree (green = leaf, red = maximum). Writes SVG to stdout.
 //
+// With -live the protocol runs on the goroutine-per-node runtime
+// instead of the deterministic simulator, and the command polls the live
+// metrics stream while it stabilizes: each detection-probe snapshot is
+// printed to stderr (version-vector fill, stability-window position,
+// in-flight deficit, messages sent), so convergence is watchable in real
+// time; the SVG of the stabilized tree still goes to stdout.
+//
 // Usage:
 //
 //	mdstviz -family geometric -n 32 -layout spring > tree.svg
 //	mdstviz -family wheel... (see graphgen -list for families)
+//	mdstviz -family gnp -n 24 -live > tree.svg   # watch the stream on stderr
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"mdst/internal/graph"
 	"mdst/internal/harness"
+	"mdst/internal/metrics"
 	"mdst/internal/viz"
 )
 
@@ -35,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	layout := fs.String("layout", "spring", "node layout: circle|spring")
 	size := fs.Int("size", 720, "canvas size in pixels")
 	raw := fs.Bool("graph-only", false, "skip the protocol; draw only the network")
+	live := fs.Bool("live", false, "run on the goroutine-per-node runtime and stream live metrics snapshots to stderr while stabilizing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,12 +62,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res := harness.MustRun(harness.RunSpec{
+	spec := harness.RunSpec{
 		Graph:     g,
 		Scheduler: harness.SchedSync,
 		Start:     harness.StartCorrupt,
 		Seed:      *seed,
-	})
+	}
+	if *live {
+		spec.Backend = harness.BackendLive
+		spec.Audit = true
+		spec.Collect = &metrics.Collector{OnSnapshot: func(s metrics.Snapshot) {
+			fmt.Fprintf(stderr, "mdstviz: epoch=%d fill=%.2f stable=%d/%d deficit=%d sent=%d\n",
+				s.Epoch, s.VersionFill, s.Stable, s.Window, s.Deficit, s.SentTotal)
+		}}
+	}
+	res, err := harness.Run(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdstviz:", err)
+		return 1
+	}
+	if *live {
+		fmt.Fprintf(stderr, "mdstviz: audit chain %016x over %d mutation(s)\n",
+			res.AuditChain, res.AuditRecords)
+	}
 	if res.Tree == nil {
 		fmt.Fprintf(stderr, "mdstviz: no tree: %+v\n", res.Legit)
 		return 1

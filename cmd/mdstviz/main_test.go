@@ -41,3 +41,21 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+// -live runs on the goroutine-per-node runtime, streaming metrics
+// snapshots to stderr while stabilizing; the SVG contract is unchanged.
+func TestRunLiveStreamsMetrics(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-family", "wheel", "-n", "10", "-live"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "<svg ") {
+		t.Fatal("not SVG")
+	}
+	for _, want := range []string{"fill=", "stable=", "audit chain"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("missing %q in -live stderr stream:\n%s", want, errOut.String())
+		}
+	}
+}

@@ -6,7 +6,8 @@
 // cmd/mdstmatrix, cmd/mdstnet, cmd/mdstviz, cmd/graphgen) and the
 // examples; the library packages are under internal/ (graph, spanning,
 // mdstseq, sim, pif, core, paperproto, localview, detect, netrun,
-// harness, scenario, benchtab, trace, analysis, viz, mc). The protocol
+// harness, scenario, benchtab, trace, analysis, viz, mc, metrics,
+// auditlog). The protocol
 // is implemented twice — internal/core with the tree-preserving chain
 // exchange and internal/paperproto with the paper's literal Remove/Back
 // choreography, both storing neighbor views in the shared dense
@@ -85,6 +86,31 @@
 // outcomes, and `make bench` commits the measured frames-per-message
 // and wall-per-round numbers to BENCH_tcp.json (a wall-clock snapshot,
 // unlike the byte-stable BENCH_scale.json).
+//
+// Observability is a control plane over the same runs
+// (internal/metrics + internal/auditlog, harness.RunSpec.Collect/Audit,
+// scenario Spec.Metrics, `mdstmatrix -metrics`, `mdstnet -metrics`,
+// `mdstviz -live`): a metrics.Collector samples flat JSON/CSV
+// snapshots — per-node message rates by kind, the degree histogram,
+// suppression counters, and certificate progress (version-vector fill,
+// message deficit, stability-window position) — from counters the
+// backends already maintain, so a run with the plane off is
+// byte-identical to one that never had it (the committed matrix and
+// BENCH_scale.json baselines are regression-locked on this). The sim
+// driver samples from its run loop reusing the incremental fingerprint;
+// the live driver samples at each detector observation; the tcp driver
+// extends the netrun control-channel gob protocol with a
+// metricsRequest/metricsReply pair beside the probe pair (one encoder
+// and one decoder per connection, interface-encoded requests
+// dispatched by type switch). Independently, every accepted tree
+// mutation — parent change, blocking-edge exchange, deblock-triggered
+// reset — appends {round, node, kind, old, new} to a per-run hash
+// chain (splitmix folding via detect.MixNode, node-ID-major, rounds
+// excluded so wall-clock interleavings agree); the chain head rides in
+// harness.Result, and two observers of the same seeded run must report
+// byte-identical heads — a cross-backend differential test pins a
+// legitimate start to the genesis head on all three backends, and the
+// scenario engine pins chain heads across worker counts.
 //
 // The deterministic simulator itself has two execution cores behind
 // one harness knob (harness.RunSpec.Engine, scenario Spec.Engines,

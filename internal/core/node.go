@@ -182,8 +182,44 @@ type Node struct {
 	// Config.SuppressSearches); see SearchSuppressor.
 	suppress *SearchSuppressor
 
+	// audit, when non-nil, observes every accepted tree mutation (see
+	// MutationHook). It lives on the Node — not on Config — because
+	// Config must stay comparable (the harness keys caches by it).
+	audit MutationHook
+
 	stats Stats
 }
+
+// MutationKind classifies an accepted tree mutation for audit hooks.
+// The values are stable: the audit log folds them into its hash chain
+// (internal/auditlog maps them 1:1 onto its Kind values).
+type MutationKind uint8
+
+// Mutation kinds reported to MutationHook.
+const (
+	// MutationParent: the tree module adopted a better parent
+	// (change_parent_to).
+	MutationParent MutationKind = 1
+	// MutationReset: the tree module re-created a local root
+	// (create_new_root), including deblock-triggered resets.
+	MutationReset MutationKind = 2
+	// MutationExchange: the degree-reduction choreography re-parented
+	// the node (a blocking-edge exchange hop).
+	MutationExchange MutationKind = 3
+)
+
+// MutationHook observes one accepted tree mutation: the node changed
+// its parent pointer (or re-rooted) with the given old and new parent.
+// Hooks fire inside the mutation site, after the changed-value guard
+// accepted the write — never on no-op module runs — so the call
+// sequence is a pure function of the node's execution. Shared with the
+// literal variant (paperproto aliases this type).
+type MutationHook func(kind MutationKind, oldParent, newParent int)
+
+// SetMutationHook installs the audit observer (nil disables). Drivers
+// install it before the run starts; the hook must not retain references
+// into the node.
+func (n *Node) SetMutationHook(h MutationHook) { n.audit = h }
 
 // Stats counts protocol events at this node (observability only; not
 // part of the protocol state or the memory-complexity accounting).

@@ -206,10 +206,14 @@ func (n *Node) startReversal(ctx *sim.Context, init graph.Edge, path []PathEntry
 			return // stale orientation
 		}
 		vy := n.views.Get(y)
+		old := n.parent
 		n.parent = y
 		n.distance = vy.Distance + 1
 		n.version++
 		n.stats.ExchangesApplied++
+		if n.audit != nil {
+			n.audit(MutationExchange, old, y)
+		}
 		if len(chain) == 2 {
 			// Degenerate chain [x, w]: the exchange is complete and this
 			// node was adjacent to the target.
@@ -265,6 +269,9 @@ func (n *Node) handleReverse(ctx *sim.Context, from int, msg ReverseMsg) {
 	n.distance = msg.Dist
 	n.version++
 	n.stats.ExchangesApplied++
+	if n.audit != nil {
+		n.audit(MutationExchange, expectedParent, from)
+	}
 	if last {
 		n.stats.ExchangesComplete++
 		n.color = !n.color // the paper's color toggle at the removal site

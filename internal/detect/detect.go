@@ -157,6 +157,10 @@ type Detector struct {
 	stable int
 	last   Sample
 	have   bool
+	// fill is the version-vector fill of the latest observation: the
+	// fraction of nodes whose quiescence epoch held still since the
+	// previous sample (see Progress).
+	fill float64
 }
 
 // New returns a Detector over cfg.
@@ -181,7 +185,39 @@ func (d *Detector) Stable() int { return d.stable }
 func (d *Detector) Reset() {
 	d.stable = 0
 	d.have = false
+	d.fill = 0
 	d.last = Sample{}
+}
+
+// Progress is the detector's advancement toward a certificate — the
+// certificate-progress block of a metrics.Snapshot. It reports observed
+// facts only: a detector that has not yet seen two samples reports a
+// zero VersionFill, never a spuriously complete one.
+type Progress struct {
+	// Epoch is the number of observations so far.
+	Epoch uint64
+	// Stable is the consecutive-stable streak, out of Window.
+	Stable int
+	Window int
+	// VersionFill is the fraction of nodes whose quiescence epoch
+	// (state version) was unchanged between the last two observations:
+	// 1.0 means every node looked passive, 0 before two samples exist.
+	VersionFill float64
+	// Deficit and Fingerprint are from the latest observation.
+	Deficit     int64
+	Fingerprint uint64
+}
+
+// Progress returns the detector's current certificate progress.
+func (d *Detector) Progress() Progress {
+	return Progress{
+		Epoch:       d.epoch,
+		Stable:      d.stable,
+		Window:      d.cfg.Window,
+		VersionFill: d.fill,
+		Deficit:     d.last.Deficit(),
+		Fingerprint: d.last.Fingerprint,
+	}
 }
 
 // Observe feeds one sample. It returns a Certificate and true when this
@@ -195,6 +231,19 @@ func (d *Detector) Observe(s Sample) (Certificate, bool) {
 		d.stable++
 	} else {
 		d.stable = 0
+	}
+	// Version-vector fill for Progress: how many nodes held still since
+	// the previous sample. Computed before d.last is overwritten; a
+	// first observation has no baseline and fills zero.
+	d.fill = 0
+	if d.have && len(s.Versions) == len(d.last.Versions) && len(s.Versions) > 0 {
+		held := 0
+		for i, v := range s.Versions {
+			if v == d.last.Versions[i] {
+				held++
+			}
+		}
+		d.fill = float64(held) / float64(len(s.Versions))
 	}
 	// Copy into the retained sample, reusing its buffer when possible
 	// (probe loops observe every few ms; this keeps them allocation-free

@@ -9,9 +9,11 @@ import (
 	"sync"
 	"time"
 
+	"mdst/internal/auditlog"
 	"mdst/internal/core"
 	"mdst/internal/detect"
 	"mdst/internal/graph"
+	"mdst/internal/metrics"
 	"mdst/internal/netrun"
 	"mdst/internal/sim"
 )
@@ -276,6 +278,68 @@ func budgetDeadline(spec RunSpec, ops variantOps, p wallParams) (time.Duration, 
 	return d, nil
 }
 
+// auditRecorder builds the run's audit recorder and installs its
+// mutation hooks, nil when auditing is off. Must be called after
+// buildInitial: the initial (possibly corrupted) configuration is the
+// run's premise, only run-time mutations are chained.
+func auditRecorder(spec RunSpec, ops variantOps, procs []sim.Process) *auditlog.Recorder {
+	if !spec.Audit {
+		return nil
+	}
+	n := spec.Graph.N()
+	rec := auditlog.NewRecorder(n, auditlog.Genesis(spec.Seed, n))
+	ops.attachAudit(procs, rec)
+	return rec
+}
+
+// degreeHist folds per-node tree degrees into a histogram and maximum.
+func degreeHist(degs []int) (hist []int, maxDeg int) {
+	for _, d := range degs {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist = make([]int, maxDeg+1)
+	for _, d := range degs {
+		hist[d]++
+	}
+	return hist, maxDeg
+}
+
+// wallSnapshot shapes one wall-clock metrics observation from the
+// detector's certificate progress and the transport's traffic counters.
+// Node state (degrees, protocol stats) is not inspectable while a
+// wall-clock backend runs, so in-flight snapshots carry traffic and
+// detection fields only; the driver appends one final post-stop
+// snapshot with the full per-node view (see wallFinalSnapshot).
+func wallSnapshot(prog detect.Progress, nodes int, sentTotal int64, byKind map[string]int64) metrics.Snapshot {
+	return metrics.Snapshot{
+		Epoch:       prog.Epoch,
+		Nodes:       nodes,
+		SentTotal:   sentTotal,
+		SentByKind:  byKind,
+		VersionFill: prog.VersionFill,
+		Deficit:     prog.Deficit,
+		Stable:      prog.Stable,
+		Window:      prog.Window,
+		Fingerprint: prog.Fingerprint,
+	}
+}
+
+// wallFinalSnapshot is the post-stop observation: the network is
+// quiesced (or deadline-cut) and stopped, so per-node degrees and
+// protocol event counters are safe to read and complete the stream.
+func wallFinalSnapshot(prog detect.Progress, ops variantOps, procs []sim.Process, sentTotal int64, byKind map[string]int64) metrics.Snapshot {
+	s := wallSnapshot(prog, len(procs), sentTotal, byKind)
+	s.DegreeHist, s.MaxDegree = degreeHist(ops.degrees(procs))
+	st := ops.stats(procs)
+	s.Exchanges = st.Exchanges
+	s.Aborts = st.Aborts
+	s.Suppressed = st.Suppressed
+	s.Deblocks = st.Deblocks
+	return s
+}
+
 // runLive executes the spec on the goroutine-per-node runtime. The
 // driver samples the network in-band (concurrent fingerprint + version
 // probes, O(changed) per probe) and feeds a detect.Detector; once a
@@ -292,14 +356,17 @@ func runLive(spec RunSpec, ops variantOps) (Result, error) {
 	}
 
 	begin := time.Now()
+	collect := spec.Collect
 	ln := sim.NewLiveNetwork(g, ops.factory, sim.LiveConfig{
 		TickInterval: p.tick,
 		ActiveKinds:  ops.kinds,
+		CountKinds:   collect != nil,
 	})
 	procs, res0, ok := buildInitial(spec, ops, ln.Process)
 	if !ok {
 		return res0, nil
 	}
+	rec := auditRecorder(spec, ops, procs)
 
 	det := detect.New(detect.Config{Window: p.stable, Backend: string(BackendLive)})
 	deadline := begin.Add(p.deadline)
@@ -313,6 +380,15 @@ func runLive(spec RunSpec, ops variantOps) (Result, error) {
 	for cert == nil && time.Now().Before(deadline) {
 		<-ticker.C
 		c, issued := det.Observe(ln.ProbeSample())
+		if collect != nil {
+			// One detection observation = one metrics epoch; the stream
+			// samples the detector's own progress plus the transport's
+			// traffic counters (per-node state stays untouchable while
+			// the network runs).
+			if prog := det.Progress(); collect.Due(int(prog.Epoch) - 1) {
+				collect.Add(wallSnapshot(prog, g.N(), ln.Sent(), ln.SentByKind()))
+			}
+		}
 		if !issued {
 			continue
 		}
@@ -339,7 +415,10 @@ func runLive(spec RunSpec, ops variantOps) (Result, error) {
 	leg := ops.legit(g, procs)
 	converged := leg.OK()
 
-	exch, aborts, suppressed := ops.stats(procs)
+	if collect != nil {
+		collect.Add(wallFinalSnapshot(det.Progress(), ops, procs, ln.Sent(), ln.SentByKind()))
+	}
+	st := ops.stats(procs)
 	out := Result{
 		Backend:            BackendLive,
 		Converged:          converged,
@@ -348,13 +427,17 @@ func runLive(spec RunSpec, ops variantOps) (Result, error) {
 		Legit:              leg,
 		TotalMessages:      ln.Sent(),
 		MaxStateBits:       sim.MaxStateBitsOf(procs),
-		Exchanges:          exch,
-		Aborts:             aborts,
-		SearchesSuppressed: suppressed,
+		Exchanges:          st.Exchanges,
+		Aborts:             st.Aborts,
+		SearchesSuppressed: st.Suppressed,
 		Cert:               cert,
 		Restarts:           restarts,
 		Deadline:           p.deadline,
 		WallTime:           time.Since(begin),
+	}
+	if rec != nil {
+		out.AuditChain = rec.ChainHead()
+		out.AuditRecords = rec.Len()
 	}
 	if t, err := ops.tree(g, procs); err == nil {
 		out.Tree = t
@@ -380,16 +463,19 @@ func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 	}
 
 	begin := time.Now()
+	collect := spec.Collect
 	c := netrun.NewCluster(g, ops.factory, netrun.Config{
 		TickInterval: p.tick,
 		ActiveKinds:  ops.kinds,
 		BatchSize:    spec.Tuning.BatchSize,
 		BatchMaxWait: spec.Tuning.BatchMaxWait,
+		CountKinds:   collect != nil,
 	})
 	procs, res0, ok := buildInitial(spec, ops, c.Process)
 	if !ok {
 		return res0, nil
 	}
+	rec := auditRecorder(spec, ops, procs)
 
 	// Unlike the in-process backends, TCP execution itself can fail
 	// (listen/dial); surface it as the run's error.
@@ -418,6 +504,21 @@ func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 			return Result{Backend: BackendTCP}, fmt.Errorf("harness: tcp backend: %w", err)
 		}
 		crt, issued := det.Observe(s)
+		if collect != nil {
+			if prog := det.Progress(); collect.Due(int(prog.Epoch) - 1) {
+				// Traffic counters ride the metrics request/reply pair on
+				// the same control connection (one extra round trip per
+				// due epoch); a failed fetch degrades the snapshot to
+				// detection fields rather than failing the run.
+				var total int64
+				var byKind map[string]int64
+				if ms, err := probe.Metrics(); err == nil {
+					total = ms.SentTotal
+					byKind = ms.SentByKind
+				}
+				collect.Add(wallSnapshot(prog, g.N(), total, byKind))
+			}
+		}
 		if !issued {
 			continue
 		}
@@ -444,7 +545,12 @@ func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 	}
 	leg := ops.legit(g, procs)
 
-	exch, aborts, suppressed := ops.stats(procs)
+	if collect != nil {
+		// Post-stop: read the cluster's counters directly (the control
+		// channel is down) and complete the stream with per-node state.
+		collect.Add(wallFinalSnapshot(det.Progress(), ops, procs, c.Sent(), c.SentByKind()))
+	}
+	st := ops.stats(procs)
 	out := Result{
 		Backend:            BackendTCP,
 		Converged:          leg.OK(),
@@ -455,13 +561,17 @@ func runTCP(spec RunSpec, ops variantOps) (Result, error) {
 		MaxStateBits:       sim.MaxStateBitsOf(procs),
 		Dropped:            c.Dropped(),
 		Frames:             c.FramesWritten(),
-		Exchanges:          exch,
-		Aborts:             aborts,
-		SearchesSuppressed: suppressed,
+		Exchanges:          st.Exchanges,
+		Aborts:             st.Aborts,
+		SearchesSuppressed: st.Suppressed,
 		Cert:               cert,
 		Restarts:           c.Restarts(),
 		Deadline:           p.deadline,
 		WallTime:           time.Since(begin),
+	}
+	if rec != nil {
+		out.AuditChain = rec.ChainHead()
+		out.AuditRecords = rec.Len()
 	}
 	if t, err := ops.tree(g, procs); err == nil {
 		out.Tree = t

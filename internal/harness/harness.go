@@ -22,6 +22,7 @@ import (
 	"mdst/internal/detect"
 	"mdst/internal/graph"
 	"mdst/internal/mdstseq"
+	"mdst/internal/metrics"
 	"mdst/internal/sim"
 	"mdst/internal/spanning"
 )
@@ -163,6 +164,17 @@ type RunSpec struct {
 	// matrix axis. Off keeps the paper-literal search schedule and the
 	// committed deterministic baselines byte-identical.
 	Suppress bool
+	// Collect, when non-nil, streams metrics.Snapshot observations into
+	// the collector while the run executes: the sim backend samples its
+	// run loop (pure reads of the incremental fingerprint cache — zero
+	// extra hashing), the wall-clock backends sample their detection
+	// probes. Nil keeps every backend on its exact pre-metrics path.
+	Collect *metrics.Collector
+	// Audit enables the hash-chained mutation log (internal/auditlog):
+	// every accepted tree mutation is chained and the final head is
+	// reported in Result.AuditChain. Off (the default) installs no hooks
+	// — observability is zero-cost when not sampled.
+	Audit bool
 }
 
 // backend returns the normalized backend (empty means sim).
@@ -246,6 +258,13 @@ type Result struct {
 	// Deadline is the effective wall-clock budget the driver ran under
 	// (after Tuning.Budget resolution); zero for the sim backend.
 	Deadline time.Duration `json:"-"`
+	// AuditChain is the mutation hash-chain head and AuditRecords the
+	// number of chained mutations (RunSpec.Audit; zero when auditing was
+	// off). Deterministic for the sim backend; for any backend, two
+	// observers of the same mutation sequence produce identical heads.
+	// Excluded from JSON like every post-baseline field.
+	AuditChain   uint64 `json:"-"`
+	AuditRecords int    `json:"-"`
 }
 
 // Validate checks the spec invariants that would otherwise blow up deep
@@ -370,11 +389,16 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 	if maxRounds <= 0 {
 		maxRounds = 200*n + 20000
 	}
+	quiesceRounds := QuiesceWindowRounds(n, ops.cfg.EffectiveRetryPeriod())
+
+	// Per-round hooks compose: safety tracking, audit round stamping and
+	// metrics sampling all ride the one OnRound callback (every hook
+	// runs; any false return stops the run, as before).
+	var hooks []func(int) bool
 	broken := 0
-	var onRound func(int) bool
 	if spec.TrackSafety {
 		formed := false
-		onRound = func(int) bool {
+		hooks = append(hooks, func(int) bool {
 			if _, err := ops.tree(g, procs); err != nil {
 				if formed {
 					broken++
@@ -383,9 +407,107 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 				formed = true
 			}
 			return true
+		})
+	}
+	rec := auditRecorder(spec, ops, procs)
+	if rec != nil {
+		hooks = append(hooks, func(r int) bool {
+			// OnRound(r) fires after round r completed; mutations observed
+			// next belong to round r+1 (round 0 is the recorder's default).
+			rec.SetRound(r + 1)
+			return true
+		})
+	}
+	var sample func(epoch uint64)
+	if collect := spec.Collect; collect != nil {
+		// All reads below are pure: LastFingerprint/StateVersions touch
+		// neither the fingerprint cache nor its recompute counters, so
+		// sampling cannot perturb the committed deterministic baselines.
+		stride := 1
+		if collect.Every > 1 {
+			stride = collect.Every
+		}
+		window := (quiesceRounds + stride - 1) / stride
+		var prevVers []uint64
+		var prevFP uint64
+		var lastEpoch uint64
+		streak, have := 0, false
+		sample = func(epoch uint64) {
+			// Never observe the same epoch twice: a re-sample of an
+			// unchanged state would fabricate a complete version-vector
+			// fill for a run that merely stopped (MaxRounds).
+			if have && epoch <= lastEpoch {
+				return
+			}
+			lastEpoch = epoch
+			vers := net.StateVersions()
+			fp := net.LastFingerprint()
+			var deficit int64
+			for _, k := range ops.kinds {
+				deficit += int64(net.PendingKind(k))
+			}
+			fill := 0.0
+			if have && len(vers) == len(prevVers) && len(vers) > 0 {
+				held := 0
+				for i, v := range vers {
+					if v == prevVers[i] {
+						held++
+					}
+				}
+				fill = float64(held) / float64(len(vers))
+			}
+			if have && fp == prevFP && fill == 1 && deficit == 0 {
+				streak++
+			} else {
+				streak = 0
+			}
+			prevVers, prevFP, have = vers, fp, true
+
+			sentByKind := make(map[string]int64, len(net.Metrics().SentByKind))
+			var sentTotal int64
+			for k, v := range net.Metrics().SentByKind {
+				sentByKind[k] = v
+				sentTotal += v
+			}
+			hist, maxDeg := degreeHist(ops.degrees(procs))
+			st := ops.stats(procs)
+			collect.Add(metrics.Snapshot{
+				Epoch:       epoch,
+				Nodes:       n,
+				SentTotal:   sentTotal,
+				SentByKind:  sentByKind,
+				DegreeHist:  hist,
+				MaxDegree:   maxDeg,
+				Exchanges:   st.Exchanges,
+				Aborts:      st.Aborts,
+				Suppressed:  st.Suppressed,
+				Deblocks:    st.Deblocks,
+				VersionFill: fill,
+				Deficit:     deficit,
+				Stable:      streak,
+				Window:      window,
+				Fingerprint: fp,
+			})
+		}
+		hooks = append(hooks, func(r int) bool {
+			if collect.Due(r) {
+				sample(uint64(r + 1))
+			}
+			return true
+		})
+	}
+	var onRound func(int) bool
+	if len(hooks) > 0 {
+		onRound = func(r int) bool {
+			cont := true
+			for _, h := range hooks {
+				if !h(r) {
+					cont = false
+				}
+			}
+			return cont
 		}
 	}
-	quiesceRounds := QuiesceWindowRounds(n, ops.cfg.EffectiveRetryPeriod())
 	var res sim.RunResult
 	if spec.engine() == EngineEvent {
 		res = net.RunEvents(sim.EventConfig{
@@ -405,7 +527,15 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 		})
 	}
 
-	exch, aborts, suppressed := ops.stats(procs)
+	if sample != nil {
+		// Final observation: the converged round itself never fires
+		// OnRound (the run loop returns on quiescence first), so the
+		// stream always ends with the quiesced state — a converged run's
+		// last snapshot shows a complete version-vector fill, a run cut
+		// off by MaxRounds a partial one.
+		sample(uint64(res.Rounds))
+	}
+	st := ops.stats(procs)
 	out := Result{
 		Backend:            BackendSim,
 		Converged:          res.Converged,
@@ -416,10 +546,14 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 		MaxStateBits:       net.MaxStateBits(),
 		BrokenRounds:       broken,
 		Dropped:            net.Dropped(),
-		Exchanges:          exch,
-		Aborts:             aborts,
-		SearchesSuppressed: suppressed,
+		Exchanges:          st.Exchanges,
+		Aborts:             st.Aborts,
+		SearchesSuppressed: st.Suppressed,
 		WallTime:           time.Since(begin),
+	}
+	if rec != nil {
+		out.AuditChain = rec.ChainHead()
+		out.AuditRecords = rec.Len()
 	}
 	for _, c := range out.Metrics.SentByKind {
 		out.TotalMessages += c

@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mdst/internal/auditlog"
+	"mdst/internal/core"
+	"mdst/internal/graph"
+	"mdst/internal/metrics"
+	"mdst/internal/paperproto"
+)
+
+// --- Audit chain ---------------------------------------------------------
+
+// TestAuditChainGenesisCrossBackend: a run started from the preloaded
+// legitimate configuration mutates nothing — self-stabilization's
+// closure property — so every backend's chain head must equal the
+// genesis value, byte for byte. This is the cross-backend differential
+// claim in its sharpest form: three completely different execution
+// drivers (deterministic rounds, goroutine CSP, loopback TCP) observing
+// the same seeded run agree on the audit chain.
+func TestAuditChainGenesisCrossBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock backends under -short")
+	}
+	g := graph.Wheel(8)
+	const seed = 7
+	want := auditlog.Genesis(seed, g.N())
+	for _, backend := range Backends() {
+		res, err := Run(RunSpec{
+			Graph:   g,
+			Start:   StartLegitimate,
+			Seed:    seed,
+			Backend: backend,
+			Audit:   true,
+			Tuning:  smokeTuning(t),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if !res.Legit.OK() {
+			t.Fatalf("%s: legitimate start did not stay legitimate: %+v", backend, res.Legit)
+		}
+		if res.AuditRecords != 0 {
+			t.Errorf("%s: %d mutations recorded from a legitimate start", backend, res.AuditRecords)
+		}
+		if res.AuditChain != want {
+			t.Errorf("%s: chain head %016x, want genesis %016x", backend, res.AuditChain, want)
+		}
+	}
+}
+
+// TestAuditChainSimDeterministic: two observers of the same seeded sim
+// run — here literally two executions — must produce byte-identical,
+// non-trivial chain heads, for both protocol variants.
+func TestAuditChainSimDeterministic(t *testing.T) {
+	for _, variant := range []Variant{VariantCore, VariantLiteral} {
+		g := graph.RandomGnp(16, 0.3, rand.New(rand.NewSource(3)))
+		run := func() Result {
+			return MustRun(RunSpec{
+				Graph:   g,
+				Start:   StartCorrupt,
+				Seed:    3,
+				Variant: variant,
+				Audit:   true,
+			})
+		}
+		a, b := run(), run()
+		if !a.Converged || !b.Converged {
+			t.Fatalf("%s: corrupt runs did not converge", variant)
+		}
+		if a.AuditRecords == 0 {
+			t.Fatalf("%s: corrupt start produced no audited mutations", variant)
+		}
+		if a.AuditChain == auditlog.Genesis(3, g.N()) {
+			t.Fatalf("%s: non-empty chain head equals genesis", variant)
+		}
+		if a.AuditChain != b.AuditChain || a.AuditRecords != b.AuditRecords {
+			t.Fatalf("%s: audit chain not deterministic: %016x/%d vs %016x/%d",
+				variant, a.AuditChain, a.AuditRecords, b.AuditChain, b.AuditRecords)
+		}
+	}
+}
+
+// TestAuditChainSeedSensitive: different seeds draw different corruption
+// patterns, so their mutation chains (and genesis blocks) must diverge.
+func TestAuditChainSeedSensitive(t *testing.T) {
+	g := graph.Wheel(10)
+	head := func(seed int64) uint64 {
+		return MustRun(RunSpec{
+			Graph: g, Start: StartCorrupt, Seed: seed, Audit: true,
+		}).AuditChain
+	}
+	if head(1) == head(2) {
+		t.Fatal("seeds 1 and 2 produced identical chain heads")
+	}
+}
+
+// TestAuditOffIsZeroCost: with Audit unset no recorder exists and the
+// result reports a zero head — and the run's deterministic figures are
+// byte-identical to an audited run of the same spec (hooks observe,
+// never steer).
+func TestAuditOffIsZeroCost(t *testing.T) {
+	g := graph.RandomGnp(14, 0.35, rand.New(rand.NewSource(5)))
+	spec := RunSpec{Graph: g, Start: StartCorrupt, Seed: 5}
+	plain := MustRun(spec)
+	spec.Audit = true
+	audited := MustRun(spec)
+	if plain.AuditChain != 0 || plain.AuditRecords != 0 {
+		t.Fatalf("audit fields set without Audit: %016x/%d", plain.AuditChain, plain.AuditRecords)
+	}
+	if plain.Rounds != audited.Rounds || plain.TotalMessages != audited.TotalMessages ||
+		plain.Exchanges != audited.Exchanges {
+		t.Fatalf("audit hooks perturbed the run: rounds %d vs %d, messages %d vs %d",
+			plain.Rounds, audited.Rounds, plain.TotalMessages, audited.TotalMessages)
+	}
+	if audited.AuditRecords == 0 {
+		t.Fatal("audited corrupt run chained no mutations")
+	}
+}
+
+// --- Metrics stream ------------------------------------------------------
+
+// TestMetricsStreamConvergedRun: a converged sim run's stream ends with
+// the quiesced state — complete version-vector fill, zero deficit — and
+// carries live traffic/degree data throughout.
+func TestMetricsStreamConvergedRun(t *testing.T) {
+	g := graph.RandomGnp(16, 0.3, rand.New(rand.NewSource(2)))
+	coll := &metrics.Collector{}
+	res := MustRun(RunSpec{
+		Graph: g, Start: StartCorrupt, Seed: 2, Collect: coll,
+	})
+	if !res.Converged {
+		t.Fatal("run did not converge")
+	}
+	if coll.Len() == 0 {
+		t.Fatal("collector empty after a collected run")
+	}
+	last, _ := coll.Last()
+	if last.VersionFill != 1 {
+		t.Fatalf("converged run's final snapshot fill = %v, want 1", last.VersionFill)
+	}
+	if last.Deficit != 0 {
+		t.Fatalf("converged run's final snapshot deficit = %d", last.Deficit)
+	}
+	if last.Epoch != uint64(res.Rounds) {
+		t.Fatalf("final snapshot epoch %d, want converged round %d", last.Epoch, res.Rounds)
+	}
+	if last.SentTotal != res.TotalMessages {
+		t.Fatalf("final snapshot SentTotal %d, want %d", last.SentTotal, res.TotalMessages)
+	}
+	if len(last.SentByKind) == 0 || len(last.DegreeHist) == 0 {
+		t.Fatal("final snapshot missing per-kind or degree data")
+	}
+	var epochs []uint64
+	for _, s := range coll.Snapshots() {
+		epochs = append(epochs, s.Epoch)
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			t.Fatalf("epochs not strictly increasing: %v", epochs)
+		}
+	}
+}
+
+// TestMetricsPartialFillOnCutRun (satellite): a run stopped by MaxRounds
+// mid-stabilization must report a partial version-vector fill in its
+// last snapshot — never a spuriously complete one fabricated by
+// re-sampling an unchanged state.
+func TestMetricsPartialFillOnCutRun(t *testing.T) {
+	g := graph.RandomGnp(24, 0.3, rand.New(rand.NewSource(9)))
+	coll := &metrics.Collector{}
+	res := MustRun(RunSpec{
+		Graph: g, Start: StartCorrupt, Seed: 9, MaxRounds: 6, Collect: coll,
+	})
+	if res.Converged {
+		t.Skip("run converged inside 6 rounds; instance unusable for the cut test")
+	}
+	last, ok := coll.Last()
+	if !ok {
+		t.Fatal("no snapshots from the cut run")
+	}
+	if last.VersionFill >= 1 {
+		t.Fatalf("cut run's final snapshot claims complete fill (%v) at epoch %d",
+			last.VersionFill, last.Epoch)
+	}
+	if last.Stable >= last.Window {
+		t.Fatalf("cut run's final snapshot claims a full stability window (%d/%d)",
+			last.Stable, last.Window)
+	}
+}
+
+// TestMetricsOffIsByteIdentical: a collected run and a plain run of the
+// same spec report identical deterministic figures, including the
+// incremental-fingerprint recompute counter — the sampled reads are
+// pure, which is what keeps the committed drift baselines intact.
+func TestMetricsOffIsByteIdentical(t *testing.T) {
+	g := graph.RandomGnp(16, 0.3, rand.New(rand.NewSource(4)))
+	spec := RunSpec{Graph: g, Start: StartCorrupt, Seed: 4}
+	plain := MustRun(spec)
+	spec.Collect = &metrics.Collector{Every: 2}
+	collected := MustRun(spec)
+	if plain.Rounds != collected.Rounds ||
+		plain.TotalMessages != collected.TotalMessages ||
+		plain.Metrics.FingerprintRecomputes != collected.Metrics.FingerprintRecomputes {
+		t.Fatalf("metrics sampling perturbed the run: rounds %d vs %d, recomputes %d vs %d",
+			plain.Rounds, collected.Rounds,
+			plain.Metrics.FingerprintRecomputes, collected.Metrics.FingerprintRecomputes)
+	}
+}
+
+// TestMetricsWallBackends: the live and tcp drivers stream non-empty
+// snapshots from their detection loops, ending with a complete per-node
+// view (degrees, protocol counters) taken after the final stop.
+func TestMetricsWallBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock backends under -short")
+	}
+	g := graph.Wheel(8)
+	for _, backend := range []Backend{BackendLive, BackendTCP} {
+		coll := &metrics.Collector{}
+		res, err := Run(RunSpec{
+			Graph:   g,
+			Start:   StartCorrupt,
+			Seed:    6,
+			Backend: backend,
+			Collect: coll,
+			Audit:   true,
+			Tuning:  smokeTuning(t),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s: did not converge: %+v", backend, res.Legit)
+		}
+		if coll.Len() < 2 {
+			t.Fatalf("%s: stream too short: %d snapshot(s)", backend, coll.Len())
+		}
+		last, _ := coll.Last()
+		if last.VersionFill != 1 || last.Deficit != 0 {
+			t.Fatalf("%s: converged but final snapshot fill=%v deficit=%d",
+				backend, last.VersionFill, last.Deficit)
+		}
+		if len(last.DegreeHist) == 0 {
+			t.Fatalf("%s: final snapshot missing the post-stop degree histogram", backend)
+		}
+		if last.SentTotal <= 0 || len(last.SentByKind) == 0 {
+			t.Fatalf("%s: final snapshot missing traffic counters (total=%d kinds=%d)",
+				backend, last.SentTotal, len(last.SentByKind))
+		}
+		if res.AuditRecords == 0 {
+			t.Fatalf("%s: corrupt start chained no mutations", backend)
+		}
+	}
+}
+
+// --- Stats parity (satellite) --------------------------------------------
+
+// statNames reflects the exported int counter field names of a Stats
+// struct type.
+func statNames(v any) []string {
+	t := reflect.TypeOf(v)
+	out := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		out = append(out, t.Field(i).Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestStatsCounterSetsAligned pins the relationship between the two
+// variants' Stats structs: the shared counters must exist in both under
+// identical names (the differential tables compare them positionally),
+// and every non-shared field must be in the variant's declared extras
+// allowlist — a new counter added to one side without classification
+// fails here instead of silently skewing cross-variant comparisons.
+func TestStatsCounterSetsAligned(t *testing.T) {
+	shared := []string{
+		"CyclesClassified", "DeblocksTriggered", "ExchangesComplete",
+		"SearchesLaunched", "SearchesSuppressed",
+	}
+	coreExtras := map[string]bool{"ExchangesApplied": true, "ChainsAborted": true}
+	literalExtras := map[string]bool{
+		"RemovesStarted": true, "ReorientHops": true, "BacksStarted": true,
+		"ChoreoAborted": true, "ReversesSent": true,
+	}
+	check := func(variant string, got []string, extras map[string]bool) {
+		have := map[string]bool{}
+		for _, name := range got {
+			have[name] = true
+		}
+		for _, name := range shared {
+			if !have[name] {
+				t.Errorf("%s Stats missing shared counter %s", variant, name)
+			}
+			delete(have, name)
+		}
+		for name := range have {
+			if !extras[name] {
+				t.Errorf("%s Stats has unclassified counter %s (add it to the shared set or the extras allowlist)", variant, name)
+			}
+			delete(extras, name)
+		}
+		for name := range extras {
+			t.Errorf("%s Stats extras allowlist names missing field %s", variant, name)
+		}
+	}
+	check("core", statNames(core.Stats{}), coreExtras)
+	check("paperproto", statNames(paperproto.Stats{}), literalExtras)
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"math/rand"
 
+	"mdst/internal/auditlog"
 	"mdst/internal/core"
 	"mdst/internal/graph"
 	"mdst/internal/paperproto"
@@ -27,8 +28,46 @@ type variantOps struct {
 	preloadPath func(g *graph.Graph, procs []sim.Process) error
 	legit       func(g *graph.Graph, procs []sim.Process) core.Legitimacy
 	tree        func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error)
-	stats       func(procs []sim.Process) (exchanges, aborts, suppressed int)
+	stats       func(procs []sim.Process) statsAgg
+	// degrees returns each node's current tree degree (Deg()); the
+	// metrics sampler's degree histogram. Sim backend only — node state
+	// may not be inspected while a wall-clock backend is running.
+	degrees func(procs []sim.Process) []int
+	// attachAudit installs the mutation hooks that feed the run's audit
+	// recorder (RunSpec.Audit); called after the initial configuration is
+	// written, so only run-time mutations are chained.
+	attachAudit func(procs []sim.Process, rec *auditlog.Recorder)
 	kinds       []string // reduction message kinds that must drain at quiescence
+}
+
+// statsAgg is the cross-variant aggregate of the per-node protocol
+// event counters the drivers report (each variant maps its own Stats
+// fields onto it).
+type statsAgg struct {
+	Exchanges  int // completed edge exchanges
+	Aborts     int // staleness-aborted choreography hops
+	Suppressed int // suppression-module drops
+	Deblocks   int // Deblock floods started or forwarded
+}
+
+// auditKindOf maps the protocol layer's mutation kinds onto the audit
+// log's chained kinds (explicit so a renumbering on either side fails
+// tests instead of silently changing committed chain heads).
+func auditKindOf(k core.MutationKind) auditlog.Kind {
+	switch k {
+	case core.MutationParent:
+		return auditlog.KindParentChange
+	case core.MutationReset:
+		return auditlog.KindReset
+	default:
+		return auditlog.KindExchange
+	}
+}
+
+// auditHook binds one node's mutation stream to the recorder.
+func auditHook(rec *auditlog.Recorder, id int) core.MutationHook {
+	h := rec.Hook(id)
+	return func(k core.MutationKind, old, new int) { h(auditKindOf(k), old, new) }
 }
 
 // variantFor resolves the spec's protocol variant to its operation set,
@@ -88,9 +127,26 @@ func coreOps(cfg core.Config) variantOps {
 		tree: func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error) {
 			return core.ExtractTree(g, coreNodes(procs))
 		},
-		stats: func(procs []sim.Process) (int, int, int) {
+		stats: func(procs []sim.Process) statsAgg {
 			st := core.AggregateStats(coreNodes(procs))
-			return st.ExchangesComplete, st.ChainsAborted, st.SearchesSuppressed
+			return statsAgg{
+				Exchanges:  st.ExchangesComplete,
+				Aborts:     st.ChainsAborted,
+				Suppressed: st.SearchesSuppressed,
+				Deblocks:   st.DeblocksTriggered,
+			}
+		},
+		degrees: func(procs []sim.Process) []int {
+			out := make([]int, len(procs))
+			for i, p := range procs {
+				out[i] = p.(*core.Node).Deg()
+			}
+			return out
+		},
+		attachAudit: func(procs []sim.Process, rec *auditlog.Recorder) {
+			for i, p := range procs {
+				p.(*core.Node).SetMutationHook(auditHook(rec, i))
+			}
 		},
 		kinds: core.ReductionKinds(),
 	}
@@ -141,9 +197,26 @@ func literalOps(cfg core.Config) variantOps {
 		tree: func(g *graph.Graph, procs []sim.Process) (*spanning.Tree, error) {
 			return paperproto.ExtractTree(g, literalNodes(procs))
 		},
-		stats: func(procs []sim.Process) (int, int, int) {
+		stats: func(procs []sim.Process) statsAgg {
 			st := paperproto.AggregateStats(literalNodes(procs))
-			return st.ExchangesComplete, st.ChoreoAborted, st.SearchesSuppressed
+			return statsAgg{
+				Exchanges:  st.ExchangesComplete,
+				Aborts:     st.ChoreoAborted,
+				Suppressed: st.SearchesSuppressed,
+				Deblocks:   st.DeblocksTriggered,
+			}
+		},
+		degrees: func(procs []sim.Process) []int {
+			out := make([]int, len(procs))
+			for i, p := range procs {
+				out[i] = p.(*paperproto.Node).Deg()
+			}
+			return out
+		},
+		attachAudit: func(procs []sim.Process, rec *auditlog.Recorder) {
+			for i, p := range procs {
+				p.(*paperproto.Node).SetMutationHook(auditHook(rec, i))
+			}
 		},
 		kinds: paperproto.ReductionKinds(),
 	}

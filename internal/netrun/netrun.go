@@ -33,6 +33,20 @@
 // certificate is issued — which is how the harness's tcp driver avoids
 // the stop-the-world restart-per-inspection loop entirely on converging
 // runs (Restarts counts the re-starts it did need).
+//
+// The control channel speaks two request/reply pairs over one
+// connection: the quiescence probe (probeRequest/probeReply, the PR-4
+// protocol) and the metrics stream (metricsRequest/metricsReply —
+// cumulative traffic counters, ProbeConn.Metrics), added for the
+// metrics collection surface (internal/metrics). Requests are
+// gob-encoded as interface values so one decoder dispatches both kinds
+// by type switch; replies are concrete, since the client knows which
+// reply its request earns. The single-encoder/single-decoder-per-conn
+// rule holds exactly as on the edge connections, and the edge wire
+// format itself is untouched — a metrics-polling driver interoperates
+// with the PR-6 batching framing unchanged. Metrics requests against a
+// cluster built without Config.CountKinds still answer (totals only,
+// nil per-kind map), so the pair is always safe to speak.
 package netrun
 
 import (
@@ -89,6 +103,11 @@ type Config struct {
 	// backlog and adds zero latency). Only meaningful above batch
 	// size 1.
 	BatchMaxWait time.Duration
+	// CountKinds enables per-kind send counters for the control
+	// channel's metrics replies (ProbeConn.Metrics). Off by default:
+	// the per-send map update, cheap as it is, stays entirely off the
+	// hot path unless a driver asked to observe the breakdown.
+	CountKinds bool
 }
 
 // Cluster runs one process per node of g over loopback TCP.
@@ -109,6 +128,9 @@ type Cluster struct {
 	dropped atomic.Int64
 	sent    atomic.Int64
 	frames  atomic.Int64
+	// kindSent breaks sent down by message kind (Config.CountKinds
+	// only): string -> *atomic.Int64, lock-free on the send path.
+	kindSent sync.Map
 
 	// testWriteErr and testAfterListen are fault-injection hooks for the
 	// regression tests (dead-writer settlement, Start-failure cleanup).
@@ -503,6 +525,13 @@ func (c *Cluster) send(from, to int, m sim.Message) {
 				c.activeSent.Add(1)
 			}
 		}
+		if c.cfg.CountKinds {
+			v, ok := c.kindSent.Load(m.Kind())
+			if !ok {
+				v, _ = c.kindSent.LoadOrStore(m.Kind(), new(atomic.Int64))
+			}
+			v.(*atomic.Int64).Add(1)
+		}
 	default:
 		// Dropped before entering any queue: never counted as sent, so
 		// the active-kind deficit stays balanced.
@@ -510,11 +539,25 @@ func (c *Cluster) send(from, to int, m sim.Message) {
 	}
 }
 
-// probeRequest and probeReply are the control channel's wire format. A
-// client sends a sequenced request and gets the cluster's current
-// quiescence observation back.
+// probeRequest/probeReply and metricsRequest/metricsReply are the
+// control channel's wire format: a client sends a sequenced request
+// and gets the cluster's current observation back. Requests travel as
+// gob interface values (registered below) so the server's single
+// decoder dispatches both pairs on one stream by type switch.
 type probeRequest struct {
 	Seq uint64
+}
+
+// metricsRequest asks for the cluster's cumulative traffic counters.
+type metricsRequest struct {
+	Seq uint64
+}
+
+func init() {
+	// Interface-encoded control requests: both concrete request types
+	// must be registered on both ends of the connection.
+	gob.Register(probeRequest{})
+	gob.Register(metricsRequest{})
 }
 
 type probeReply struct {
@@ -551,6 +594,47 @@ func (c *Cluster) probeReply(seq uint64) probeReply {
 	return r
 }
 
+// metricsReply carries the cluster's cumulative traffic counters — the
+// metrics stream's wall-clock observables. Per-kind counts are nil
+// unless the cluster was built with Config.CountKinds.
+type metricsReply struct {
+	Seq            uint64
+	SentTotal      int64
+	SentByKind     map[string]int64
+	Dropped        int64
+	Frames         int64
+	ActiveSent     int64
+	ActiveReceived int64
+}
+
+// metricsReply builds one metrics observation (same conservative
+// counter ordering as probeReply: received before sent).
+func (c *Cluster) metricsReply(seq uint64) metricsReply {
+	r := metricsReply{Seq: seq}
+	r.ActiveReceived = c.activeRecv.Load() + c.activeLost.Load()
+	r.SentByKind = c.SentByKind()
+	r.Dropped = c.dropped.Load()
+	r.Frames = c.frames.Load()
+	r.SentTotal = c.sent.Load()
+	r.ActiveSent = c.activeSent.Load()
+	return r
+}
+
+// SentByKind returns a copy of the per-kind send counters, nil unless
+// the cluster was built with Config.CountKinds. Safe to call at any
+// time (atomic reads).
+func (c *Cluster) SentByKind() map[string]int64 {
+	if !c.cfg.CountKinds {
+		return nil
+	}
+	out := make(map[string]int64)
+	c.kindSent.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
 // serveControl accepts probe connections until the listener closes and
 // answers each request with the current observation.
 func (c *Cluster) serveControl(ln net.Listener, stop chan struct{}) {
@@ -575,15 +659,32 @@ func (c *Cluster) serveControl(ln net.Listener, stop chan struct{}) {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
+			// Close on handler exit so a client that sent garbage (or
+			// half a request) is shed instead of left hanging on a reply
+			// that will never come; the registry close in Stop is then a
+			// harmless double close.
+			defer conn.Close()
 			dec := gob.NewDecoder(conn)
 			enc := gob.NewEncoder(conn)
 			for {
-				var req probeRequest
+				// Requests are interface-encoded so the two request kinds
+				// share one decoder stream (the registered concrete type
+				// rides inside the gob interface value).
+				var req any
 				if err := dec.Decode(&req); err != nil {
 					return // client gone or teardown
 				}
-				if err := enc.Encode(c.probeReply(req.Seq)); err != nil {
-					return
+				switch r := req.(type) {
+				case probeRequest:
+					if err := enc.Encode(c.probeReply(r.Seq)); err != nil {
+						return
+					}
+				case metricsRequest:
+					if err := enc.Encode(c.metricsReply(r.Seq)); err != nil {
+						return
+					}
+				default:
+					return // unknown request kind: drop the connection
 				}
 			}
 		}()
@@ -624,7 +725,8 @@ func DialProbe(addr string) (*ProbeConn, error) {
 // Sample fetches one quiescence observation, shaped for detect.Detector.
 func (p *ProbeConn) Sample() (detect.Sample, error) {
 	p.seq++
-	if err := p.enc.Encode(probeRequest{Seq: p.seq}); err != nil {
+	var req any = probeRequest{Seq: p.seq}
+	if err := p.enc.Encode(&req); err != nil {
 		return detect.Sample{}, fmt.Errorf("netrun: probe request: %w", err)
 	}
 	var r probeReply
@@ -637,6 +739,44 @@ func (p *ProbeConn) Sample() (detect.Sample, error) {
 	return detect.Sample{
 		Versions:       r.Versions,
 		Fingerprint:    r.Fingerprint,
+		ActiveSent:     r.ActiveSent,
+		ActiveReceived: r.ActiveReceived,
+	}, nil
+}
+
+// MetricsSample is one metrics-stream observation fetched over the
+// control channel: the cluster's cumulative traffic counters.
+// SentByKind is nil unless the cluster was built with Config.CountKinds.
+type MetricsSample struct {
+	SentTotal      int64
+	SentByKind     map[string]int64
+	Dropped        int64
+	Frames         int64
+	ActiveSent     int64
+	ActiveReceived int64
+}
+
+// Metrics fetches one metrics observation. It shares the connection's
+// sequence space with Sample — the two request kinds interleave freely
+// on one ProbeConn (still not safe for concurrent use).
+func (p *ProbeConn) Metrics() (MetricsSample, error) {
+	p.seq++
+	var req any = metricsRequest{Seq: p.seq}
+	if err := p.enc.Encode(&req); err != nil {
+		return MetricsSample{}, fmt.Errorf("netrun: metrics request: %w", err)
+	}
+	var r metricsReply
+	if err := p.dec.Decode(&r); err != nil {
+		return MetricsSample{}, fmt.Errorf("netrun: metrics reply: %w", err)
+	}
+	if r.Seq != p.seq {
+		return MetricsSample{}, fmt.Errorf("netrun: metrics reply out of sequence: got %d want %d", r.Seq, p.seq)
+	}
+	return MetricsSample{
+		SentTotal:      r.SentTotal,
+		SentByKind:     r.SentByKind,
+		Dropped:        r.Dropped,
+		Frames:         r.Frames,
 		ActiveSent:     r.ActiveSent,
 		ActiveReceived: r.ActiveReceived,
 	}, nil

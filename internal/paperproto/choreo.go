@@ -182,6 +182,9 @@ func (n *Node) reverseOrientation(ctx *sim.Context, from int, msg RemoveMsg) {
 		n.color = !n.color
 		n.version++
 		n.stats.ReorientHops++
+		if n.audit != nil {
+			n.audit(core.MutationExchange, pred, z)
+		}
 		msg.Pos++
 		msg.Reorient = true
 		ctx.Send(z, msg)
@@ -195,6 +198,9 @@ func (n *Node) reverseOrientation(ctx *sim.Context, from int, msg RemoveMsg) {
 		n.color = !n.color
 		n.version++
 		n.stats.BacksStarted++
+		if n.audit != nil {
+			n.audit(core.MutationExchange, z, pred)
+		}
 		rev := make([]int, 0, wi)
 		for i := wi - 1; i >= 0; i-- {
 			rev = append(rev, msg.Path[i])
@@ -245,6 +251,9 @@ func (n *Node) reorientHop(ctx *sim.Context, from int, msg RemoveMsg) {
 		n.distance = vy.Distance + 1
 		n.version++
 		n.stats.ExchangesComplete++
+		if n.audit != nil {
+			n.audit(core.MutationExchange, from, y)
+		}
 		n.floodDist(ctx, -1)
 		return
 	}
@@ -258,6 +267,9 @@ func (n *Node) reorientHop(ctx *sim.Context, from int, msg RemoveMsg) {
 	n.distance = vn.Distance + 1
 	n.version++
 	n.stats.ReorientHops++
+	if n.audit != nil {
+		n.audit(core.MutationExchange, from, next)
+	}
 	msg.Pos++
 	ctx.Send(next, msg)
 }
@@ -288,6 +300,9 @@ func (n *Node) handleBack(ctx *sim.Context, from int, msg BackMsg) {
 		n.distance = vx.Distance + 1
 		n.version++
 		n.stats.ExchangesComplete++
+		if n.audit != nil {
+			n.audit(core.MutationExchange, from, x)
+		}
 		n.floodDist(ctx, -1)
 		return
 	}
@@ -301,6 +316,9 @@ func (n *Node) handleBack(ctx *sim.Context, from int, msg BackMsg) {
 	n.distance = vn.Distance + 1
 	n.version++
 	n.stats.ReorientHops++
+	if n.audit != nil {
+		n.audit(core.MutationExchange, from, next)
+	}
 	msg.Pos++
 	ctx.Send(next, msg)
 }
@@ -316,9 +334,13 @@ func (n *Node) handleReverseMsg(ctx *sim.Context, from int, msg ReverseMsg) {
 	}
 	if v := n.views.Get(from); v != nil {
 		if n.parent != from || n.distance != v.Distance+1 {
+			old := n.parent
 			n.parent = from
 			n.distance = v.Distance + 1
 			n.version++
+			if n.audit != nil && old != from {
+				n.audit(core.MutationExchange, old, from)
+			}
 		}
 	}
 }

@@ -56,8 +56,17 @@ type Node struct {
 	// Config.SuppressSearches); see core.SearchSuppressor.
 	suppress *core.SearchSuppressor
 
+	// audit observes accepted tree mutations; see core.MutationHook
+	// (the hook type and kind values are shared across variants so
+	// audit-log chains are comparable between implementations).
+	audit core.MutationHook
+
 	stats Stats
 }
+
+// SetMutationHook installs the audit observer (nil disables); same
+// contract as core.Node.SetMutationHook.
+func (n *Node) SetMutationHook(h core.MutationHook) { n.audit = h }
 
 // Stats counts protocol events at this node (observability only).
 type Stats struct {

@@ -102,10 +102,14 @@ func (n *Node) locallyStabilized() bool {
 // createNewRoot is the paper's create_new_root(v).
 func (n *Node) createNewRoot() {
 	if n.root != n.id || n.parent != n.id || n.distance != 0 {
+		old := n.parent
 		n.root = n.id
 		n.parent = n.id
 		n.distance = 0
 		n.version++
+		if n.audit != nil {
+			n.audit(core.MutationReset, old, n.id)
+		}
 	}
 }
 
@@ -113,10 +117,14 @@ func (n *Node) createNewRoot() {
 func (n *Node) changeParentTo(u int) {
 	v := n.views.Get(u)
 	if n.root != v.Root || n.parent != u || n.distance != v.Distance+1 {
+		old := n.parent
 		n.root = v.Root
 		n.parent = u
 		n.distance = v.Distance + 1
 		n.version++
+		if n.audit != nil {
+			n.audit(core.MutationParent, old, u)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"mdst/internal/graph"
 	"mdst/internal/harness"
 	"mdst/internal/mdstseq"
+	"mdst/internal/metrics"
 )
 
 // Engine executes scenario matrices. The zero value uses GOMAXPROCS
@@ -103,6 +104,12 @@ type RunResult struct {
 	// Restarts counts wall-clock driver resumptions after a certified
 	// stop that was not legitimate (zero on converging runs).
 	Restarts int `json:"-"`
+	// Metrics is the run's sampled snapshot stream and AuditChain the
+	// hex-rendered mutation hash-chain head (Spec.Metrics); both empty
+	// and omitted from JSON when the observability plane is off, so the
+	// committed matrix baselines stay byte-identical.
+	Metrics    []metrics.Snapshot `json:"metrics,omitempty"`
+	AuditChain string             `json:"auditChain,omitempty"`
 }
 
 // CellResult aggregates the runs of one cell. Boolean fields hold over
@@ -252,6 +259,16 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 	if spec.Config != nil {
 		base.Config = spec.Config(g.N())
 	}
+	var coll *metrics.Collector
+	if spec.Metrics {
+		stride := g.N()
+		if stride < 1 {
+			stride = 1
+		}
+		coll = &metrics.Collector{Every: stride}
+		base.Collect = coll
+		base.Audit = true
+	}
 
 	var res harness.Result
 	if ex, isEx := fault.(Executor); isEx {
@@ -314,6 +331,10 @@ func executeRun(spec Spec, fault FaultModel, r Run) RunResult {
 	out.Frames = res.Frames
 	out.Cert = res.Cert
 	out.Restarts = res.Restarts
+	if coll != nil {
+		out.Metrics = coll.Snapshots()
+		out.AuditChain = fmt.Sprintf("%016x", res.AuditChain)
+	}
 	if res.Metrics != nil {
 		out.MaxMsgWords = res.Metrics.MaxMsgSize
 		out.MaxMsgKind = res.Metrics.MaxMsgSizeKind

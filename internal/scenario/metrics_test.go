@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// metricsSpec is a small deterministic sim matrix with the
+// observability plane on.
+func metricsSpec() Spec {
+	return Spec{
+		Families:     []string{"gnp"},
+		Sizes:        []int{12},
+		SeedsPerCell: 2,
+		BaseSeed:     3,
+		Metrics:      true,
+	}
+}
+
+// TestMatrixMetricsWorkerInvariant: the audit chain heads and metrics
+// streams of a sim matrix are a pure function of the spec — serial and
+// parallel execution must produce identical per-run observability data
+// (this is the matrix-level form of the two-observers claim: the worker
+// pool is just another observer arrangement).
+func TestMatrixMetricsWorkerInvariant(t *testing.T) {
+	spec := metricsSpec()
+	serial, err := Engine{Workers: 1}.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Engine{Workers: 4}.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Runs) != len(parallel.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(parallel.Runs))
+	}
+	for i := range serial.Runs {
+		a, b := serial.Runs[i], parallel.Runs[i]
+		if a.AuditChain == "" {
+			t.Fatalf("run %d: empty audit chain with Metrics on", i)
+		}
+		if a.AuditChain != b.AuditChain {
+			t.Fatalf("run %d: audit chain differs across worker counts: %s vs %s",
+				i, a.AuditChain, b.AuditChain)
+		}
+		if len(a.Metrics) == 0 {
+			t.Fatalf("run %d: empty metrics stream with Metrics on", i)
+		}
+		if len(a.Metrics) != len(b.Metrics) {
+			t.Fatalf("run %d: stream lengths differ: %d vs %d", i, len(a.Metrics), len(b.Metrics))
+		}
+	}
+	aj, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("matrix JSON differs across worker counts with Metrics on")
+	}
+	if !strings.Contains(string(aj), `"auditChain"`) || !strings.Contains(string(aj), `"metrics"`) {
+		t.Fatal("metrics-on JSON missing the observability fields")
+	}
+}
+
+// TestMatrixMetricsOffOmitsFields: with the plane off, the serialized
+// matrix carries no observability keys at all — the byte-identity
+// guarantee for the committed baselines, stated directly.
+func TestMatrixMetricsOffOmitsFields(t *testing.T) {
+	spec := metricsSpec()
+	spec.Metrics = false
+	m, err := Engine{Workers: 2}.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"auditChain"`, `"metrics"`} {
+		if strings.Contains(string(b), key) {
+			t.Fatalf("metrics-off JSON contains %s", key)
+		}
+	}
+	// And the runs really carry nothing.
+	for i, r := range m.Runs {
+		if r.AuditChain != "" || len(r.Metrics) != 0 {
+			t.Fatalf("run %d has observability data with Metrics off", i)
+		}
+	}
+}
+
+// TestRunResultMetricsRoundTrip: per-run snapshots survive a JSON
+// round-trip through the matrix container (the -metrics -format json
+// consumer contract).
+func TestRunResultMetricsRoundTrip(t *testing.T) {
+	m, err := Engine{Workers: 1}.Execute(metricsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != len(m.Runs) {
+		t.Fatalf("run count changed over round-trip: %d vs %d", len(back.Runs), len(m.Runs))
+	}
+	for i := range m.Runs {
+		if back.Runs[i].AuditChain != m.Runs[i].AuditChain {
+			t.Fatalf("run %d audit chain changed over round-trip", i)
+		}
+		if len(back.Runs[i].Metrics) != len(m.Runs[i].Metrics) {
+			t.Fatalf("run %d metrics length changed over round-trip", i)
+		}
+		for j, s := range m.Runs[i].Metrics {
+			got := back.Runs[i].Metrics[j]
+			if got.Epoch != s.Epoch || got.SentTotal != s.SentTotal ||
+				got.VersionFill != s.VersionFill || got.Fingerprint != s.Fingerprint {
+				t.Fatalf("run %d snapshot %d changed over round-trip: %+v vs %+v", i, j, got, s)
+			}
+		}
+	}
+}

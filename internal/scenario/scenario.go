@@ -85,6 +85,13 @@ type Spec struct {
 	// run's observed rounds, since run seeds exclude the backend axis);
 	// the sim backend ignores it.
 	Tuning harness.BackendTuning `json:"-"`
+	// Metrics enables the observability plane on every run: a metrics
+	// collector (stride sized to the instance: one snapshot per n
+	// rounds/probe epochs) plus the hash-chained audit log, surfaced as
+	// RunResult.Metrics and RunResult.AuditChain. Off (the default)
+	// keeps every run on its exact pre-metrics path, so the committed
+	// JSON baselines stay byte-identical.
+	Metrics bool
 }
 
 // Cell identifies one aggregation cell of the matrix: every axis except

@@ -77,6 +77,12 @@ type LiveNetwork struct {
 	active     map[string]struct{}
 	activeSent atomic.Int64
 	activeRecv atomic.Int64
+
+	// Per-kind send counters for the metrics stream, gated by
+	// LiveConfig.CountKinds so the hot send path pays nothing when the
+	// stream is off. Map of string -> *atomic.Int64, lock-free.
+	countKinds bool
+	kindSent   sync.Map
 }
 
 type liveEnvelope struct {
@@ -99,6 +105,11 @@ type LiveConfig struct {
 	// (ProbeSample then reports a zero deficit and detection rests on
 	// version-vector and fingerprint stability alone).
 	ActiveKinds []string
+	// CountKinds enables per-message-kind send counters (SentByKind) for
+	// the metrics stream. Off by default: the counters add a sync.Map
+	// lookup per send to the hot path, so only metrics-collecting runs
+	// pay for them.
+	CountKinds bool
 }
 
 // NewLiveNetwork builds the live runtime over g. The factory contract is
@@ -122,6 +133,7 @@ func NewLiveNetwork(g *graph.Graph, factory func(id NodeID, neighbors []NodeID) 
 		fps:        make([]uint64, n),
 		versions:   make([]uint64, n),
 		versioners: make([]StateVersioner, n),
+		countKinds: cfg.CountKinds,
 	}
 	if len(cfg.ActiveKinds) > 0 {
 		ln.active = make(map[string]struct{}, len(cfg.ActiveKinds))
@@ -215,6 +227,14 @@ func (ln *LiveNetwork) send(from, to NodeID, m Message) {
 				ln.activeSent.Add(1)
 			}
 		}
+		if ln.countKinds {
+			kind := m.Kind()
+			ctr, ok := ln.kindSent.Load(kind)
+			if !ok {
+				ctr, _ = ln.kindSent.LoadOrStore(kind, new(atomic.Int64))
+			}
+			ctr.(*atomic.Int64).Add(1)
+		}
 	case <-stop:
 		// Shutting down: drop the message (links are being torn down).
 		// Messages already accepted onto inboxes survive a Stop/Start
@@ -252,6 +272,21 @@ func (ln *LiveNetwork) Process(id NodeID) Process { return ln.procs[id] }
 // Sent returns the number of messages accepted onto inboxes so far. It
 // is maintained atomically and safe to read at any time.
 func (ln *LiveNetwork) Sent() int64 { return ln.sent.Load() }
+
+// SentByKind returns a copy of the per-kind send counters, nil unless
+// the network was built with LiveConfig.CountKinds. Safe to read at any
+// time (atomic reads).
+func (ln *LiveNetwork) SentByKind() map[string]int64 {
+	if !ln.countKinds {
+		return nil
+	}
+	out := make(map[string]int64)
+	ln.kindSent.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
 
 // FingerprintRecomputes counts per-node state hashes performed by
 // Fingerprint — the live counterpart of the simulator's

@@ -1,11 +1,14 @@
 // Package trace records per-round time series of a protocol execution —
 // the figure data behind the experiment tables: tree degree over time,
 // dmax agreement, legitimacy components, traffic. A Series is a dense
-// column-oriented table with CSV export; the harness fills one via its
-// OnRound hook.
+// column-oriented table with CSV and JSON export; the harness fills one
+// via its OnRound hook, and the metrics collector
+// (internal/metrics) renders its snapshot stream through the same
+// Series so both share one export path.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -105,6 +108,57 @@ func (s *Series) CSV() string {
 		panic(err) // strings.Builder never errors
 	}
 	return b.String()
+}
+
+// seriesJSON is the stable JSON shape of a Series.
+type seriesJSON struct {
+	Name    string      `json:"name"`
+	Columns []string    `json:"columns"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+// WriteJSON writes the series as deterministic indented JSON
+// ({name, columns, rows}) — the export path metrics time series and
+// OnRound traces share.
+func (s *Series) WriteJSON(w io.Writer) error {
+	rows := s.rows
+	if rows == nil {
+		rows = [][]float64{}
+	}
+	b, err := json.MarshalIndent(seriesJSON{Name: s.Name, Columns: s.Columns, Rows: rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// JSON returns the series rendered as a JSON string.
+func (s *Series) JSON() string {
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return b.String()
+}
+
+// ReadJSON parses a series previously written by WriteJSON. Rows with
+// a value count different from the column count are rejected — the
+// same invariant Append enforces.
+func ReadJSON(r io.Reader) (*Series, error) {
+	var sj seriesJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("trace: decode series: %w", err)
+	}
+	s := NewSeries(sj.Name, sj.Columns...)
+	for i, row := range sj.Rows {
+		if len(row) != len(sj.Columns) {
+			return nil, fmt.Errorf("trace: row %d has %d values for %d columns", i, len(row), len(sj.Columns))
+		}
+		s.Append(row...)
+	}
+	return s, nil
 }
 
 // Sparkline renders one column as a coarse unicode sparkline (terminal

@@ -96,3 +96,52 @@ func TestSparklineFlatZero(t *testing.T) {
 		t.Fatalf("flat sparkline %q", sp)
 	}
 }
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := NewSeries("metrics", "round", "sent", "fill")
+	s.Append(0, 12, 0.25)
+	s.Append(5, 40, 1)
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Len() != s.Len() {
+		t.Fatalf("round-trip shape: name=%q len=%d", got.Name, got.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		a, bRow := s.Row(i), got.Row(i)
+		for j := range a {
+			if a[j] != bRow[j] {
+				t.Fatalf("row %d col %d: %v != %v", i, j, a[j], bRow[j])
+			}
+		}
+	}
+	if got.Last("fill") != 1 {
+		t.Fatalf("Last(fill)=%v", got.Last("fill"))
+	}
+}
+
+func TestJSONEmptySeries(t *testing.T) {
+	s := NewSeries("empty", "round")
+	got, err := ReadJSON(strings.NewReader(s.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || len(got.Columns) != 1 {
+		t.Fatalf("empty round-trip: len=%d cols=%v", got.Len(), got.Columns)
+	}
+}
+
+func TestJSONRejectsRaggedRows(t *testing.T) {
+	bad := `{"name":"x","columns":["a","b"],"rows":[[1,2],[3]]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("ragged row must be rejected")
+	}
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}
