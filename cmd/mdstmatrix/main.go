@@ -17,6 +17,7 @@
 //	mdstmatrix -backend live -sizes 8 -seeds 1   # goroutine-per-node runtime
 //	mdstmatrix -backend sim,live,tcp      # cross-backend comparison matrix
 //	mdstmatrix -suppress off,on           # paired search-suppression comparison
+//	mdstmatrix -backoff off,on            # paired static vs adaptive suppression windows
 //	mdstmatrix -xbackend                  # medium-n cross-backend preset -> committed table
 //	mdstmatrix -backend tcp -batch 16 -batchwait 1ms   # coalesced tcp frames
 //	mdstmatrix -tcpbench                  # tcp frame-coalescing bench -> BENCH_tcp.json content
@@ -67,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("quiet", false, "suppress the execution summary on stderr")
 	scale := fs.Bool("scale", false, "run the large-n scale sweep and print the deterministic BENCH_scale.json report (uses -sizes when given, else 256,512,1024)")
 	suppress := fs.String("suppress", "off", "comma-separated search-suppression axis: off|on (on prunes duplicate Search tokens; seeds pair on/off cells on identical workloads)")
+	backoff := fs.String("backoff", "off", "comma-separated adaptive-backoff axis: off|on (on doubles the suppression window each full unchanged window, resetting on any neighborhood change; implies suppression; seeds pair cells on identical workloads)")
 	xbackend := fs.Bool("xbackend", false, "run the medium-n cross-backend preset (sim/live/tcp, suppression on) and print the committed-table JSON (uses -sizes when given, else the preset ladder)")
 	batch := fs.Int("batch", 0, "tcp frame coalescing: messages per wire frame (0/1: one frame per message, the compatible default; >1: batched format)")
 	batchwait := fs.Duration("batchwait", 0, "tcp frame coalescing: max time a partially filled frame is held open (0: flush immediately)")
@@ -171,6 +173,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			spec.Suppression = append(spec.Suppression, true)
 		default:
 			fmt.Fprintf(stderr, "mdstmatrix: bad -suppress %q (want off|on)\n", s)
+			return 2
+		}
+	}
+	for _, s := range splitList(*backoff) {
+		switch s {
+		case "off":
+			spec.Backoff = append(spec.Backoff, false)
+		case "on":
+			spec.Backoff = append(spec.Backoff, true)
+		default:
+			fmt.Fprintf(stderr, "mdstmatrix: bad -backoff %q (want off|on)\n", s)
 			return 2
 		}
 	}

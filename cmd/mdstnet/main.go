@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget := fs.Float64("budget", 0, "convergence-aware deadline: scale the paired sim run's observed rounds × tick by this factor (0 = fixed -deadline)")
 	tick := fs.Duration("tick", 0, "gossip period (0 = runtime default)")
 	suppress := fs.Bool("suppress", false, "enable the search-traffic suppression hot path (duplicate Search-token pruning + batched launches)")
+	backoff := fs.Bool("backoff", false, "enable adaptive suppression backoff (implies -suppress): the retry window doubles each full unchanged window, resetting on any neighborhood change; the stability window and budget deadline take the conservative cap")
 	batch := fs.Int("batch", 0, "messages coalesced per wire frame (0/1 = one frame per message, the compatible default)")
 	batchwait := fs.Duration("batchwait", 0, "max time a partially filled frame is held open (0 = flush immediately)")
 	metricsOn := fs.Bool("metrics", false, "sample the metrics stream over the control channel and dump it as JSON alongside the result, plus the audit chain head")
@@ -106,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:     *seed,
 		Backend:  harness.BackendTCP,
 		Suppress: *suppress,
+		Backoff:  *backoff,
 		Collect:  coll,
 		Audit:    *metricsOn,
 		Tuning: harness.BackendTuning{

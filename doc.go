@@ -72,6 +72,32 @@
 // -xbackend`) runs the medium-n ladder across sim, live and tcp with
 // suppression on.
 //
+// On top of static suppression the window is adaptive
+// (core.Config.BackoffSearches/BackoffCap, harness.RunSpec.Backoff,
+// `mdstmatrix -backoff off,on`, `mdstnet -backoff`): while a node's
+// state version — its local image of the neighborhood version vector —
+// is a fixed point, each full pruning window that lapses without an
+// equivalent launch doubles the effective window, from the 4×SearchPeriod
+// base up to a 16× cap, and any version movement collapses it back to
+// the base before the next launch decision, so steady-state retry
+// traffic decays geometrically toward zero while fault recovery runs on
+// the base schedule. The backoff tier is transient bookkeeping — never
+// fingerprinted, never version-bumping — so it observes quiescence
+// without perturbing it. Stability windows track the schedule: the sim
+// cores derive theirs from the live maximum Node.CurrentRetryPeriod
+// (sim.Network.MaxRetryPeriod, re-evaluated only past the static floor),
+// the wall-clock drivers take the conservative cap via
+// Config.EffectiveRetryPeriod, and the event core parks a backed-off
+// node straight through to its recorded pass expiry so a silent network
+// costs no wake-ups at all. BENCH_scale.json commits a drift-gated
+// steady-state decay section (star-of-cliques n=253, paired seeds):
+// post-convergence traffic in the final cap-length window drops 13.7×
+// versus the static-window twin, and a node corrupted at the deepest
+// tier (retry spacing = the 1024-round cap) re-converges with a
+// certificate in 2599 rounds against a 5188-round budget deadline.
+// Off = byte-identical static-suppression baselines; the scenario
+// backoff axis is excluded from run seeds like the other mode axes.
+//
 // The tcp backend's transport coalesces frames per link
 // (netrun.Config.BatchSize/BatchMaxWait, harness.BackendTuning,
 // `mdstmatrix -batch/-batchwait`, `mdstnet -batch/-batchwait`): above
@@ -150,10 +176,15 @@
 // CLI are thin renderers over the engine.
 //
 // CI lives in .github/workflows/ci.yml: every push/PR runs the full
-// `make ci` gate (lint + vet + build + tests + -race + smoke), a
+// `make ci` gate (lint — gofmt + vet + pinned staticcheck, soft-fail
+// when the tool is absent offline — build + tests + -race + smoke), a
 // baseline-drift job that regenerates the committed 108-run matrix JSON
-// and BENCH_scale.json and fails on any byte difference, a soft-fail
-// govulncheck job, and a 1x-benchtime pass over every Go benchmark.
+// and BENCH_scale.json and fails on any byte difference (uploading the
+// regenerated artifacts on failure for inspection), a soft-fail
+// govulncheck job re-run weekly on a schedule against fresh advisories,
+// and a 1x-benchtime pass over every Go benchmark. One workflow runs
+// per ref (superseded pushes are cancelled) and every job carries a
+// timeout.
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced evaluation.
 package mdst

@@ -77,6 +77,24 @@ type Config struct {
 	// suppression is on (0 means 2); deferred edges stay due and launch
 	// on subsequent ticks, spreading token bursts.
 	SearchBatch int
+	// BackoffSearches makes the suppression window adaptive: while a
+	// node's state version (own variables plus neighbor views — its
+	// local image of the neighborhood version vector) is a fixed point,
+	// the effective pruning window doubles each time a full window
+	// elapses unchanged, from PruneWindow up to BackoffCapWindow; any
+	// version movement collapses it back to the base instantly. The
+	// steady-state retry rate therefore decays geometrically toward
+	// zero while fault-recovery latency keeps the base-window schedule
+	// (the reset happens before the next launch decision). Requires
+	// SuppressSearches (the harness and CLIs set both); off by default,
+	// leaving every committed baseline byte-identical.
+	BackoffSearches bool
+	// BackoffCap bounds the adaptive window in ticks (0 means
+	// 16×PruneWindow). Quiescence-stability windows derive from it via
+	// EffectiveRetryPeriod: past the cap a retry is guaranteed every
+	// BackoffCap ticks, so certification never waits on an unbounded
+	// schedule.
+	BackoffCap int
 	// WordBits is the width of one variable in bits, used only by the
 	// StateBits metric (harness sets ceil(log2 n)+1).
 	WordBits int
@@ -104,21 +122,41 @@ func (c Config) PruneWindow() int {
 	return 4 * c.SearchPeriod
 }
 
+// BackoffCapWindow resolves the deepest adaptive pruning window
+// (BackoffCap, defaulting to 16×PruneWindow — four doublings).
+func (c Config) BackoffCapWindow() int {
+	if c.BackoffCap > 0 {
+		return c.BackoffCap
+	}
+	return 16 * c.PruneWindow()
+}
+
 // EffectiveRetryPeriod is the worst-case spacing between consecutive
 // full passes of an equivalent Search token: SearchPeriod with the
 // paper-literal schedule, additionally the pruning window when
-// duplicate suppression may defer retries. Quiescence-stability windows
-// must be derived from this value, not from SearchPeriod alone —
-// otherwise a suppressed configuration can be certified quiescent
-// before its deferred search ever re-fires. Suppression only ever
-// delays retries, so the result is floored at SearchPeriod: a pruning
-// window shorter than the retry period must not shrink the stability
-// window below the paper-literal floor.
+// duplicate suppression may defer retries, and the backoff cap when
+// the window is adaptive (the deepest tier a node can ever reach).
+// Quiescence-stability windows must be derived from this value, not
+// from SearchPeriod alone — otherwise a suppressed configuration can
+// be certified quiescent before its deferred search ever re-fires.
+// With backoff on this static bound is conservative; the sim cores
+// additionally track the time-varying per-node schedule through
+// Node.CurrentRetryPeriod, and the wall-clock drivers (which cannot
+// cheaply scan node tiers behind sockets) take this cap. Suppression
+// only ever delays retries, so the result is floored at SearchPeriod:
+// a pruning window shorter than the retry period must not shrink the
+// stability window below the paper-literal floor.
 func (c Config) EffectiveRetryPeriod() int {
 	if !c.SuppressSearches {
 		return c.SearchPeriod
 	}
-	if w := c.PruneWindow(); w > c.SearchPeriod {
+	w := c.PruneWindow()
+	if c.BackoffSearches {
+		if cap := c.BackoffCapWindow(); cap > w {
+			w = cap
+		}
+	}
+	if w > c.SearchPeriod {
 		return w
 	}
 	return c.SearchPeriod
@@ -181,6 +219,17 @@ type Node struct {
 	// suppress is the duplicate-token pruning state (nil unless
 	// Config.SuppressSearches); see SearchSuppressor.
 	suppress *SearchSuppressor
+	// Adaptive-backoff state (Config.BackoffSearches). Transient like
+	// the suppressor: never fingerprinted, and moving it must not bump
+	// the state version — the backoff observes quiescence, it is not
+	// part of it. backoffTier is the doubling exponent (effective
+	// window = PruneWindow << tier, capped), earned while version ==
+	// backoffVersion and reset lazily the moment they diverge;
+	// backoffTick limits deepening to once per tick so several edges
+	// lapsing together still advance one tier per round.
+	backoffTier    int
+	backoffVersion uint64
+	backoffTick    int
 
 	// audit, when non-nil, observes every accepted tree mutation (see
 	// MutationHook). It lives on the Node — not on Config — because
@@ -428,7 +477,18 @@ func (n *Node) NextWork() int {
 		if n.isTreeEdge(u) || n.id > u {
 			continue
 		}
-		if due := n.nextSearch[u]; next == -1 || due < next {
+		due := n.nextSearch[u]
+		// With adaptive backoff, a retry inside the effective window
+		// would be pruned at the launch site anyway; park straight
+		// through to the recorded pass's expiry so a deeply backed-off
+		// node costs no wake-ups at all (deliveries still wake it, and
+		// a version bump resets the schedule before the next decision).
+		if n.cfg.BackoffSearches {
+			if pass := n.searchPassTick(u); pass > due {
+				due = pass
+			}
+		}
+		if next == -1 || due < next {
 			next = due
 		}
 	}

@@ -70,9 +70,23 @@ func (s *SearchSuppressor) Clone() *SearchSuppressor {
 // sooner than the recorded token's retry will. On false the pass is
 // recorded.
 func (s *SearchSuppressor) Suppress(window, tick int, version uint64, init graph.Edge, block int) bool {
+	pruned, _ := s.SuppressEx(window, tick, version, init, block)
+	return pruned
+}
+
+// SuppressEx is Suppress plus the adaptive-backoff observable: on a
+// pass, lapsed reports that the key's record outlived the window with
+// the node's version unchanged — a full pruning window elapsed at a
+// fixed point, the evidence Config.BackoffSearches deepens on (a
+// first-ever pass or a version change is not a lapse; both mean the
+// schedule should stay at its base).
+func (s *SearchSuppressor) SuppressEx(window, tick int, version uint64, init graph.Edge, block int) (pruned, lapsed bool) {
 	key := searchKey{init: init, block: block}
-	if r, ok := s.seen[key]; ok && r.version == version && tick-r.tick < window {
-		return true
+	if r, ok := s.seen[key]; ok && r.version == version {
+		if tick-r.tick < window {
+			return true, false
+		}
+		lapsed = true
 	}
 	if len(s.seen) >= seenSearchCap {
 		for k, r := range s.seen {
@@ -85,17 +99,118 @@ func (s *SearchSuppressor) Suppress(window, tick int, version uint64, init graph
 		}
 	}
 	s.seen[key] = searchSeen{tick: tick, version: version}
-	return false
+	return false, lapsed
+}
+
+// PassTick returns the earliest tick at which a token with this key
+// would pass the pruner under the given window — the recorded pass's
+// tick plus the window while the record is live at this version, 0
+// when nothing suppresses it. Read-only; the event core parks nodes
+// on it.
+func (s *SearchSuppressor) PassTick(window int, version uint64, init graph.Edge, block int) int {
+	if r, ok := s.seen[searchKey{init: init, block: block}]; ok && r.version == version {
+		return r.tick + window
+	}
+	return 0
 }
 
 // suppressSearch applies the node's suppressor (counting prunes) over
-// the configured pruning window. Never called with suppression off.
+// the current effective pruning window, deepening the adaptive backoff
+// when a pass proves a full window elapsed at a fixed point. Never
+// called with suppression off.
 func (n *Node) suppressSearch(init graph.Edge, block int) bool {
-	if n.suppress.Suppress(n.cfg.PruneWindow(), n.tick, n.version, init, block) {
+	pruned, lapsed := n.suppress.SuppressEx(n.effectiveWindow(), n.tick, n.version, init, block)
+	if pruned {
 		n.stats.SearchesSuppressed++
 		return true
 	}
+	if lapsed {
+		n.deepenBackoff()
+	}
 	return false
+}
+
+// effectiveWindow resolves the node's pruning window for a suppression
+// decision: the static PruneWindow without backoff, else the adaptive
+// window after applying the instant-reset rule — any state-version
+// movement since the tier was earned (a neighbor change observed via
+// gossip, or a local mutation) collapses the tier to the base before
+// it is consulted, so recovery retries run on the base schedule.
+func (n *Node) effectiveWindow() int {
+	if !n.cfg.BackoffSearches {
+		return n.cfg.PruneWindow()
+	}
+	if n.version != n.backoffVersion {
+		n.backoffTier = 0
+		n.backoffVersion = n.version
+	}
+	return n.backoffWindowAt(n.backoffTier)
+}
+
+// backoffWindowAt maps a tier to its window: PruneWindow doubled tier
+// times, saturating at BackoffCapWindow.
+func (n *Node) backoffWindowAt(tier int) int {
+	w, cap := n.cfg.PruneWindow(), n.cfg.BackoffCapWindow()
+	for i := 0; i < tier && w < cap; i++ {
+		w <<= 1
+	}
+	if w > cap {
+		w = cap
+	}
+	return w
+}
+
+// deepenBackoff advances the tier after a full effective window lapsed
+// at a fixed point — at most one doubling per tick, so concurrent
+// lapses on several edges deepen like a single one — saturating once
+// the window reaches the cap.
+func (n *Node) deepenBackoff() {
+	if !n.cfg.BackoffSearches || n.backoffTick == n.tick {
+		return
+	}
+	n.backoffTick = n.tick
+	if n.backoffWindowAt(n.backoffTier) < n.cfg.BackoffCapWindow() {
+		n.backoffTier++
+	}
+}
+
+// searchPassTick returns the earliest tick at which a plain-search
+// launch for the non-tree edge {n.id, u} would pass the duplicate
+// pruner under the current window; 0 when nothing suppresses it.
+// Read-only (the reset rule is applied as a view, not a write), so
+// observers and the event core's parking decision can call it freely.
+func (n *Node) searchPassTick(u int) int {
+	if n.suppress == nil {
+		return 0
+	}
+	return n.suppress.PassTick(n.currentWindow(), n.version, graph.Edge{U: n.id, V: u}, -1)
+}
+
+// currentWindow is the read-only view of effectiveWindow: a tier whose
+// version is stale reads as the base window (the reset that
+// effectiveWindow would apply) without mutating the node.
+func (n *Node) currentWindow() int {
+	if !n.cfg.BackoffSearches || n.version != n.backoffVersion {
+		return n.cfg.PruneWindow()
+	}
+	return n.backoffWindowAt(n.backoffTier)
+}
+
+// CurrentRetryPeriod is the node's present worst-case spacing between
+// consecutive full passes of an equivalent Search token — the
+// time-varying counterpart of Config.EffectiveRetryPeriod, tracking
+// the adaptive backoff tier. Read-only: the sim cores derive dynamic
+// quiescence-stability windows from the maximum over nodes, and the
+// metrics plane samples it.
+func (n *Node) CurrentRetryPeriod() int {
+	p := n.cfg.SearchPeriod
+	if !n.cfg.SuppressSearches {
+		return p
+	}
+	if w := n.currentWindow(); w > p {
+		return w
+	}
+	return p
 }
 
 // maybeStartSearches launches due searches from this node: plain searches

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"mdst/internal/core"
 	"mdst/internal/graph"
 	"mdst/internal/mdstseq"
 )
@@ -280,6 +281,32 @@ func TestSuppressionSmokeLiveTCP(t *testing.T) {
 		if res.SearchesSuppressed < 0 {
 			t.Fatalf("backend %s: negative suppression counter %d", backend, res.SearchesSuppressed)
 		}
+	}
+}
+
+// With adaptive backoff the wall-clock drivers derive their stability
+// windows from the conservative cap (they cannot scan per-node tiers
+// behind sockets), so a backed-off live/tcp run must still converge and
+// certify within its budget deadline. The windows are shrunk so the
+// cap-derived stability window stays smoke-sized.
+func TestBackoffSmokeLiveTCP(t *testing.T) {
+	cfg := core.DefaultConfig(8)
+	cfg.SuppressWindow = 8
+	cfg.BackoffCap = 32
+	for _, backend := range []Backend{BackendLive, BackendTCP} {
+		res, err := Run(RunSpec{
+			Graph:   graph.Wheel(8),
+			Config:  cfg,
+			Start:   StartCorrupt,
+			Seed:    23,
+			Backend: backend,
+			Backoff: true,
+			Tuning:  smokeTuning(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smokeCheckRestarts(t, res, backend, 5)
 	}
 }
 

@@ -164,6 +164,15 @@ type RunSpec struct {
 	// matrix axis. Off keeps the paper-literal search schedule and the
 	// committed deterministic baselines byte-identical.
 	Suppress bool
+	// Backoff turns on the adaptive suppression backoff
+	// (core.Config.BackoffSearches, implying SuppressSearches) — the
+	// declarative form used by the scenario engine's backoff matrix
+	// axis. Steady-state retry traffic then decays geometrically toward
+	// zero; the sim cores track the time-varying stability window the
+	// schedule requires, the wall-clock drivers take the conservative
+	// cap. Off keeps the static suppression window (and, with Suppress
+	// also off, the paper-literal baselines) byte-identical.
+	Backoff bool
 	// Collect, when non-nil, streams metrics.Snapshot observations into
 	// the collector while the run executes: the sim backend samples its
 	// run loop (pure reads of the incremental fingerprint cache — zero
@@ -389,7 +398,23 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 	if maxRounds <= 0 {
 		maxRounds = 200*n + 20000
 	}
-	quiesceRounds := QuiesceWindowRounds(n, ops.cfg.EffectiveRetryPeriod())
+	// The stability window. Static schedules get the one fixed value;
+	// with adaptive backoff the requirement is time-varying, so the
+	// static floor is the un-backed-off window (base suppression
+	// schedule) and windowFn reads the deepest tier currently in effect
+	// — a network whose tiers never deepened (or just reset on a fault)
+	// certifies on the base window instead of waiting out the cap.
+	quiesceRetry := ops.cfg.EffectiveRetryPeriod()
+	var windowFn func() int
+	if ops.cfg.BackoffSearches {
+		flat := ops.cfg
+		flat.BackoffSearches = false
+		quiesceRetry = flat.EffectiveRetryPeriod()
+		windowFn = func() int {
+			return QuiesceWindowRounds(n, net.MaxRetryPeriod(quiesceRetry))
+		}
+	}
+	quiesceRounds := QuiesceWindowRounds(n, quiesceRetry)
 
 	// Per-round hooks compose: safety tracking, audit round stamping and
 	// metrics sampling all ride the one OnRound callback (every hook
@@ -471,6 +496,17 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 			}
 			hist, maxDeg := degreeHist(ops.degrees(procs))
 			st := ops.stats(procs)
+			retry := 0
+			if ops.cfg.SuppressSearches {
+				retry = ops.cfg.EffectiveRetryPeriod()
+				if ops.cfg.BackoffSearches {
+					// Live per-node tiers: the snapshot series records the
+					// retry spacing climbing toward the cap as the network
+					// goes silent (statically suppressed runs report the
+					// flat window).
+					retry = net.MaxRetryPeriod(retry)
+				}
+			}
 			collect.Add(metrics.Snapshot{
 				Epoch:       epoch,
 				Nodes:       n,
@@ -487,6 +523,7 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 				Stable:      streak,
 				Window:      window,
 				Fingerprint: fp,
+				RetryPeriod: retry,
 			})
 		}
 		hooks = append(hooks, func(r int) bool {
@@ -514,6 +551,7 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 			Policy:        EventPolicyFor(spec.Scheduler),
 			MaxRounds:     maxRounds,
 			QuiesceRounds: quiesceRounds,
+			QuiesceWindow: windowFn,
 			ActiveKinds:   ops.kinds,
 			OnRound:       onRound,
 		})
@@ -522,6 +560,7 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 			Scheduler:     NewScheduler(spec.Scheduler),
 			MaxRounds:     maxRounds,
 			QuiesceRounds: quiesceRounds,
+			QuiesceWindow: windowFn,
 			ActiveKinds:   ops.kinds,
 			OnRound:       onRound,
 		})
@@ -569,10 +608,18 @@ func runSim(spec RunSpec, ops variantOps) (Result, error) {
 		for _, k := range ops.kinds {
 			activeSent += out.Metrics.SentByKind[k]
 		}
+		certWindow := quiesceRounds
+		if windowFn != nil {
+			// The adaptive requirement actually held at certification: the
+			// floor raised to the deepest backoff tier in effect.
+			if w := windowFn(); w > certWindow {
+				certWindow = w
+			}
+		}
 		out.Cert = &detect.Certificate{
 			Backend:     string(BackendSim),
 			Epoch:       uint64(res.Rounds),
-			Window:      quiesceRounds,
+			Window:      certWindow,
 			Versions:    net.StateVersions(),
 			Fingerprint: net.LastFingerprint(),
 			Sent:        activeSent,

@@ -83,6 +83,10 @@ func variantFor(spec RunSpec) variantOps {
 		if spec.Suppress {
 			cfg.SuppressSearches = true
 		}
+		if spec.Backoff {
+			cfg.SuppressSearches = true
+			cfg.BackoffSearches = true
+		}
 		return literalOps(cfg)
 	}
 	if cfg.MaxDist == 0 {
@@ -90,6 +94,10 @@ func variantFor(spec RunSpec) variantOps {
 	}
 	if spec.Suppress {
 		cfg.SuppressSearches = true
+	}
+	if spec.Backoff {
+		cfg.SuppressSearches = true
+		cfg.BackoffSearches = true
 	}
 	return coreOps(cfg)
 }

@@ -63,6 +63,13 @@ type Snapshot struct {
 	Deficit     int64   `json:"deficit"`
 	Stable      int     `json:"stable"`
 	Window      int     `json:"window"`
+	// RetryPeriod is the worst-case cycle-search retry spacing across
+	// nodes at the observation, in rounds. Static without adaptive
+	// backoff; with Config.BackoffSearches on it climbs as nodes back
+	// off toward the cap (the idle-traffic decay series' x-axis
+	// companion). Zero and omitted when the run's backend cannot read it
+	// (wall-clock backends) so pre-backoff snapshot JSON is unchanged.
+	RetryPeriod int `json:"retryPeriod,omitempty"`
 	// Fingerprint is the combined state fingerprint at the observation.
 	Fingerprint uint64 `json:"fingerprint"`
 }

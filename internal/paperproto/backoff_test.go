@@ -1,0 +1,98 @@
+package paperproto
+
+import (
+	"testing"
+
+	"mdst/internal/graph"
+)
+
+// TestBackoffDeepensToCapAndNeighborBumpResets is the paper-literal
+// variant's mirror of the core backoff life-cycle test: the adaptive
+// window doubles on every lapsed full window at a version fixed point
+// (4 → 8 → 16 → 32, saturating at BackoffCapWindow), and a neighbor
+// version bump at the deepest tier resets the schedule to the base
+// before any tick runs — both engines share the suppressor, so the
+// schedules must move identically.
+func TestBackoffDeepensToCapAndNeighborBumpResets(t *testing.T) {
+	g := graph.Wheel(8)
+	cfg := DefaultConfig(8)
+	cfg.SuppressSearches = true
+	cfg.BackoffSearches = true
+	cfg.SearchPeriod = 2
+	cfg.SuppressWindow = 4
+	cfg.BackoffCap = 32
+	net := BuildNetwork(g, cfg, 1)
+	tr := preload(t, g, net)
+	nodes := NodesOf(net)
+
+	nte := tr.NonTreeEdges()
+	if len(nte) == 0 {
+		t.Fatal("wheel tree must leave non-tree edges")
+	}
+	u, v := nte[0].U, nte[0].V
+	nd := nodes[u]
+	ctx := net.Context(u)
+
+	if got := nd.CurrentRetryPeriod(); got != cfg.PruneWindow() {
+		t.Fatalf("initial retry period %d, want base %d", got, cfg.PruneWindow())
+	}
+
+	// First launch: no record yet, passes without deepening.
+	nd.startSearch(ctx, v, -1, 0)
+	if got := nd.CurrentRetryPeriod(); got != cfg.PruneWindow() {
+		t.Fatalf("first pass deepened the schedule to %d", got)
+	}
+
+	for i, want := range []struct{ window, next int }{
+		{4, 8}, {8, 16}, {16, 32}, {32, 32},
+	} {
+		if got := nd.CurrentRetryPeriod(); got != want.window {
+			t.Fatalf("step %d: retry period %d, want %d", i, got, want.window)
+		}
+		st := nd.NodeStats()
+		nd.tick += want.window - 1
+		nd.startSearch(ctx, v, -1, 0)
+		mid := nd.NodeStats()
+		if mid.SearchesLaunched != st.SearchesLaunched {
+			t.Fatalf("step %d: launch inside the %d-tick window not pruned", i, want.window)
+		}
+		if mid.SearchesSuppressed != st.SearchesSuppressed+1 {
+			t.Fatalf("step %d: suppressed counter %d, want +1", i, mid.SearchesSuppressed)
+		}
+		nd.tick++
+		nd.startSearch(ctx, v, -1, 0)
+		if after := nd.NodeStats(); after.SearchesLaunched != mid.SearchesLaunched+1 {
+			t.Fatalf("step %d: post-window launch pruned", i)
+		}
+		if got := nd.CurrentRetryPeriod(); got != want.next {
+			t.Fatalf("step %d: retry period %d after lapse, want %d", i, got, want.next)
+		}
+	}
+	if got, cap := nd.CurrentRetryPeriod(), cfg.BackoffCapWindow(); got != cap {
+		t.Fatalf("deepest retry period %d, want cap %d", got, cap)
+	}
+
+	// Still pruned at the deepest tier one tick after the last pass.
+	nd.tick++
+	st := nd.NodeStats()
+	nd.startSearch(ctx, v, -1, 0)
+	if after := nd.NodeStats(); after.SearchesLaunched != st.SearchesLaunched {
+		t.Fatal("launch at the deepest tier not pruned inside the cap window")
+	}
+
+	// Neighbor version bump: instant reset, the next launch passes.
+	w := *nd.views.Get(nd.nbrs[0])
+	w.Submax++
+	nd.SetView(nd.nbrs[0], w)
+	if got := nd.CurrentRetryPeriod(); got != cfg.PruneWindow() {
+		t.Fatalf("retry period %d after neighbor bump, want base %d", got, cfg.PruneWindow())
+	}
+	st = nd.NodeStats()
+	nd.startSearch(ctx, v, -1, 0)
+	if after := nd.NodeStats(); after.SearchesLaunched != st.SearchesLaunched+1 {
+		t.Fatal("launch after neighbor version bump still pruned")
+	}
+	if got := nd.CurrentRetryPeriod(); got != cfg.PruneWindow() {
+		t.Fatalf("retry period %d after recovery pass, want base %d", got, cfg.PruneWindow())
+	}
+}

@@ -55,6 +55,12 @@ type Node struct {
 	// suppress is the shared duplicate-token pruning state (nil unless
 	// Config.SuppressSearches); see core.SearchSuppressor.
 	suppress *core.SearchSuppressor
+	// Adaptive-backoff state (Config.BackoffSearches); see the matching
+	// fields in core.Node — transient, never fingerprinted, never bumps
+	// the state version.
+	backoffTier    int
+	backoffVersion uint64
+	backoffTick    int
 
 	// audit observes accepted tree mutations; see core.MutationHook
 	// (the hook type and kind values are shared across variants so
@@ -253,7 +259,16 @@ func (n *Node) NextWork() int {
 		if n.isTreeEdge(u) || n.id > u {
 			continue
 		}
-		if due := n.nextSearch[u]; next == -1 || due < next {
+		due := n.nextSearch[u]
+		// With adaptive backoff, park straight through to the recorded
+		// pass's expiry (a retry inside the effective window would be
+		// pruned at the launch site anyway); see core.Node.NextWork.
+		if n.cfg.BackoffSearches {
+			if pass := n.searchPassTick(u); pass > due {
+				due = pass
+			}
+		}
+		if next == -1 || due < next {
 			next = due
 		}
 	}

@@ -12,14 +12,84 @@ import (
 
 // suppressSearch applies the shared duplicate-token pruning module
 // (core.SearchSuppressor — the two variants share the whole search
-// schedule; only the exchange choreography differs). Never called with
+// schedule; only the exchange choreography differs) over the current
+// effective window, deepening the adaptive backoff when a pass proves
+// a full window elapsed at a fixed point. Never called with
 // suppression off.
 func (n *Node) suppressSearch(init graph.Edge, block int) bool {
-	if n.suppress.Suppress(n.cfg.PruneWindow(), n.tick, n.version, init, block) {
+	pruned, lapsed := n.suppress.SuppressEx(n.effectiveWindow(), n.tick, n.version, init, block)
+	if pruned {
 		n.stats.SearchesSuppressed++
 		return true
 	}
+	if lapsed {
+		n.deepenBackoff()
+	}
 	return false
+}
+
+// effectiveWindow, backoffWindowAt, deepenBackoff, searchPassTick,
+// currentWindow and CurrentRetryPeriod mirror internal/core exactly;
+// the adaptive-backoff schedule is part of the shared search module.
+
+func (n *Node) effectiveWindow() int {
+	if !n.cfg.BackoffSearches {
+		return n.cfg.PruneWindow()
+	}
+	if n.version != n.backoffVersion {
+		n.backoffTier = 0
+		n.backoffVersion = n.version
+	}
+	return n.backoffWindowAt(n.backoffTier)
+}
+
+func (n *Node) backoffWindowAt(tier int) int {
+	w, cap := n.cfg.PruneWindow(), n.cfg.BackoffCapWindow()
+	for i := 0; i < tier && w < cap; i++ {
+		w <<= 1
+	}
+	if w > cap {
+		w = cap
+	}
+	return w
+}
+
+func (n *Node) deepenBackoff() {
+	if !n.cfg.BackoffSearches || n.backoffTick == n.tick {
+		return
+	}
+	n.backoffTick = n.tick
+	if n.backoffWindowAt(n.backoffTier) < n.cfg.BackoffCapWindow() {
+		n.backoffTier++
+	}
+}
+
+func (n *Node) searchPassTick(u int) int {
+	if n.suppress == nil {
+		return 0
+	}
+	return n.suppress.PassTick(n.currentWindow(), n.version, graph.Edge{U: n.id, V: u}, -1)
+}
+
+func (n *Node) currentWindow() int {
+	if !n.cfg.BackoffSearches || n.version != n.backoffVersion {
+		return n.cfg.PruneWindow()
+	}
+	return n.backoffWindowAt(n.backoffTier)
+}
+
+// CurrentRetryPeriod is the node's present worst-case retry spacing —
+// the time-varying counterpart of Config.EffectiveRetryPeriod; see
+// core.Node.CurrentRetryPeriod.
+func (n *Node) CurrentRetryPeriod() int {
+	p := n.cfg.SearchPeriod
+	if !n.cfg.SuppressSearches {
+		return p
+	}
+	if w := n.currentWindow(); w > p {
+		return w
+	}
+	return p
 }
 
 // maybeStartSearches launches due plain searches for non-tree edges

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// Satellite: the backoff axis off must be invisible — expanding the
+// default 108-run matrix with an explicit Backoff=[false] axis yields
+// byte-identical JSON to the committed PR-2 baseline (the axis label
+// serializes empty and run seeds exclude the axis entirely).
+func TestBackoffOffMatrixByteIdenticalToCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 108-run matrix")
+	}
+	want, err := os.ReadFile("testdata/default_matrix_pr2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := defaultMatrixSpec()
+	spec.Backoff = []bool{false}
+	m, err := Engine{}.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("explicit backoff-off matrix diverged from the committed baseline (len %d vs %d)",
+			len(got), len(want))
+	}
+}
+
+// The backoff axis expands like the other modes: cells double, the off
+// label stays empty, the on label is "backoff", and the run seed never
+// depends on the axis — backed-off runs draw the SAME instances as
+// their static twins.
+func TestBackoffAxisExpansion(t *testing.T) {
+	spec := Spec{
+		Families:     []string{"wheel"},
+		Sizes:        []int{8},
+		Backoff:      []bool{false, true},
+		SeedsPerCell: 2,
+		BaseSeed:     7,
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("expanded to %d runs, want 4 (2 modes x 2 seeds)", len(runs))
+	}
+	seeds := map[string]map[int]int64{"": {}, "on": {}}
+	for _, r := range runs {
+		m, ok := seeds[r.Backoff]
+		if !ok {
+			t.Fatalf("unexpected backoff label %q", r.Backoff)
+		}
+		m[r.SeedIndex] = r.Seed
+	}
+	if len(seeds[""]) != 2 || len(seeds["on"]) != 2 {
+		t.Fatalf("mode split %d/%d, want 2/2", len(seeds[""]), len(seeds["on"]))
+	}
+	for i, a := range seeds[""] {
+		if b := seeds["on"][i]; a != b {
+			t.Fatalf("backoff axis changed run seed[%d]: %d vs %d", i, a, b)
+		}
+	}
+	if _, err := (Spec{Families: []string{"wheel"}, Sizes: []int{8},
+		Backoff: []bool{true, true}}).Expand(); err == nil {
+		t.Fatal("duplicate backoff mode accepted")
+	}
+}
+
+// Satellite: the steady-state decay cell — the acceptance numbers the
+// scale sweep commits into BENCH_scale.json — meets its bars on the
+// sweep's own instance (same runSeed inputs as ScaleSweep): the
+// post-convergence message rate in the final cap-length window decays
+// at least 10x against the static-window twin on the paired seed, the
+// fault is injected at the deepest backoff tier (retry spacing == cap),
+// and recovery re-certifies legitimately inside the budget deadline.
+func TestDecayCellMeetsAcceptanceBars(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six cap-length event-core windows plus a fault recovery")
+	}
+	seed := runSeed(1, Cell{Family: "star-of-cliques", N: 256}, 0)
+	cell, err := decayCell("star-of-cliques", 256, seed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(cell.StaticPerWindow) - 1
+	if last != 2 {
+		t.Fatalf("observed %d windows, want 3", last+1)
+	}
+	if cell.DecayRatio < 10 {
+		t.Fatalf("final-window decay ratio %.2f, want >= 10 (static %d vs backoff %d)",
+			cell.DecayRatio, cell.StaticPerWindow[last], cell.BackoffPerWindow[last])
+	}
+	if cell.RetryAtFault != cell.CapWindow {
+		t.Fatalf("fault injected at retry spacing %d, want the cap %d",
+			cell.RetryAtFault, cell.CapWindow)
+	}
+	if !cell.RecoveredInBudget {
+		t.Fatalf("recovery took %d rounds against budget %d without certifying",
+			cell.RecoveryRounds, cell.RecoveryBudget)
+	}
+	if !cell.Legitimate {
+		t.Fatal("post-recovery configuration not legitimate")
+	}
+}

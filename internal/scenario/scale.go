@@ -3,7 +3,10 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 
+	"mdst/internal/core"
+	"mdst/internal/graph"
 	"mdst/internal/harness"
 	"mdst/internal/sim"
 )
@@ -52,6 +55,18 @@ type ScaleSpec struct {
 	// EventSizes defaults to 4096 and 16384.
 	EventFamily string
 	EventSizes  []int
+
+	// The steady-state decay section: paired static-vs-adaptive
+	// suppression runs on the event core from the legitimate preload
+	// (see DecayCell). DecaySizes defaults to 256 (one cell); the family
+	// is ScaleSpec.Family — star-of-cliques keeps dmax > deg(T) at the
+	// fixed point, so the retry schedule never goes structurally silent
+	// and the decay measured is entirely the backoff's doing.
+	// DecayWindows is the number of cap-length observation windows
+	// (default 3: the first absorbs the tier climb, the last is fully at
+	// the cap).
+	DecaySizes   []int
+	DecayWindows int
 }
 
 func (s ScaleSpec) normalized() ScaleSpec {
@@ -80,6 +95,12 @@ func (s ScaleSpec) normalized() ScaleSpec {
 	}
 	if len(s.EventSizes) == 0 {
 		s.EventSizes = []int{4096, 16384}
+	}
+	if len(s.DecaySizes) == 0 {
+		s.DecaySizes = []int{256}
+	}
+	if s.DecayWindows <= 0 {
+		s.DecayWindows = 3
 	}
 	return s
 }
@@ -160,6 +181,50 @@ type EventCell struct {
 	TailEventsPerNodeRound float64 `json:"tailEventsPerNodeRound"`
 }
 
+// DecayCell is one paired steady-state silence measurement: the
+// identical instance (same seed, graph and legitimate preload) executed
+// on the event core with the static suppression window and with
+// adaptive backoff, observed over DecayWindows cap-length windows past
+// convergence. The committed figure of merit is DecayRatio — the static
+// twin's last-window message volume over the adaptive twin's — with an
+// acceptance bar of >= 10 enforced by ScaleSweep. The cell then
+// injects a fault at the deepest backoff tier (a node whose retry
+// spacing reached the cap) and re-runs under the dynamic
+// quiescence-stability window: re-convergence with a certificate
+// inside RecoveryBudget (twice the cap-based stability window, the
+// wall-clock drivers' budget-deadline floor shape) is also enforced.
+type DecayCell struct {
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	Seed   int64  `json:"seed"`
+	// BaseWindow/CapWindow are the static pruning window and the
+	// adaptive cap, in ticks; WindowRounds is the observation window
+	// length (one cap) in virtual rounds.
+	BaseWindow   int `json:"baseWindow"`
+	CapWindow    int `json:"capWindow"`
+	WindowRounds int `json:"windowRounds"`
+	// Per-observation-window total message volumes (all kinds), static
+	// twin vs adaptive twin. The static series stays flat; the adaptive
+	// series decays geometrically as tiers deepen.
+	StaticPerWindow  []int64 `json:"staticPerWindow"`
+	BackoffPerWindow []int64 `json:"backoffPerWindow"`
+	// DecayRatio = StaticPerWindow[last] / BackoffPerWindow[last]
+	// (acceptance bar: >= 10).
+	DecayRatio float64 `json:"decayRatio"`
+	// Fault-at-deepest-tier phase: RetryAtFault is the network's maximum
+	// retry spacing at injection (must equal CapWindow — the proof the
+	// fault really hit the deepest tier), FaultNode the corrupted node.
+	RetryAtFault int `json:"retryAtFault"`
+	FaultNode    int `json:"faultNode"`
+	// RecoveryRounds is rounds from injection to the quiescence
+	// certificate; RecoveredInBudget asserts it landed inside
+	// RecoveryBudget with the legitimacy predicate restored.
+	RecoveryRounds    int  `json:"recoveryRounds"`
+	RecoveryBudget    int  `json:"recoveryBudget"`
+	RecoveredInBudget bool `json:"recoveredInBudget"`
+	Legitimate        bool `json:"legitimate"`
+}
+
 // ScaleReport is the deterministic content of BENCH_scale.json.
 type ScaleReport struct {
 	Cells []ScaleCell `json:"cells"`
@@ -171,6 +236,10 @@ type ScaleReport struct {
 	// Event is the event-engine ladder (see EventCell): the large-n
 	// cells that frontier-only scheduling unlocks.
 	Event []EventCell `json:"event"`
+
+	// Decay is the steady-state silence section (see DecayCell): the
+	// committed adaptive-backoff idle-traffic baselines.
+	Decay []DecayCell `json:"decay"`
 
 	// Full-rehash baseline vs the incremental cache on the SAME run
 	// (identical seed, identical rounds/messages/degree outputs): the
@@ -355,6 +424,34 @@ func ScaleSweep(spec ScaleSpec) (*ScaleReport, error) {
 		report.Event = append(report.Event, cell)
 	}
 
+	// The steady-state decay section. Acceptance is enforced in-sweep —
+	// a cell whose last-window decay misses the 10x bar, whose fault
+	// missed the deepest tier, or whose recovery blew the budget fails
+	// the whole sweep (and therefore `make drift`).
+	for _, n := range ns.DecaySizes {
+		seed := runSeed(ns.BaseSeed, Cell{Family: ns.Family, N: n}, 0)
+		cell, err := decayCell(ns.Family, n, seed, ns.DecayWindows)
+		if err != nil {
+			return nil, err
+		}
+		if cell.DecayRatio < 10 {
+			return nil, fmt.Errorf(
+				"scenario: decay cell n=%d missed the 10x bar: static %v vs backoff %v (ratio %.2f)",
+				cell.N, cell.StaticPerWindow, cell.BackoffPerWindow, cell.DecayRatio)
+		}
+		if cell.RetryAtFault != cell.CapWindow {
+			return nil, fmt.Errorf(
+				"scenario: decay cell n=%d fault missed the deepest tier: retry %d, cap %d",
+				cell.N, cell.RetryAtFault, cell.CapWindow)
+		}
+		if !cell.RecoveredInBudget || !cell.Legitimate {
+			return nil, fmt.Errorf(
+				"scenario: decay cell n=%d failed recovery: %d rounds (budget %d), legit=%v",
+				cell.N, cell.RecoveryRounds, cell.RecoveryBudget, cell.Legitimate)
+		}
+		report.Decay = append(report.Decay, cell)
+	}
+
 	sim.SetFullFingerprintRehash(true)
 	defer sim.SetFullFingerprintRehash(false)
 	base, err := Engine{Workers: 1}.Execute(Spec{
@@ -389,4 +486,134 @@ func ScaleSweep(spec ScaleSpec) (*ScaleReport, error) {
 			float64(incBaseline.FingerprintRecomputes)
 	}
 	return report, nil
+}
+
+// decayCell executes one steady-state decay measurement (see DecayCell).
+// Both twins run on the event core — the compat core ticks every node
+// every round, so its gossip volume can never decay regardless of the
+// retry schedule; frontier parking is what turns suppressed retries
+// into absent traffic. The fault phase runs on the compat core: after
+// the corruption every node must actually step each round for the
+// stability-window accounting (stable rounds = virtual rounds) that the
+// budget bound is stated in.
+func decayCell(family string, size int, seed int64, windows int) (DecayCell, error) {
+	fam, ok := graph.LookupFamily(family)
+	if !ok {
+		return DecayCell{}, fmt.Errorf("scenario: unknown graph family %q", family)
+	}
+	g := fam.Build(size, rand.New(rand.NewSource(seed)))
+	n := g.N()
+	cfgStatic := core.DefaultConfig(n)
+	cfgStatic.SuppressSearches = true
+	cfgBackoff := cfgStatic
+	cfgBackoff.BackoffSearches = true
+	capW := cfgBackoff.BackoffCapWindow()
+	cell := DecayCell{
+		Family:       family,
+		N:            n,
+		Seed:         seed,
+		BaseWindow:   cfgStatic.PruneWindow(),
+		CapWindow:    capW,
+		WindowRounds: capW,
+	}
+	total := windows * capW
+
+	// observe runs one twin from the legitimate preload for `total`
+	// virtual rounds (no quiescence detection — the point is to watch
+	// the steady state, not to stop at it) and returns the per-window
+	// message volumes plus the still-live network for the fault phase.
+	observe := func(cfg core.Config) ([]int64, *sim.Network, error) {
+		net := core.BuildNetwork(g, cfg, seed)
+		if err := harness.Preload(g, core.NodesOf(net), cfg); err != nil {
+			return nil, nil, err
+		}
+		sent := func() int64 {
+			var t int64
+			for _, v := range net.Metrics().SentByKind {
+				t += v
+			}
+			return t
+		}
+		per := make([]int64, 0, windows)
+		var prev int64
+		net.RunEvents(sim.EventConfig{
+			Policy:    sim.EventPolicySync,
+			MaxRounds: total,
+			OnRound: func(r int) bool {
+				// r+1 = virtual rounds completed; close every window the
+				// execution has crossed (the event core reports only
+				// executed rounds, so a boundary can be crossed mid-gap).
+				for len(per) < windows && r+1 >= (len(per)+1)*capW {
+					cur := sent()
+					per = append(per, cur-prev)
+					prev = cur
+				}
+				return true
+			},
+		})
+		// The final boundary round itself is never reported by OnRound
+		// (the engine stops at the bound); flush the residue.
+		if cur := sent(); len(per) < windows {
+			per = append(per, cur-prev)
+		}
+		for len(per) < windows {
+			per = append(per, 0)
+		}
+		return per, net, nil
+	}
+
+	staticPer, _, err := observe(cfgStatic)
+	if err != nil {
+		return cell, err
+	}
+	backoffPer, net, err := observe(cfgBackoff)
+	if err != nil {
+		return cell, err
+	}
+	cell.StaticPerWindow = staticPer
+	cell.BackoffPerWindow = backoffPer
+	if last := backoffPer[windows-1]; last > 0 {
+		cell.DecayRatio = float64(staticPer[windows-1]) / float64(last)
+	} else if staticPer[windows-1] > 0 {
+		// Total silence beats any finite ratio; report the static volume
+		// itself as the (lower-bound) ratio.
+		cell.DecayRatio = float64(staticPer[windows-1])
+	}
+
+	// Fault at the deepest tier: corrupt the first node whose retry
+	// spacing reached the network maximum (asserted == cap by the
+	// caller), then re-run under the dynamic stability window and the
+	// cap-derived budget.
+	nodes := core.NodesOf(net)
+	cell.RetryAtFault = net.MaxRetryPeriod(0)
+	cell.FaultNode = -1
+	for i, nd := range nodes {
+		if nd.CurrentRetryPeriod() == cell.RetryAtFault {
+			cell.FaultNode = i
+			break
+		}
+	}
+	if cell.FaultNode < 0 {
+		return cell, fmt.Errorf("scenario: decay cell n=%d has no node at the deepest tier", n)
+	}
+	nodes[cell.FaultNode].Corrupt(rand.New(rand.NewSource(seed^0x0fa17)), n)
+
+	flat := cfgBackoff
+	flat.BackoffSearches = false
+	flatRetry := flat.EffectiveRetryPeriod()
+	cell.RecoveryBudget = 2 * harness.QuiesceWindowRounds(n, cfgBackoff.EffectiveRetryPeriod())
+	start := net.Metrics().Rounds
+	res := net.Run(sim.RunConfig{
+		Scheduler:     harness.NewScheduler(harness.SchedSync),
+		MaxRounds:     cell.RecoveryBudget,
+		QuiesceRounds: harness.QuiesceWindowRounds(n, flatRetry),
+		QuiesceWindow: func() int {
+			return harness.QuiesceWindowRounds(n, net.MaxRetryPeriod(flatRetry))
+		},
+		ActiveKinds: core.ReductionKinds(),
+	})
+	cell.RecoveryRounds = res.Rounds - start
+	cell.RecoveredInBudget = res.Converged && cell.RecoveryRounds <= cell.RecoveryBudget
+	cell.Legitimate = core.CheckLegitimacy(g, nodes).OK()
+	return cell, nil
 }

@@ -63,6 +63,13 @@ type Spec struct {
 	// workloads; the off label serializes empty, keeping suppression-free
 	// matrix JSON byte-identical to the committed baselines.
 	Suppression []bool
+	// Backoff defaults to [false]: each true entry runs its cells with
+	// adaptive suppression backoff on (harness.RunSpec.Backoff, which
+	// implies suppression). Run seeds exclude this axis — [false, true]
+	// yields paired static/adaptive comparisons on identical workloads —
+	// and the off label serializes empty, keeping backoff-free matrix
+	// JSON byte-identical to the committed baselines.
+	Backoff []bool
 	// Faults defaults to [NoFault]. Names must be unique.
 	Faults []FaultModel
 	// SeedsPerCell defaults to 1.
@@ -116,7 +123,11 @@ type Cell struct {
 	// cells, empty (omitted from JSON, same contract as Backend) for the
 	// paper-literal search schedule.
 	Suppress string `json:"suppress,omitempty"`
-	Fault    string `json:"fault"`
+	// Backoff is the adaptive-backoff axis label: "on" for cells running
+	// the adaptive suppression window, empty (omitted from JSON, same
+	// contract as Suppress) for the static window.
+	Backoff string `json:"backoff,omitempty"`
+	Fault   string `json:"fault"`
 }
 
 // SuppressName returns the display name of the cell's suppression mode
@@ -126,6 +137,15 @@ func (c Cell) SuppressName() string {
 		return "off"
 	}
 	return c.Suppress
+}
+
+// BackoffName returns the display name of the cell's adaptive-backoff
+// mode ("off" for the empty default label).
+func (c Cell) BackoffName() string {
+	if c.Backoff == "" {
+		return "off"
+	}
+	return c.Backoff
 }
 
 // BackendName returns the display name of the cell's backend ("sim" for
@@ -158,6 +178,9 @@ func (c Cell) String() string {
 	if c.Suppress != "" {
 		s += "/suppress"
 	}
+	if c.Backoff != "" {
+		s += "/backoff"
+	}
 	return s
 }
 
@@ -187,6 +210,9 @@ func (s Spec) normalized() Spec {
 	}
 	if len(s.Suppression) == 0 {
 		s.Suppression = []bool{false}
+	}
+	if len(s.Backoff) == 0 {
+		s.Backoff = []bool{false}
 	}
 	if len(s.Faults) == 0 {
 		s.Faults = []FaultModel{NoFault{}}
@@ -267,6 +293,13 @@ func (s Spec) validate() error {
 		}
 		seenSuppress[sup] = true
 	}
+	seenBackoff := map[bool]bool{}
+	for _, bo := range s.Backoff {
+		if seenBackoff[bo] {
+			return fmt.Errorf("scenario: duplicate backoff mode %v", bo)
+		}
+		seenBackoff[bo] = true
+	}
 	seen := map[string]bool{}
 	for _, fm := range s.Faults {
 		if fm == nil {
@@ -282,7 +315,8 @@ func (s Spec) validate() error {
 
 // runSeed derives the per-run seed from the instance identity (family,
 // size, seed index, base seed) — deliberately NOT from the scheduler,
-// start, variant, backend, engine, suppression or fault axes. Cells that differ only in those axes
+// start, variant, backend, engine, suppression, backoff or fault axes.
+// Cells that differ only in those axes
 // therefore draw the SAME graph instances, so sweeps like "rounds vs
 // drop rate" or "recovery cost by fault role" are paired comparisons
 // on identical workloads rather than cross-instance noise. The hash —
@@ -296,8 +330,8 @@ func runSeed(base int64, c Cell, idx int) int64 {
 }
 
 // Expand enumerates the full run matrix in deterministic order (family,
-// size, scheduler, start, variant, backend, engine, suppression, fault,
-// seed).
+// size, scheduler, start, variant, backend, engine, suppression,
+// backoff, fault, seed).
 func (s Spec) Expand() ([]Run, error) {
 	ns := s.normalized()
 	if err := ns.validate(); err != nil {
@@ -335,24 +369,33 @@ func (s Spec) Expand() ([]Run, error) {
 									if sup {
 										supLabel = "on"
 									}
-									for _, fm := range ns.Faults {
-										cell := Cell{
-											Family:    fam,
-											N:         n,
-											Scheduler: string(sched),
-											Start:     start.String(),
-											Variant:   string(variant),
-											Backend:   label,
-											Engine:    engLabel,
-											Suppress:  supLabel,
-											Fault:     fm.Name(),
+									for _, bo := range ns.Backoff {
+										// Same contract again for the adaptive-
+										// backoff axis.
+										boLabel := ""
+										if bo {
+											boLabel = "on"
 										}
-										for idx := 0; idx < ns.SeedsPerCell; idx++ {
-											runs = append(runs, Run{
-												Cell:      cell,
-												SeedIndex: idx,
-												Seed:      runSeed(ns.BaseSeed, cell, idx),
-											})
+										for _, fm := range ns.Faults {
+											cell := Cell{
+												Family:    fam,
+												N:         n,
+												Scheduler: string(sched),
+												Start:     start.String(),
+												Variant:   string(variant),
+												Backend:   label,
+												Engine:    engLabel,
+												Suppress:  supLabel,
+												Backoff:   boLabel,
+												Fault:     fm.Name(),
+											}
+											for idx := 0; idx < ns.SeedsPerCell; idx++ {
+												runs = append(runs, Run{
+													Cell:      cell,
+													SeedIndex: idx,
+													Seed:      runSeed(ns.BaseSeed, cell, idx),
+												})
+											}
 										}
 									}
 								}

@@ -70,6 +70,12 @@ type EventConfig struct {
 	// virtual rounds pass without a fingerprint change (and the
 	// ActiveKinds drained). Zero disables detection.
 	QuiesceRounds int
+	// QuiesceWindow, if non-nil, resolves the stability window currently
+	// required on top of the QuiesceRounds floor (time-varying retry
+	// schedules; see RunConfig.QuiesceWindow). During an empty gap no
+	// launches fire, so backoff tiers are frozen and the value read at
+	// the gap's start stays valid across the fast-forward.
+	QuiesceWindow func() int
 	ActiveKinds   []string
 	// OnRound, if non-nil, is called after every EXECUTED round with the
 	// legacy 0-based round index; rounds skipped over as empty are not
@@ -381,7 +387,7 @@ func (n *Network) RunEvents(cfg EventConfig) RunResult {
 	// Re-seed the cache exactly as Run does: harness flows mutate
 	// process state directly between NewNetwork and the run.
 	n.rehashAllNodes()
-	q := newQuiesceTracker(n, cfg.QuiesceRounds, cfg.ActiveKinds)
+	q := newQuiesceTracker(n, cfg.QuiesceRounds, cfg.QuiesceWindow, cfg.ActiveKinds)
 	maxRound := base + cfg.MaxRounds
 	for e.times.Len() > 0 {
 		t := e.times[0]
@@ -390,7 +396,7 @@ func (n *Network) RunEvents(cfg EventConfig) RunResult {
 		// event, the intervening rounds were eventless — the fingerprint
 		// could not have changed and no message was pending.
 		if q.window > 0 {
-			cand := n.metrics.LastChangeRound + q.window
+			cand := n.metrics.LastChangeRound + q.windowNow()
 			if cand > n.metrics.Rounds && cand < t && cand <= maxRound &&
 				n.pendingTotal == 0 && q.drained() {
 				n.metrics.Rounds = cand
@@ -425,7 +431,7 @@ func (n *Network) RunEvents(cfg EventConfig) RunResult {
 	// Queue exhausted: every timer is parked and nothing is in flight —
 	// eternal quiescence if the window fits under the round bound.
 	if q.window > 0 {
-		cand := n.metrics.LastChangeRound + q.window
+		cand := n.metrics.LastChangeRound + q.windowNow()
 		if cand < n.metrics.Rounds {
 			cand = n.metrics.Rounds
 		}

@@ -111,6 +111,15 @@ type StateSizer interface {
 	StateBits() int
 }
 
+// RetryAware is implemented by processes whose worst-case search-retry
+// spacing varies over time (the adaptive suppression backoff): the
+// quiescence-stability window must track the current maximum over
+// nodes, not a static per-run constant. CurrentRetryPeriod must be a
+// pure read.
+type RetryAware interface {
+	CurrentRetryPeriod() int
+}
+
 // Context gives a process its identity, neighborhood and send primitive.
 type Context struct {
 	id   NodeID
@@ -606,6 +615,25 @@ func (n *Network) StateVersions() []uint64 {
 // unsupported.
 func (n *Network) MaxStateBits() int { return MaxStateBitsOf(n.procs) }
 
+// MaxRetryPeriod returns the maximum CurrentRetryPeriod over processes
+// implementing RetryAware, or def when none do. Pure reads — safe from
+// run-loop observers and deterministic for a seeded run.
+func (n *Network) MaxRetryPeriod(def int) int {
+	max, found := 0, false
+	for _, p := range n.procs {
+		if ra, ok := p.(RetryAware); ok {
+			found = true
+			if r := ra.CurrentRetryPeriod(); r > max {
+				max = r
+			}
+		}
+	}
+	if !found {
+		return def
+	}
+	return max
+}
+
 // MaxStateBitsOf returns the maximum StateBits over the processes, or 0
 // if unsupported — shared by every backend's result collection.
 func MaxStateBitsOf(procs []Process) int {
@@ -638,6 +666,14 @@ type RunConfig struct {
 	// fingerprint change (and no pending messages of the kinds listed in
 	// ActiveKinds, if any). Zero disables quiescence detection.
 	QuiesceRounds int
+	// QuiesceWindow, if non-nil, resolves the stability window CURRENTLY
+	// required — the adaptive suppression backoff makes the retry
+	// schedule time-varying, so the window must cover the deepest
+	// backoff tier in effect, which only a live read can know.
+	// QuiesceRounds then acts as the static floor that gates the O(n)
+	// evaluation: the function is consulted only once the floor is met.
+	// Nil keeps the fixed-window behavior byte-identical.
+	QuiesceWindow func() int
 	// ActiveKinds: message kinds that must drain before quiescence is
 	// declared (e.g. reduction messages still in flight).
 	ActiveKinds []string
@@ -662,15 +698,33 @@ type RunResult struct {
 // fast-forwarding over empty buckets (stability there is implied: no
 // events means no possible change).
 type quiesceTracker struct {
-	net    *Network
-	window int
-	kinds  []string
-	lastFP uint64
-	stable int
+	net      *Network
+	window   int
+	windowFn func() int // non-nil: adaptive requirement on top of the floor
+	kinds    []string
+	lastFP   uint64
+	stable   int
 }
 
-func newQuiesceTracker(n *Network, window int, kinds []string) *quiesceTracker {
-	return &quiesceTracker{net: n, window: window, kinds: kinds, lastFP: n.combined}
+func newQuiesceTracker(n *Network, window int, windowFn func() int, kinds []string) *quiesceTracker {
+	return &quiesceTracker{net: n, window: window, windowFn: windowFn,
+		kinds: kinds, lastFP: n.combined}
+}
+
+// windowNow resolves the stability window currently required: the
+// static floor, raised to the adaptive requirement when a window
+// function is installed. During a stable stretch backoff tiers only
+// deepen (a reset implies a version bump, hence a fingerprint change
+// that already restarted the count), so the value read at evaluation
+// time bounds the retry spacing over the whole stretch.
+func (q *quiesceTracker) windowNow() int {
+	w := q.window
+	if q.windowFn != nil {
+		if need := q.windowFn(); need > w {
+			w = need
+		}
+	}
+	return w
 }
 
 // observe records the completed round and returns true when quiescence
@@ -686,7 +740,13 @@ func (q *quiesceTracker) observe(round int) bool {
 	} else {
 		q.stable++
 	}
-	return q.window > 0 && q.stable >= q.window && q.drained()
+	if q.window <= 0 || q.stable < q.window {
+		return false
+	}
+	if q.windowFn != nil && q.stable < q.windowNow() {
+		return false
+	}
+	return q.drained()
 }
 
 // drained reports whether every active message kind has zero pending
@@ -715,7 +775,7 @@ func (n *Network) Run(cfg RunConfig) RunResult {
 	// Re-seed the cache: harness flows mutate process state directly
 	// (corruption, preloads) between NewNetwork and Run.
 	n.rehashAllNodes()
-	q := newQuiesceTracker(n, cfg.QuiesceRounds, cfg.ActiveKinds)
+	q := newQuiesceTracker(n, cfg.QuiesceRounds, cfg.QuiesceWindow, cfg.ActiveKinds)
 	for r := 0; r < cfg.MaxRounds; r++ {
 		cfg.Scheduler.RunRound(n)
 		n.metrics.Rounds++
